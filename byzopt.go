@@ -1,0 +1,221 @@
+// Package byzopt is a Go library for approximate Byzantine fault-tolerant
+// distributed optimization, reproducing "Approximate Byzantine
+// Fault-Tolerance in Distributed Optimization" (Liu, Gupta, Vaidya,
+// PODC 2021).
+//
+// The library covers both halves of the paper:
+//
+//   - the resilience theory of Section 3 — measuring (2f, ε)-redundancy of
+//     a problem instance (MeasureRedundancy), checking a candidate output
+//     against the (f, ε)-resilience definition (MeasureResilience), and the
+//     exhaustive (f, 2ε)-resilient algorithm of Theorem 2
+//     (ExhaustiveResilient);
+//
+//   - the algorithmic half of Section 4 — distributed gradient descent with
+//     pluggable gradient filters (Run), including the paper's CGE and CWTM
+//     filters plus literature baselines, Byzantine behavior models, and the
+//     Theorem 4/5/6 resilience bounds.
+//
+// A minimal fault-tolerant run:
+//
+//	filter, _ := byzopt.NewFilter("cge")
+//	res, err := byzopt.Run(byzopt.Config{
+//	        Agents: agents, F: 1, Filter: filter,
+//	        X0: []float64{0, 0}, Rounds: 500,
+//	})
+//
+// The deeper machinery (matrix solvers, transports, the peer-to-peer
+// broadcast layer, experiment drivers) lives in internal packages; the
+// runnable programs under examples/ and cmd/ show them in action.
+package byzopt
+
+import (
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/core"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/dgd"
+	"byzopt/internal/matrix"
+	"byzopt/internal/vecmath"
+)
+
+// --- filters ---
+
+// Filter is a gradient aggregation rule ("gradient filter", Section 4).
+type Filter = aggregate.Filter
+
+// NewFilter returns the filter registered under the given name; see
+// FilterNames for the registry.
+func NewFilter(name string) (Filter, error) { return aggregate.New(name) }
+
+// FilterNames lists the built-in filters: the paper's cge and cwtm, the
+// plain mean baseline, and the literature baselines (cwmedian, krum,
+// multikrum, bulyan, geomedian, gmom).
+func FilterNames() []string { return aggregate.Names() }
+
+// CGE is the paper's comparative gradient elimination filter (eq. 23).
+type CGE = aggregate.CGE
+
+// CWTM is the paper's coordinate-wise trimmed mean filter (eq. 24).
+type CWTM = aggregate.CWTM
+
+// Mean is plain averaging, the fault-intolerant baseline.
+type Mean = aggregate.Mean
+
+// --- Byzantine behaviors ---
+
+// Behavior models what a faulty agent reports instead of its gradient.
+type Behavior = byzantine.Behavior
+
+// NewBehavior returns the behavior registered under the given name; see
+// BehaviorNames.
+func NewBehavior(name string, seed int64) (Behavior, error) { return byzantine.New(name, seed) }
+
+// BehaviorNames lists the built-in behaviors (gradient-reverse, random,
+// zero, ipm, alie).
+func BehaviorNames() []string { return byzantine.Names() }
+
+// --- costs ---
+
+// Cost is a differentiable local cost function Q_i.
+type Cost = costfunc.Differentiable
+
+// LeastSquaresCost builds the regression cost ||b - A x||^2 from design
+// rows and responses (one row per observation).
+func LeastSquaresCost(rows [][]float64, b []float64) (Cost, error) {
+	a, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return costfunc.NewLeastSquares(a, b)
+}
+
+// SingleObservationCost builds one agent's cost (b - row.x)^2, the per-agent
+// cost of the paper's regression experiments.
+func SingleObservationCost(row []float64, b float64) (Cost, error) {
+	return costfunc.NewSingleRowLeastSquares(row, b)
+}
+
+// SumCost aggregates costs: sum_i Q_i.
+func SumCost(costs ...Cost) (Cost, error) { return costfunc.NewSum(costs...) }
+
+// --- agents ---
+
+// Agent produces the gradient reported to the server each round.
+type Agent = dgd.Agent
+
+// HonestAgent wraps a cost as a truthful agent.
+func HonestAgent(cost Cost) (Agent, error) { return dgd.NewHonest(cost) }
+
+// HonestAgents wraps each cost as a truthful agent, in order.
+func HonestAgents(costs []Cost) ([]Agent, error) { return dgd.HonestAgents(costs) }
+
+// ByzantineAgent wraps an agent with a faulty behavior; inner may be nil
+// (the behavior then sees a zero vector as the "true" gradient).
+func ByzantineAgent(inner Agent, b Behavior) (Agent, error) { return dgd.NewFaulty(inner, b) }
+
+// --- constraint set ---
+
+// Box is the compact convex constraint set W of update rule (21).
+type Box = vecmath.Box
+
+// NewBox builds a box from per-coordinate bounds.
+func NewBox(lo, hi []float64) (*Box, error) { return vecmath.NewBox(lo, hi) }
+
+// NewCube builds the hypercube [-r, r]^d.
+func NewCube(d int, r float64) (*Box, error) { return vecmath.NewCube(d, r) }
+
+// --- the DGD engine ---
+
+// Config describes one distributed gradient-descent execution (Section 4.1).
+type Config = dgd.Config
+
+// Result is the outcome of a run.
+type Result = dgd.Result
+
+// Trace holds per-iteration loss/distance series.
+type Trace = dgd.Trace
+
+// StepSchedule yields the step size per round.
+type StepSchedule = dgd.StepSchedule
+
+// Diminishing is the schedule c/(t+1)^p; the paper uses 1.5/(t+1).
+type Diminishing = dgd.Diminishing
+
+// ConstantStep is the fixed schedule used by the learning experiments.
+type ConstantStep = dgd.Constant
+
+// Run executes the configured DGD simulation.
+func Run(cfg Config) (*Result, error) { return dgd.Run(cfg) }
+
+// --- resilience theory (Section 3) ---
+
+// Problem exposes a multi-agent instance whose subset aggregates can be
+// minimized exactly, the structure the Section-3 theory quantifies over.
+type Problem = core.Problem
+
+// RegressionProblem builds a Problem from regression data (one row and
+// response per agent).
+func RegressionProblem(rows [][]float64, b []float64) (Problem, error) {
+	a, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLeastSquaresProblem(a, b)
+}
+
+// RedundancyReport is the result of measuring (2f, ε)-redundancy.
+type RedundancyReport = core.RedundancyReport
+
+// MeasureRedundancy computes the tight redundancy parameter ε of
+// Definition 3 by subset enumeration (Appendix J.2 procedure).
+func MeasureRedundancy(p Problem, f int) (*RedundancyReport, error) {
+	return core.MeasureRedundancy(p, f, core.AtLeastSize)
+}
+
+// ResilienceReport quantifies a candidate output against Definition 2.
+type ResilienceReport = core.ResilienceReport
+
+// MeasureResilience evaluates the worst-case distance from x to any
+// (n-f)-subset aggregate minimizer of the given honest agents.
+func MeasureResilience(p Problem, f int, honest []int, x []float64) (*ResilienceReport, error) {
+	return core.MeasureResilience(p, f, honest, x)
+}
+
+// ExhaustiveResult is the output of the Theorem-2 algorithm.
+type ExhaustiveResult = core.ExhaustiveResult
+
+// ExhaustiveResilient runs the exhaustive (f, 2ε)-resilient algorithm from
+// the proof of Theorem 2.
+func ExhaustiveResilient(p Problem, f int) (*ExhaustiveResult, error) {
+	return core.ExhaustiveResilient(p, f)
+}
+
+// Feasible reports Lemma 1's feasibility condition f < n/2.
+func Feasible(n, f int) bool { return core.Feasible(n, f) }
+
+// --- resilience bounds (Section 4.2) ---
+
+// CGEBound is a CGE resilience constant (Theorems 4 and 5).
+type CGEBound = core.CGEBound
+
+// CGEBoundTheorem4 evaluates Theorem 4: D = 4µf/(αγ) with
+// α = 1 - (f/n)(1 + 2µ/γ).
+func CGEBoundTheorem4(n, f int, mu, gamma float64) (*CGEBound, error) {
+	return core.CGEResilienceTheorem4(n, f, mu, gamma)
+}
+
+// CGEBoundTheorem5 evaluates Theorem 5, the tighter bound exploiting
+// 2f-redundancy: D = (1+2f)(n-2f)µ/(αnγ) with α = 1 - (f/n)(1 + µ/γ).
+func CGEBoundTheorem5(n, f int, mu, gamma float64) (*CGEBound, error) {
+	return core.CGEResilienceTheorem5(n, f, mu, gamma)
+}
+
+// CWTMBound is the CWTM resilience constant (Theorem 6).
+type CWTMBound = core.CWTMBound
+
+// CWTMBoundTheorem6 evaluates Theorem 6: D' = 2√d nµλ/(γ - √d µλ),
+// requiring λ < γ/(µ√d).
+func CWTMBoundTheorem6(n, f, dim int, mu, gamma, lambda float64) (*CWTMBound, error) {
+	return core.CWTMResilienceTheorem6(n, f, dim, mu, gamma, lambda)
+}

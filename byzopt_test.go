@@ -1,0 +1,155 @@
+package byzopt
+
+import (
+	"math"
+	"testing"
+)
+
+// buildRegression constructs a 6-agent noisy regression through the public
+// API only.
+func buildRegression(t *testing.T) ([]Cost, []float64) {
+	t.Helper()
+	rows := [][]float64{
+		{1, 0}, {0.8, 0.5}, {0.5, 0.8}, {0, 1}, {-0.5, 0.8}, {-0.8, 0.5},
+	}
+	xstar := []float64{1, 1}
+	costs := make([]Cost, len(rows))
+	for i, row := range rows {
+		b := row[0]*xstar[0] + row[1]*xstar[1]
+		c, err := SingleObservationCost(row, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[i] = c
+	}
+	return costs, xstar
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	costs, xstar := buildRegression(t)
+	agents, err := HonestAgents(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	behavior, err := NewBehavior("gradient-reverse", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents[0], err = ByzantineAgent(agents[0], behavior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewFilter("cge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := NewCube(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Agents:    agents,
+		F:         1,
+		Filter:    filter,
+		Steps:     Diminishing{C: 1.5, P: 1},
+		Box:       box,
+		X0:        []float64{0, 0},
+		Rounds:    400,
+		Reference: xstar,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Trace.Dist[len(res.Trace.Dist)-1]; d > 0.05 {
+		t.Errorf("final distance = %v", d)
+	}
+}
+
+func TestPublicTheoryRoundTrip(t *testing.T) {
+	rows := [][]float64{
+		{1, 0}, {0.8, 0.5}, {0.5, 0.8}, {0, 1}, {-0.5, 0.8}, {-0.8, 0.5},
+	}
+	b := []float64{0.9108, 1.3349, 1.3376, 1.0033, 0.2142, -0.3615}
+	prob, err := RegressionProblem(rows, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureRedundancy(prob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Epsilon-0.0890) > 5e-4 {
+		t.Errorf("epsilon = %v, want 0.0890", rep.Epsilon)
+	}
+	ex, err := ExhaustiveResilient(prob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := []int{0, 1, 2, 3, 4, 5}
+	resil, err := MeasureResilience(prob, 1, honest, ex.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resil.MaxDistance > 2*rep.Epsilon+1e-9 {
+		t.Errorf("Theorem 2 violated through public API: %v > %v", resil.MaxDistance, 2*rep.Epsilon)
+	}
+}
+
+func TestPublicBoundsAndFeasibility(t *testing.T) {
+	if Feasible(6, 3) {
+		t.Error("f = n/2 must be infeasible")
+	}
+	if !Feasible(6, 1) {
+		t.Error("f = 1, n = 6 must be feasible")
+	}
+	if _, err := CGEBoundTheorem5(6, 1, 2, 0.712); err != nil {
+		t.Errorf("Theorem 5 on the paper instance: %v", err)
+	}
+	if _, err := CGEBoundTheorem4(6, 1, 2, 0.712); err == nil {
+		t.Error("Theorem 4 should be inapplicable on the paper instance")
+	}
+	if _, err := CWTMBoundTheorem6(6, 1, 2, 2, 0.712, 0.1); err != nil {
+		t.Errorf("Theorem 6: %v", err)
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	if len(FilterNames()) < 8 {
+		t.Errorf("filter registry too small: %v", FilterNames())
+	}
+	for _, name := range FilterNames() {
+		if _, err := NewFilter(name); err != nil {
+			t.Errorf("NewFilter(%q): %v", name, err)
+		}
+	}
+	if len(BehaviorNames()) < 4 {
+		t.Errorf("behavior registry too small: %v", BehaviorNames())
+	}
+	for _, name := range BehaviorNames() {
+		if _, err := NewBehavior(name, 1); err != nil {
+			t.Errorf("NewBehavior(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPublicCostConstructors(t *testing.T) {
+	c, err := LeastSquaresCost([][]float64{{1, 0}, {0, 1}}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Eval([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-13) > 1e-12 {
+		t.Errorf("eval = %v", v)
+	}
+	costs, _ := buildRegression(t)
+	sum, err := SumCost(costs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dim() != 2 {
+		t.Errorf("sum dim = %d", sum.Dim())
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector("0.8,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 || v[0] != 0.8 || v[1] != 0.5 {
+		t.Fatalf("parsed %v", v)
+	}
+	if _, err := parseVector("x"); err == nil {
+		t.Error("bad vector should error")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -paper/-row should error")
+	}
+	if err := run([]string{"-paper", "-id", "99"}); err == nil {
+		t.Error("out-of-range paper id should error")
+	}
+	if err := run([]string{"-row", "bogus"}); err == nil {
+		t.Error("bad row should error")
+	}
+	if err := run([]string{"-row", "1,0", "-b", "1", "-fault", "nope"}); err == nil {
+		t.Error("unknown fault should error")
+	}
+}

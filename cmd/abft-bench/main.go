@@ -1,0 +1,175 @@
+// Command abft-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	abft-bench -exp table1
+//	abft-bench -exp fig2 -rounds 1500 -csv fig2
+//	abft-bench -exp fig4 -rounds 1000 -csv fig4
+//	abft-bench -exp appj
+//	abft-bench -exp all
+//
+// With -csv PREFIX the full series are written to PREFIX-<fault>.csv (or
+// PREFIX.csv for the learning figures); summaries always go to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"byzopt/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "abft-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("abft-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, fig5, svm, appj, all")
+	rounds := fs.Int("rounds", 0, "override iteration count (0 = paper default)")
+	csvPrefix := fs.String("csv", "", "write full series to CSV files with this prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return runTable1()
+		case "fig2":
+			r := *rounds
+			if r == 0 {
+				r = 1500
+			}
+			return runFigure(name, r, *csvPrefix)
+		case "fig3":
+			r := *rounds
+			if r == 0 {
+				r = 80
+			}
+			return runFigure(name, r, *csvPrefix)
+		case "fig4", "fig5":
+			return runLearn(name, *rounds, *csvPrefix)
+		case "svm":
+			return runSVM(*rounds)
+		case "appj":
+			return runAppendixJ()
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"appj", "table1", "fig2", "fig3", "fig4", "fig5", "svm"} {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(*exp)
+}
+
+func runTable1() error {
+	rows, inst, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable1(rows))
+	fmt.Printf("(instance epsilon = %.4f; paper reports every distance below it)\n", inst.Epsilon)
+	return nil
+}
+
+func runFigure(name string, rounds int, csvPrefix string) error {
+	figs, inst, err := experiments.Figure2(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: loss and distance series, t = 0..%d (x_H = (%.4f, %.4f))\n",
+		name, rounds, inst.XH[0], inst.XH[1])
+	for _, fd := range figs {
+		fmt.Print(experiments.SummarizeFigure(fd))
+		if csvPrefix != "" {
+			path := fmt.Sprintf("%s-%s-%s.csv", csvPrefix, name, fd.Fault)
+			if err := writeCSV(path, func(f *os.File) error {
+				return experiments.WriteFigureCSV(f, fd)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func runLearn(name string, rounds int, csvPrefix string) error {
+	cfg := experiments.LearnConfig{Rounds: rounds}
+	var (
+		series []experiments.LearnSeries
+		err    error
+	)
+	if name == "fig4" {
+		series, err = experiments.Figure4(cfg)
+	} else {
+		series, err = experiments.Figure5(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	dataset := "A (MNIST stand-in)"
+	if name == "fig5" {
+		dataset = "B (Fashion-MNIST stand-in)"
+	}
+	fmt.Printf("%s: D-SGD on synthetic dataset %s, n=10, f=3\n", name, dataset)
+	fmt.Print(experiments.SummarizeLearn(series))
+	if csvPrefix != "" {
+		path := fmt.Sprintf("%s-%s.csv", csvPrefix, name)
+		if err := writeCSV(path, func(f *os.File) error {
+			return experiments.WriteLearnCSV(f, series)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func runSVM(rounds int) error {
+	results, err := experiments.SVM(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Println("distributed SVM (hinge loss), n=10, f=3")
+	fmt.Printf("%-12s %10s %10s\n", "variant", "loss", "accuracy")
+	for _, r := range results {
+		fmt.Printf("%-12s %10.4f %9.1f%%\n", r.Name, r.Loss, 100*r.Accuracy)
+	}
+	return nil
+}
+
+func runAppendixJ() error {
+	rep, err := experiments.AppendixJ()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAppendixJ(rep))
+	return nil
+}
+
+func writeCSV(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSmallFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "out")
+	if err := run([]string{"-exp", "fig3", "-rounds", "5", "-csv", prefix}); err != nil {
+		t.Fatal(err)
+	}
+	for _, fault := range []string{"gradient-reverse", "random"} {
+		path := prefix + "-fig3-" + fault + ".csv"
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing CSV %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("empty CSV %s", path)
+		}
+	}
+}
+
+func TestRunAppendixJ(t *testing.T) {
+	if err := run([]string{"-exp", "appj"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSVMSmall(t *testing.T) {
+	if err := run([]string{"-exp", "svm", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}

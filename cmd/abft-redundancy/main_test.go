@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "agents.csv")
+	content := "# comment line\n1,0,0.9108\n0.8,0.5,1.3349\n\n0.5,0.8,1.3376\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rows, b, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(b) != 3 {
+		t.Fatalf("rows=%d responses=%d", len(rows), len(b))
+	}
+	if rows[1][0] != 0.8 || rows[1][1] != 0.5 || b[1] != 1.3349 {
+		t.Fatalf("row 1 = %v, b = %v", rows[1], b[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.csv")
+	if err := os.WriteFile(short, []byte("1\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readCSV(short); err == nil {
+		t.Error("single-field line should error")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("1,abc\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readCSV(bad); err == nil {
+		t.Error("non-numeric field should error")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readCSV(empty); err == nil {
+		t.Error("empty file should error")
+	}
+}
+
+func TestRunPaperInstance(t *testing.T) {
+	if err := run([]string{"-paper", "-f", "1"}); err != nil {
+		t.Fatalf("run -paper: %v", err)
+	}
+	if err := run([]string{"-paper", "-f", "3"}); err == nil {
+		t.Error("infeasible f should error")
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing input should error")
+	}
+}

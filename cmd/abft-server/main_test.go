@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector("1.5, -2, 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[0] != 1.5 || v[1] != -2 || v[2] != 0 {
+		t.Fatalf("parsed %v", v)
+	}
+	if _, err := parseVector("1,abc"); err == nil {
+		t.Error("bad coordinate should error")
+	}
+}
+
+func TestFormatVector(t *testing.T) {
+	got := formatVector([]float64{1.5, -2})
+	if got != "(1.5, -2)" {
+		t.Fatalf("formatted %q", got)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-filter", "bogus"}); err == nil {
+		t.Error("unknown filter should error")
+	}
+	if err := run([]string{"-x0", "1,2,3", "-dim", "2"}); err == nil {
+		t.Error("x0/dim mismatch should error")
+	}
+	if err := run([]string{"-x0", "1,zz", "-dim", "2"}); err == nil {
+		t.Error("unparseable x0 should error")
+	}
+}

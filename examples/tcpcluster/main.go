@@ -1,0 +1,116 @@
+// TCPCluster: the full Figure-1 server-based deployment on real sockets,
+// inside one process.
+//
+// A server listens on loopback; six agent goroutines dial in over TCP (in a
+// real deployment each would be cmd/abft-agent on its own machine), agent 0
+// reverses its gradients, and one honest agent crashes mid-run to
+// demonstrate the step-S1 elimination rule: under synchrony a silent agent
+// is provably faulty, so the server drops it and decrements both n and f.
+//
+// Run with: go run ./examples/tcpcluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/cluster"
+	"byzopt/internal/dgd"
+	"byzopt/internal/linreg"
+	"byzopt/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	inst, err := linreg.Paper()
+	if err != nil {
+		return err
+	}
+	costs, err := inst.Costs()
+	if err != nil {
+		return err
+	}
+	agents, err := dgd.HonestAgents(costs)
+	if err != nil {
+		return err
+	}
+	// Agent 0: Byzantine gradients. Agent 3: honest but crashes at round 60.
+	fa, err := dgd.NewFaulty(agents[0], byzantine.GradientReverse{})
+	if err != nil {
+		return err
+	}
+	agents[0] = fa
+	flaky := transport.NewFlaky(agents[3], 60)
+	defer flaky.Release()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = l.Close() }()
+	fmt.Printf("server listening on %s\n", l.Addr())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for id := range agents {
+		producer := transport.GradientProducer(agents[id])
+		if id == 3 {
+			producer = flaky
+		}
+		wg.Add(1)
+		go func(id int, p transport.GradientProducer) {
+			defer wg.Done()
+			if err := transport.ServeAgent(ctx, l.Addr().String(), id, p); err != nil {
+				log.Printf("agent %d: %v", id, err)
+			}
+		}(id, producer)
+	}
+
+	conns, err := transport.AcceptAgents(l, len(agents), 10*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("all agents connected; agent 0 is Byzantine, agent 3 will crash at round 60")
+
+	// f = 2: one budgeted Byzantine agent plus one for the crash.
+	srv, err := cluster.NewServer(cluster.Config{
+		Conns:        conns,
+		F:            2,
+		Filter:       aggregate.CGE{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       300,
+		RoundTimeout: 300 * time.Millisecond,
+		Reference:    inst.XH,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := srv.Run(context.Background())
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	cancel()
+	flaky.Release() // unblock the crashed agent's goroutine before waiting
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("eliminated agents: %v (final n=%d, f=%d)\n", res.Eliminated, res.FinalN, res.FinalF)
+	fmt.Printf("final estimate: (%.4f, %.4f)\n", res.X[0], res.X[1])
+	fmt.Printf("distance to x_H: %.4f\n", res.Trace.Dist[len(res.Trace.Dist)-1])
+	return nil
+}

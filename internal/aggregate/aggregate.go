@@ -1,0 +1,533 @@
+// Package aggregate implements gradient filters (the paper's "GradFilter"
+// robust aggregation rules, Section 4): functions mapping the n gradients the
+// server received — up to f of them Byzantine — to a single descent
+// direction.
+//
+// The two filters the paper analyzes are CGE (comparative gradient
+// elimination, eq. 23) and CWTM (coordinate-wise trimmed mean, eq. 24). The
+// package also provides plain averaging (the non-robust baseline the paper
+// plots as "plain GD") and the literature baselines the paper cites for
+// comparison: coordinate-wise median, Krum, Multi-Krum, Bulyan, geometric
+// median, geometric median-of-means, and centered clipping.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"byzopt/internal/vecmath"
+)
+
+// ErrInput is returned (wrapped) for structurally invalid inputs: no
+// gradients, ragged dimensions, or negative f.
+var ErrInput = errors.New("aggregate: invalid input")
+
+// ErrTooManyFaults is returned (wrapped) when a filter's tolerance condition
+// on (n, f) is violated (e.g. CWTM needs n > 2f, Krum needs n >= 2f+3).
+var ErrTooManyFaults = errors.New("aggregate: too many Byzantine agents for this filter")
+
+// Filter is a gradient aggregation rule GradFilter: R^{d x n} -> R^d.
+// Implementations must be deterministic (the paper's resilience definition
+// is stated for deterministic algorithms) and must not mutate the input.
+type Filter interface {
+	// Name returns a short stable identifier (used by the CLI and traces).
+	Name() string
+	// Aggregate combines n gradients, up to f of which may be Byzantine.
+	Aggregate(grads [][]float64, f int) ([]float64, error)
+}
+
+// validate checks the common preconditions and returns (n, d).
+func validate(grads [][]float64, f int) (n, d int, err error) {
+	if len(grads) == 0 {
+		return 0, 0, fmt.Errorf("no gradients: %w", ErrInput)
+	}
+	if f < 0 {
+		return 0, 0, fmt.Errorf("negative f = %d: %w", f, ErrInput)
+	}
+	d = len(grads[0])
+	if d == 0 {
+		return 0, 0, fmt.Errorf("zero-dimensional gradients: %w", ErrInput)
+	}
+	for i, g := range grads {
+		if len(g) != d {
+			return 0, 0, fmt.Errorf("gradient %d has dim %d, want %d: %w", i, len(g), d, ErrInput)
+		}
+	}
+	return len(grads), d, nil
+}
+
+// --- Mean ---
+
+// Mean is plain gradient averaging: the classic fault-intolerant DGD
+// aggregation, kept as the baseline the paper calls "plain GD".
+type Mean struct{}
+
+var _ Filter = Mean{}
+
+// Name implements Filter.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate returns the arithmetic mean of all gradients; f is ignored
+// because averaging makes no attempt at robustness.
+func (Mean) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	if _, _, err := validate(grads, f); err != nil {
+		return nil, err
+	}
+	return vecmath.Mean(grads)
+}
+
+// --- CGE ---
+
+// CGE is the comparative gradient elimination filter (eq. 23): sort by
+// Euclidean norm and return the SUM of the n-f gradients of smallest norm.
+//
+// Averaged controls normalization: the paper's definition sums the surviving
+// gradients; setting Averaged divides by n-f, which leaves the descent
+// direction unchanged but makes step sizes comparable across filters (used
+// by the learning experiments).
+type CGE struct {
+	Averaged bool
+}
+
+var _ Filter = CGE{}
+
+// Name implements Filter.
+func (c CGE) Name() string {
+	if c.Averaged {
+		return "cge-avg"
+	}
+	return "cge"
+}
+
+// Aggregate implements Filter. It requires n > f.
+func (c CGE) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= f {
+		return nil, fmt.Errorf("CGE needs n > f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	// Sort indices by gradient norm ascending (ties broken by index, which
+	// keeps the filter deterministic as Definition 2 requires).
+	idx := make([]int, n)
+	norms := make([]float64, n)
+	for i := range grads {
+		idx[i] = i
+		norms[i] = vecmath.Norm(grads[i])
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return norms[idx[a]] < norms[idx[b]] })
+
+	out := make([]float64, d)
+	for _, i := range idx[:n-f] {
+		for j, v := range grads[i] {
+			out[j] += v
+		}
+	}
+	if c.Averaged {
+		vecmath.ScaleInPlace(1/float64(n-f), out)
+	}
+	return out, nil
+}
+
+// --- CWTM ---
+
+// CWTM is the coordinate-wise trimmed mean filter (eq. 24): per coordinate,
+// drop the f smallest and f largest values and average the remaining n-2f.
+type CWTM struct{}
+
+var _ Filter = CWTM{}
+
+// Name implements Filter.
+func (CWTM) Name() string { return "cwtm" }
+
+// Aggregate implements Filter. It requires n > 2f.
+func (CWTM) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("CWTM needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for k := 0; k < d; k++ {
+		for i := range grads {
+			col[i] = grads[i][k]
+		}
+		sort.Float64s(col)
+		var s float64
+		for _, v := range col[f : n-f] {
+			s += v
+		}
+		out[k] = s / float64(n-2*f)
+	}
+	return out, nil
+}
+
+// --- coordinate-wise median ---
+
+// CWMedian aggregates by taking the median of each coordinate independently;
+// a classic robust baseline (e.g. Yin et al., 2018).
+type CWMedian struct{}
+
+var _ Filter = CWMedian{}
+
+// Name implements Filter.
+func (CWMedian) Name() string { return "cwmedian" }
+
+// Aggregate implements Filter. It requires n > 2f for the median to be
+// controlled by honest values.
+func (CWMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for k := 0; k < d; k++ {
+		for i := range grads {
+			col[i] = grads[i][k]
+		}
+		sort.Float64s(col)
+		if n%2 == 1 {
+			out[k] = col[n/2]
+		} else {
+			out[k] = 0.5 * (col[n/2-1] + col[n/2])
+		}
+	}
+	return out, nil
+}
+
+// --- Krum ---
+
+// Krum selects the single gradient whose summed squared distance to its
+// n-f-2 nearest neighbors is smallest (Blanchard et al., 2017).
+type Krum struct{}
+
+var _ Filter = Krum{}
+
+// Name implements Filter.
+func (Krum) Name() string { return "krum" }
+
+// Aggregate implements Filter. It requires n >= 2f + 3.
+func (Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	scores, _, err := krumScores(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return vecmath.Clone(grads[best]), nil
+}
+
+// MultiKrum averages the M gradients with the best Krum scores
+// (Blanchard et al., 2017). M must be in [1, n-f].
+type MultiKrum struct {
+	M int
+}
+
+var _ Filter = MultiKrum{}
+
+// Name implements Filter.
+func (m MultiKrum) Name() string { return fmt.Sprintf("multikrum-%d", m.M) }
+
+// Aggregate implements Filter. It requires n >= 2f + 3 and 1 <= M <= n-f.
+func (m MultiKrum) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	scores, n, err := krumScores(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if m.M < 1 || m.M > n-f {
+		return nil, fmt.Errorf("multi-krum M=%d out of [1, n-f]=[1, %d]: %w", m.M, n-f, ErrInput)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	chosen := make([][]float64, m.M)
+	for i := 0; i < m.M; i++ {
+		chosen[i] = grads[idx[i]]
+	}
+	return vecmath.Mean(chosen)
+}
+
+// krumScores returns the Krum score of every gradient.
+func krumScores(grads [][]float64, f int) ([]float64, int, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n < 2*f+3 {
+		return nil, 0, fmt.Errorf("krum needs n >= 2f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff, err := vecmath.Sub(grads[i], grads[j])
+			if err != nil {
+				return nil, 0, err
+			}
+			v := vecmath.NormSq(diff)
+			d2[i][j] = v
+			d2[j][i] = v
+		}
+	}
+	k := n - f - 2 // number of closest neighbors scored
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, d2[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, v := range row[:k] {
+			s += v
+		}
+		scores[i] = s
+	}
+	return scores, n, nil
+}
+
+// --- Bulyan ---
+
+// Bulyan runs iterated Krum selection to pick theta = n-2f gradients, then
+// applies a beta = theta-2f trimmed-mean around the coordinate-wise median
+// (El Mhamdi et al., 2018).
+type Bulyan struct{}
+
+var _ Filter = Bulyan{}
+
+// Name implements Filter.
+func (Bulyan) Name() string { return "bulyan" }
+
+// Aggregate implements Filter. It requires n >= 4f + 3.
+func (Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n < 4*f+3 {
+		return nil, fmt.Errorf("bulyan needs n >= 4f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	theta := n - 2*f
+	remaining := make([][]float64, n)
+	copy(remaining, grads)
+	selected := make([][]float64, 0, theta)
+	for len(selected) < theta {
+		scores, _, err := krumScores(remaining, f)
+		if err != nil {
+			// As gradients are removed the Krum condition can tighten; fall
+			// back to taking the rest in order, which preserves determinism.
+			selected = append(selected, remaining[:theta-len(selected)]...)
+			break
+		}
+		best := 0
+		for i := 1; i < len(scores); i++ {
+			if scores[i] < scores[best] {
+				best = i
+			}
+		}
+		selected = append(selected, remaining[best])
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+	}
+	// Trimmed mean of the beta values closest to the median, per coordinate.
+	beta := theta - 2*f
+	out := make([]float64, d)
+	col := make([]float64, theta)
+	type valDist struct {
+		v, dist float64
+	}
+	vd := make([]valDist, theta)
+	for k := 0; k < d; k++ {
+		for i := range selected {
+			col[i] = selected[i][k]
+		}
+		sort.Float64s(col)
+		var med float64
+		if theta%2 == 1 {
+			med = col[theta/2]
+		} else {
+			med = 0.5 * (col[theta/2-1] + col[theta/2])
+		}
+		for i, v := range col {
+			vd[i] = valDist{v: v, dist: math.Abs(v - med)}
+		}
+		sort.SliceStable(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
+		var s float64
+		for _, p := range vd[:beta] {
+			s += p.v
+		}
+		out[k] = s / float64(beta)
+	}
+	return out, nil
+}
+
+// --- geometric median ---
+
+// weiszfeldMaxIter bounds the Weiszfeld fixed-point iteration.
+const weiszfeldMaxIter = 200
+
+// GeoMedian approximates the geometric median (the point minimizing the sum
+// of Euclidean distances to the gradients) by Weiszfeld iteration.
+type GeoMedian struct {
+	// Tol is the convergence tolerance; zero means 1e-10.
+	Tol float64
+}
+
+var _ Filter = GeoMedian{}
+
+// Name implements Filter.
+func (GeoMedian) Name() string { return "geomedian" }
+
+// Aggregate implements Filter. It requires n > 2f for robustness.
+func (g GeoMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("geometric median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	return weiszfeld(grads, g.Tol)
+}
+
+// GeoMedianOfMeans partitions the gradients into Groups buckets, averages
+// each bucket, and returns the geometric median of the bucket means
+// (Chen, Su, Xu, 2017). Groups must be in [1, n]; robustness requires
+// Groups > 2f.
+type GeoMedianOfMeans struct {
+	Groups int
+	// Tol is the Weiszfeld tolerance; zero means 1e-10.
+	Tol float64
+}
+
+var _ Filter = GeoMedianOfMeans{}
+
+// Name implements Filter.
+func (g GeoMedianOfMeans) Name() string { return fmt.Sprintf("gmom-%d", g.Groups) }
+
+// Aggregate implements Filter.
+func (g GeoMedianOfMeans) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if g.Groups < 1 || g.Groups > n {
+		return nil, fmt.Errorf("gmom groups=%d out of [1, %d]: %w", g.Groups, n, ErrInput)
+	}
+	if g.Groups <= 2*f {
+		return nil, fmt.Errorf("gmom needs groups > 2f, got groups=%d f=%d: %w", g.Groups, f, ErrTooManyFaults)
+	}
+	// Contiguous deterministic partition.
+	means := make([][]float64, 0, g.Groups)
+	for b := 0; b < g.Groups; b++ {
+		lo := b * n / g.Groups
+		hi := (b + 1) * n / g.Groups
+		if lo == hi {
+			continue
+		}
+		m, err := vecmath.Mean(grads[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		means = append(means, m)
+	}
+	return weiszfeld(means, g.Tol)
+}
+
+// weiszfeld runs the Weiszfeld fixed-point iteration for the geometric
+// median of the given points.
+func weiszfeld(points [][]float64, tol float64) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	y, err := vecmath.Mean(points)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 1e-12 // distance floor, avoids division blow-up at a point
+	for iter := 0; iter < weiszfeldMaxIter; iter++ {
+		num := vecmath.Zeros(len(y))
+		var den float64
+		for _, p := range points {
+			dist, err := vecmath.Dist(p, y)
+			if err != nil {
+				return nil, err
+			}
+			w := 1 / math.Max(dist, eps)
+			if err := vecmath.AxpyInPlace(num, w, p); err != nil {
+				return nil, err
+			}
+			den += w
+		}
+		vecmath.ScaleInPlace(1/den, num)
+		moved, err := vecmath.Dist(num, y)
+		if err != nil {
+			return nil, err
+		}
+		y = num
+		if moved < tol {
+			break
+		}
+	}
+	return y, nil
+}
+
+// --- registry ---
+
+// New returns the filter registered under the given name. Recognized names:
+// mean, cge, cge-avg, cwtm, cwmedian, krum, multikrum (M=3), bulyan,
+// geomedian, gmom (Groups=3), centeredclip.
+func New(name string) (Filter, error) {
+	switch name {
+	case "mean":
+		return Mean{}, nil
+	case "cge":
+		return CGE{}, nil
+	case "cge-avg":
+		return CGE{Averaged: true}, nil
+	case "cwtm":
+		return CWTM{}, nil
+	case "cwmedian":
+		return CWMedian{}, nil
+	case "krum":
+		return Krum{}, nil
+	case "multikrum":
+		return MultiKrum{M: 3}, nil
+	case "bulyan":
+		return Bulyan{}, nil
+	case "geomedian":
+		return GeoMedian{}, nil
+	case "gmom":
+		return GeoMedianOfMeans{Groups: 3}, nil
+	case "centeredclip":
+		return CenteredClip{}, nil
+	default:
+		return nil, fmt.Errorf("aggregate: unknown filter %q: %w", name, ErrInput)
+	}
+}
+
+// Names lists the registry names accepted by New, in stable order.
+func Names() []string {
+	return []string{"mean", "cge", "cge-avg", "cwtm", "cwmedian", "krum", "multikrum", "bulyan", "geomedian", "gmom", "centeredclip"}
+}

@@ -1,0 +1,95 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"byzopt/internal/vecmath"
+)
+
+// centeredClipDefaultIters bounds the fixed-point iteration.
+const centeredClipDefaultIters = 5
+
+// CenteredClip is the centered-clipping aggregator of Karimireddy, He,
+// Jaggi (2021) — reference [28] of the paper: starting from a center v
+// (here the coordinate-wise median, an f-robust warm start), it repeats
+//
+//	v <- v + (1/n) sum_i clip(g_i - v, tau)
+//
+// where clip(x, tau) scales x down to norm tau. Outliers can move the
+// center by at most tau/n per iteration, bounding Byzantine influence
+// without dropping any honest information.
+type CenteredClip struct {
+	// Tau is the clipping radius; zero selects a data-driven radius (the
+	// median of the distances from the warm-start center).
+	Tau float64
+	// Iters is the number of fixed-point iterations; zero means 5.
+	Iters int
+}
+
+var _ Filter = CenteredClip{}
+
+// Name implements Filter.
+func (c CenteredClip) Name() string { return "centeredclip" }
+
+// Aggregate implements Filter. It requires n > 2f (the warm start is the
+// coordinate-wise median).
+func (c CenteredClip) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("centered clipping needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	center, err := CWMedian{}.Aggregate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	tau := c.Tau
+	if tau <= 0 {
+		// Median distance from the warm-start center: a scale the honest
+		// majority sets.
+		dists := make([]float64, n)
+		for i, g := range grads {
+			d, err := vecmath.Dist(g, center)
+			if err != nil {
+				return nil, err
+			}
+			dists[i] = d
+		}
+		sort.Float64s(dists)
+		if n%2 == 1 {
+			tau = dists[n/2]
+		} else {
+			tau = 0.5 * (dists[n/2-1] + dists[n/2])
+		}
+		if tau == 0 {
+			return center, nil // all gradients coincide with the center
+		}
+	}
+	iters := c.Iters
+	if iters <= 0 {
+		iters = centeredClipDefaultIters
+	}
+	for it := 0; it < iters; it++ {
+		update := vecmath.Zeros(len(center))
+		for _, g := range grads {
+			diff, err := vecmath.Sub(g, center)
+			if err != nil {
+				return nil, err
+			}
+			if norm := vecmath.Norm(diff); norm > tau {
+				vecmath.ScaleInPlace(tau/norm, diff)
+			}
+			if err := vecmath.AddInPlace(update, diff); err != nil {
+				return nil, err
+			}
+		}
+		vecmath.ScaleInPlace(1/float64(n), update)
+		if err := vecmath.AddInPlace(center, update); err != nil {
+			return nil, err
+		}
+	}
+	return center, nil
+}

@@ -1,0 +1,102 @@
+package aggregate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"byzopt/internal/vecmath"
+)
+
+func TestCenteredClipRobust(t *testing.T) {
+	grads := [][]float64{
+		{1, 1}, {1.1, 0.9}, {0.9, 1.1}, {1.05, 1.0}, {0.95, 1.0},
+		{1e6, -1e6}, // Byzantine
+	}
+	got, err := CenteredClip{}.Aggregate(grads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vecmath.Dist(got, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.5 {
+		t.Fatalf("centered clip dragged to %v", got)
+	}
+}
+
+func TestCenteredClipIdenticalGradients(t *testing.T) {
+	g := []float64{3, -4}
+	grads := [][]float64{g, g, g, g, g}
+	got, err := CenteredClip{}.Aggregate(grads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(got, g, 1e-9) {
+		t.Fatalf("identical gradients: %v", got)
+	}
+}
+
+func TestCenteredClipExplicitTau(t *testing.T) {
+	grads := [][]float64{{0, 0}, {1, 0}, {0, 1}, {100, 100}}
+	got, err := CenteredClip{Tau: 0.5, Iters: 3}.Aggregate(grads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tau = 0.5 the outlier moves the center by at most 0.5/4 per
+	// iteration: 3 iterations cannot take it past ~0.4 from the median.
+	if vecmath.Norm(got) > 1.5 {
+		t.Fatalf("explicit tau failed to bound influence: %v", got)
+	}
+}
+
+func TestCenteredClipConditions(t *testing.T) {
+	grads := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := (CenteredClip{}).Aggregate(grads, 2); !errors.Is(err, ErrTooManyFaults) {
+		t.Errorf("n <= 2f: %v", err)
+	}
+	if _, err := (CenteredClip{}).Aggregate(nil, 0); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestCenteredClipFaultFreeNearMean(t *testing.T) {
+	// With no outliers and a generous radius, the fixed point approaches
+	// the mean.
+	r := rand.New(rand.NewSource(8))
+	grads := make([][]float64, 9)
+	for i := range grads {
+		grads[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	mean, err := Mean{}.Aggregate(grads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CenteredClip{Tau: 100, Iters: 30}.Aggregate(grads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(got, mean, 1e-6) {
+		t.Fatalf("centered clip %v far from mean %v", got, mean)
+	}
+}
+
+func TestCenteredClipInRegistry(t *testing.T) {
+	fl, err := New("centeredclip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Name() != "centeredclip" {
+		t.Errorf("name = %s", fl.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "centeredclip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("centeredclip missing from Names()")
+	}
+}

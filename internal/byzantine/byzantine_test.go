@@ -1,0 +1,232 @@
+package byzantine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"byzopt/internal/vecmath"
+)
+
+func TestGradientReverse(t *testing.T) {
+	g := []float64{1, -2, 3}
+	out, err := GradientReverse{}.Apply(0, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(out, []float64{-1, 2, -3}, 0) {
+		t.Fatalf("reverse = %v", out)
+	}
+	if g[0] != 1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestScaledReverse(t *testing.T) {
+	out, err := ScaledReverse{Factor: 2}.Apply(0, 0, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(out, []float64{-2, 2}, 0) {
+		t.Fatalf("scaled reverse = %v", out)
+	}
+	if _, err := (ScaledReverse{Factor: 0}).Apply(0, 0, []float64{1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("factor 0: %v", err)
+	}
+}
+
+func TestRandomGaussianDeterministicPerRoundAgent(t *testing.T) {
+	g, err := NewRandomGaussian(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Apply(3, 1, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Apply(3, 1, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(a, b, 0) {
+		t.Error("same (round, agent) should replay identically")
+	}
+	c, err := g.Apply(4, 1, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.Equal(a, c, 1e-9) {
+		t.Error("different rounds should differ")
+	}
+	d, err := g.Apply(3, 2, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.Equal(a, d, 1e-9) {
+		t.Error("different agents should differ")
+	}
+}
+
+func TestRandomGaussianScale(t *testing.T) {
+	g, err := NewRandomGaussian(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical std over many draws should be near 200.
+	var sum, sumSq float64
+	count := 0
+	for round := 0; round < 200; round++ {
+		v, err := g.Apply(round, 0, make([]float64, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range v {
+			sum += x
+			sumSq += x * x
+			count++
+		}
+	}
+	mean := sum / float64(count)
+	std := math.Sqrt(sumSq/float64(count) - mean*mean)
+	if math.Abs(std-200) > 20 {
+		t.Errorf("empirical std = %v, want ~200", std)
+	}
+	if _, err := NewRandomGaussian(0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("sigma 0: %v", err)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Apply(9, 9, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(out, []float64{5, 5}, 0) {
+		t.Fatalf("constant = %v", out)
+	}
+	if _, err := c.Apply(0, 0, []float64{0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := NewConstant(nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty constant: %v", err)
+	}
+	out[0] = 77 // mutating the output must not corrupt future rounds
+	again, err := c.Apply(1, 0, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 5 {
+		t.Error("constant output aliased internal state")
+	}
+}
+
+func TestZero(t *testing.T) {
+	out, err := Zero{}.Apply(0, 0, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.Norm(out) != 0 {
+		t.Fatalf("zero = %v", out)
+	}
+}
+
+func TestCoordinateSpike(t *testing.T) {
+	out, err := CoordinateSpike{Coordinate: 1, Magnitude: 1e9}.Apply(0, 0, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 1e9 || out[2] != 3 {
+		t.Fatalf("spike = %v", out)
+	}
+	if _, err := (CoordinateSpike{Coordinate: 5}).Apply(0, 0, []float64{1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("out of range: %v", err)
+	}
+}
+
+func TestIPM(t *testing.T) {
+	honest := [][]float64{{2, 0}, {4, 0}}
+	out, err := InnerProductManipulation{Epsilon: 0.5}.ApplyOmniscient(0, 0, []float64{1, 1}, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean = (3, 0); -0.5 * mean = (-1.5, 0)
+	if !vecmath.Equal(out, []float64{-1.5, 0}, 1e-12) {
+		t.Fatalf("ipm = %v", out)
+	}
+	// Fallback without honest view.
+	fb, err := InnerProductManipulation{Epsilon: 0.5}.ApplyOmniscient(0, 0, []float64{2, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(fb, []float64{-1, -1}, 1e-12) {
+		t.Fatalf("ipm fallback = %v", fb)
+	}
+	if _, err := (InnerProductManipulation{Epsilon: 0}).Apply(0, 0, []float64{1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("epsilon 0: %v", err)
+	}
+}
+
+func TestALIE(t *testing.T) {
+	honest := [][]float64{{1, 0}, {3, 0}}
+	// mean = (2, 0), std = (1, 0); z = 2 -> (4, 0)
+	out, err := ALittleIsEnough{Z: 2}.ApplyOmniscient(0, 0, []float64{0, 0}, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(out, []float64{4, 0}, 1e-12) {
+		t.Fatalf("alie = %v", out)
+	}
+	fb, err := ALittleIsEnough{Z: 1}.ApplyOmniscient(0, 0, []float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(fb, []float64{2, 2}, 1e-12) {
+		t.Fatalf("alie fallback = %v", fb)
+	}
+}
+
+func TestDelayed(t *testing.T) {
+	d := &Delayed{Activate: 5, Inner: GradientReverse{}}
+	g := []float64{1, 2}
+	early, err := d.Apply(4, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(early, g, 0) {
+		t.Fatalf("delayed early = %v", early)
+	}
+	late, err := d.Apply(5, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(late, []float64{-1, -2}, 0) {
+		t.Fatalf("delayed late = %v", late)
+	}
+	bad := &Delayed{Activate: 0}
+	if _, err := bad.Apply(0, 0, g); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil inner: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		b, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		out, err := b.Apply(0, 0, []float64{1, 2})
+		if err != nil {
+			t.Fatalf("%s apply: %v", name, err)
+		}
+		if len(out) != 2 {
+			t.Errorf("%s output dim = %d", name, len(out))
+		}
+	}
+	if _, err := New("nope", 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown behavior: %v", err)
+	}
+}

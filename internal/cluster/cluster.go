@@ -1,0 +1,251 @@
+// Package cluster runs the paper's server-based architecture (Figure 1,
+// left) over a transport: a trusted server drives synchronous DGD rounds
+// against n agent connections, any f of which may be Byzantine.
+//
+// It implements the full Section 4.1 protocol including step S1's
+// elimination rule: the system is synchronous, so an agent that misses a
+// round deadline must be faulty; the server removes it and decrements both
+// n and f before continuing.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/dgd"
+	"byzopt/internal/transport"
+	"byzopt/internal/vecmath"
+)
+
+// ErrConfig is returned (wrapped) for invalid server configurations.
+var ErrConfig = errors.New("cluster: invalid configuration")
+
+// ErrTooManyFailures is returned (wrapped) when more agents miss deadlines
+// than the fault budget f allows — a synchrony-assumption violation.
+var ErrTooManyFailures = errors.New("cluster: more silent agents than the fault budget")
+
+// Config describes a server run.
+type Config struct {
+	// Conns are the agent connections, in agent-index order.
+	Conns []transport.AgentConn
+	// F is the Byzantine budget; silent agents are eliminated against it.
+	F int
+	// Filter is the gradient aggregation rule.
+	Filter aggregate.Filter
+	// Steps is the step-size schedule; nil means the paper's 1.5/(t+1).
+	Steps dgd.StepSchedule
+	// Box is the constraint set W; nil disables projection.
+	Box *vecmath.Box
+	// X0 is the initial estimate.
+	X0 []float64
+	// Rounds is the number of iterations.
+	Rounds int
+	// RoundTimeout bounds each round's gradient collection; zero means a
+	// generous 5 seconds.
+	RoundTimeout time.Duration
+
+	// TrackLoss and Reference mirror dgd.Config's instrumentation.
+	TrackLoss costfunc.Function
+	Reference []float64
+}
+
+// Result extends the dgd result with cluster-level accounting.
+type Result struct {
+	// X is the final estimate.
+	X []float64
+	// Trace holds the recorded loss/distance series (t = 0..Rounds).
+	Trace dgd.Trace
+	// Eliminated lists the agent indices removed by the step-S1 rule, in
+	// elimination order.
+	Eliminated []int
+	// FinalN and FinalF are the system parameters after eliminations.
+	FinalN, FinalF int
+}
+
+// Server coordinates one run. The zero value is unusable; construct with
+// NewServer.
+type Server struct {
+	cfg Config
+}
+
+// NewServer validates the configuration.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Conns) == 0 {
+		return nil, fmt.Errorf("no agent connections: %w", ErrConfig)
+	}
+	for i, c := range cfg.Conns {
+		if c == nil {
+			return nil, fmt.Errorf("nil connection %d: %w", i, ErrConfig)
+		}
+	}
+	if cfg.F < 0 || 2*cfg.F >= len(cfg.Conns) {
+		return nil, fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", len(cfg.Conns), cfg.F, ErrConfig)
+	}
+	if cfg.Filter == nil {
+		return nil, fmt.Errorf("nil filter: %w", ErrConfig)
+	}
+	if len(cfg.X0) == 0 {
+		return nil, fmt.Errorf("empty initial estimate: %w", ErrConfig)
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("negative rounds: %w", ErrConfig)
+	}
+	if cfg.Box != nil && cfg.Box.Dim() != len(cfg.X0) {
+		return nil, fmt.Errorf("box dim %d vs x0 dim %d: %w", cfg.Box.Dim(), len(cfg.X0), ErrConfig)
+	}
+	if cfg.Reference != nil && len(cfg.Reference) != len(cfg.X0) {
+		return nil, fmt.Errorf("reference dim %d vs x0 dim %d: %w", len(cfg.Reference), len(cfg.X0), ErrConfig)
+	}
+	if cfg.TrackLoss != nil && cfg.TrackLoss.Dim() != len(cfg.X0) {
+		return nil, fmt.Errorf("loss dim %d vs x0 dim %d: %w", cfg.TrackLoss.Dim(), len(cfg.X0), ErrConfig)
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// roundReply is one agent's response to a round broadcast.
+type roundReply struct {
+	agent    int
+	gradient []float64
+	err      error
+}
+
+// Run executes the protocol. It does not close the connections; the caller
+// owns their lifecycle.
+func (s *Server) Run(ctx context.Context) (*Result, error) {
+	cfg := s.cfg
+	timeout := cfg.RoundTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	steps := cfg.Steps
+	if steps == nil {
+		steps = dgd.Diminishing{C: 1.5, P: 1}
+	}
+
+	x := vecmath.Clone(cfg.X0)
+	if cfg.Box != nil {
+		var err error
+		x, err = cfg.Box.Project(x)
+		if err != nil {
+			return nil, fmt.Errorf("projecting x0: %w", err)
+		}
+	}
+
+	// live[i] indexes into cfg.Conns; the slice shrinks on elimination.
+	live := make([]int, len(cfg.Conns))
+	for i := range live {
+		live[i] = i
+	}
+	f := cfg.F
+
+	res := &Result{}
+	record := func(t int) error {
+		if cfg.TrackLoss != nil {
+			v, err := cfg.TrackLoss.Eval(x)
+			if err != nil {
+				return fmt.Errorf("loss at round %d: %w", t, err)
+			}
+			res.Trace.Loss = append(res.Trace.Loss, v)
+		}
+		if cfg.Reference != nil {
+			d, err := vecmath.Dist(x, cfg.Reference)
+			if err != nil {
+				return fmt.Errorf("distance at round %d: %w", t, err)
+			}
+			res.Trace.Dist = append(res.Trace.Dist, d)
+		}
+		return nil
+	}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("round %d: %w", t, err)
+		}
+		if err := record(t); err != nil {
+			return nil, err
+		}
+
+		// Broadcast the round to all live agents in parallel and collect
+		// replies until the deadline.
+		roundCtx, cancel := context.WithTimeout(ctx, timeout)
+		replies := make(chan roundReply, len(live))
+		for _, idx := range live {
+			go func(idx int) {
+				g, err := cfg.Conns[idx].RequestGradient(roundCtx, t, x)
+				replies <- roundReply{agent: idx, gradient: g, err: err}
+			}(idx)
+		}
+		grads := make([][]float64, 0, len(live))
+		var silent []int
+		for range live {
+			rep := <-replies
+			switch {
+			case rep.err == nil && len(rep.gradient) == len(x):
+				grads = append(grads, rep.gradient)
+			default:
+				// Timeouts, transport failures, and malformed replies all
+				// mark the agent as faulty under synchrony.
+				silent = append(silent, rep.agent)
+			}
+		}
+		cancel()
+
+		if len(silent) > 0 {
+			if len(silent) > f {
+				return nil, fmt.Errorf("round %d: %d silent agents with budget f=%d: %w",
+					t, len(silent), f, ErrTooManyFailures)
+			}
+			// Step S1: remove the agents and shrink both n and f.
+			f -= len(silent)
+			res.Eliminated = append(res.Eliminated, silent...)
+			live = removeAll(live, silent)
+		}
+
+		dir, err := cfg.Filter.Aggregate(grads, f)
+		if err != nil {
+			return nil, fmt.Errorf("filter %s at round %d: %w", cfg.Filter.Name(), t, err)
+		}
+		eta := steps.At(t)
+		if eta <= 0 {
+			return nil, fmt.Errorf("step size %v at round %d: %w", eta, t, ErrConfig)
+		}
+		if err := vecmath.AxpyInPlace(x, -eta, dir); err != nil {
+			return nil, err
+		}
+		if cfg.Box != nil {
+			x, err = cfg.Box.Project(x)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !vecmath.IsFinite(x) {
+			return nil, fmt.Errorf("round %d: %w", t, dgd.ErrDiverged)
+		}
+	}
+	if err := record(cfg.Rounds); err != nil {
+		return nil, err
+	}
+	res.X = x
+	res.FinalN = len(live)
+	res.FinalF = f
+	return res, nil
+}
+
+// removeAll returns live without the given agent indices, preserving order.
+func removeAll(live, gone []int) []int {
+	drop := make(map[int]bool, len(gone))
+	for _, g := range gone {
+		drop[g] = true
+	}
+	out := live[:0]
+	for _, idx := range live {
+		if !drop[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/dgd"
+	"byzopt/internal/linreg"
+	"byzopt/internal/transport"
+	"byzopt/internal/vecmath"
+)
+
+// paperAgents builds the Appendix-J agents with agent 0 Byzantine under the
+// given behavior (nil behavior leaves all agents honest).
+func paperAgents(t *testing.T, behavior byzantine.Behavior) (*linreg.Instance, []dgd.Agent) {
+	t.Helper()
+	inst, err := linreg.Paper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := inst.Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents, err := dgd.HonestAgents(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if behavior != nil {
+		fa, err := dgd.NewFaulty(agents[linreg.FaultyAgent], behavior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[linreg.FaultyAgent] = fa
+	}
+	return inst, agents
+}
+
+func channelConns(t *testing.T, agents []dgd.Agent) []transport.AgentConn {
+	t.Helper()
+	conns := make([]transport.AgentConn, len(agents))
+	for i, a := range agents {
+		c, err := transport.NewChannel(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	return conns
+}
+
+func TestClusterMatchesInProcessEngine(t *testing.T) {
+	// The cluster protocol over channel transports must produce the same
+	// trajectory as the plain dgd engine: same filter, same rounds, same
+	// deterministic fault.
+	inst, agents := paperAgents(t, byzantine.GradientReverse{})
+	engineRes, err := dgd.Run(dgd.Config{
+		Agents: agents,
+		F:      1,
+		Filter: aggregate.CGE{},
+		Box:    inst.Box,
+		X0:     inst.X0,
+		Rounds: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, agents2 := paperAgents(t, byzantine.GradientReverse{})
+	srv, err := NewServer(Config{
+		Conns:  channelConns(t, agents2),
+		F:      1,
+		Filter: aggregate.CGE{},
+		Box:    inst.Box,
+		X0:     inst.X0,
+		Rounds: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterRes, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(engineRes.X, clusterRes.X, 1e-9) {
+		t.Errorf("engine %v vs cluster %v", engineRes.X, clusterRes.X)
+	}
+	if len(clusterRes.Eliminated) != 0 {
+		t.Errorf("unexpected eliminations: %v", clusterRes.Eliminated)
+	}
+}
+
+func TestClusterEliminatesCrashedAgent(t *testing.T) {
+	inst, agents := paperAgents(t, nil)
+	// Agent 0 crashes at round 10 (stops responding): under synchrony the
+	// server must eliminate it, decrement f, and still converge.
+	flaky := transport.NewFlaky(agents[0], 10)
+	defer flaky.Release()
+	conns := make([]transport.AgentConn, len(agents))
+	for i, a := range agents {
+		var producer transport.GradientProducer = a
+		if i == 0 {
+			producer = flaky
+		}
+		c, err := transport.NewChannel(producer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	honestSum, err := inst.HonestSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Conns:        conns,
+		F:            1,
+		Filter:       aggregate.CGE{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       200,
+		RoundTimeout: 100 * time.Millisecond,
+		TrackLoss:    honestSum,
+		Reference:    inst.XH,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Eliminated) != 1 || res.Eliminated[0] != 0 {
+		t.Fatalf("eliminated = %v, want [0]", res.Eliminated)
+	}
+	if res.FinalN != 5 || res.FinalF != 0 {
+		t.Errorf("final n=%d f=%d, want 5, 0", res.FinalN, res.FinalF)
+	}
+	if d := res.Trace.Dist[len(res.Trace.Dist)-1]; d > 0.05 {
+		t.Errorf("distance after elimination = %v", d)
+	}
+}
+
+func TestClusterTooManyFailures(t *testing.T) {
+	inst, agents := paperAgents(t, nil)
+	// f = 0 but an agent crashes: synchrony violation must abort the run.
+	flaky := transport.NewFlaky(agents[0], 0)
+	defer flaky.Release()
+	conns := make([]transport.AgentConn, len(agents))
+	for i, a := range agents {
+		var producer transport.GradientProducer = a
+		if i == 0 {
+			producer = flaky
+		}
+		c, err := transport.NewChannel(producer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	srv, err := NewServer(Config{
+		Conns:        conns,
+		F:            0,
+		Filter:       aggregate.Mean{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       5,
+		RoundTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Run(context.Background()); !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("want ErrTooManyFailures, got %v", err)
+	}
+}
+
+func TestClusterContextCancellation(t *testing.T) {
+	inst, agents := paperAgents(t, nil)
+	srv, err := NewServer(Config{
+		Conns:  channelConns(t, agents),
+		F:      1,
+		Filter: aggregate.CGE{},
+		Box:    inst.Box,
+		X0:     inst.X0,
+		Rounds: 1000000, // far more than we will allow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	inst, agents := paperAgents(t, nil)
+	conns := channelConns(t, agents)
+	base := Config{Conns: conns, F: 1, Filter: aggregate.CGE{}, X0: inst.X0, Rounds: 1}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no conns", func(c *Config) { c.Conns = nil }},
+		{"nil conn", func(c *Config) { c.Conns = []transport.AgentConn{nil} }},
+		{"f too large", func(c *Config) { c.F = 3 }},
+		{"negative f", func(c *Config) { c.F = -1 }},
+		{"nil filter", func(c *Config) { c.Filter = nil }},
+		{"empty x0", func(c *Config) { c.X0 = nil }},
+		{"negative rounds", func(c *Config) { c.Rounds = -1 }},
+		{"reference dim", func(c *Config) { c.Reference = []float64{1} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := NewServer(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: want ErrConfig, got %v", tc.name, err)
+		}
+	}
+	// Box dimension mismatch.
+	box, err := vecmath.NewCube(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Box = box
+	if _, err := NewServer(cfg); !errors.Is(err, ErrConfig) {
+		t.Errorf("box dim: %v", err)
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	// Full Figure-1 deployment on loopback sockets: 6 agents (agent 0
+	// reverses its gradient), CGE filter, 150 rounds.
+	inst, agents := paperAgents(t, byzantine.GradientReverse{})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for id, a := range agents {
+		wg.Add(1)
+		go func(id int, a dgd.Agent) {
+			defer wg.Done()
+			if err := transport.ServeAgent(ctx, l.Addr().String(), id, a); err != nil {
+				t.Errorf("agent %d: %v", id, err)
+			}
+		}(id, a)
+	}
+
+	conns, err := transport.AcceptAgents(l, len(agents), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Conns:        conns,
+		F:            1,
+		Filter:       aggregate.CGE{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       150,
+		RoundTimeout: 5 * time.Second,
+		Reference:    inst.XH,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(context.Background())
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Trace.Dist[len(res.Trace.Dist)-1]; d > 0.1 {
+		t.Errorf("TCP cluster distance = %v", d)
+	}
+}
+
+func TestClusterEliminatesMultipleCrashes(t *testing.T) {
+	// Two agents crash in the same round with f = 2: both are eliminated
+	// and the run completes with the remaining four.
+	inst, agents := paperAgents(t, nil)
+	flaky1 := transport.NewFlaky(agents[1], 5)
+	flaky2 := transport.NewFlaky(agents[2], 5)
+	defer flaky1.Release()
+	defer flaky2.Release()
+	conns := make([]transport.AgentConn, len(agents))
+	for i, a := range agents {
+		var producer transport.GradientProducer = a
+		switch i {
+		case 1:
+			producer = flaky1
+		case 2:
+			producer = flaky2
+		}
+		c, err := transport.NewChannel(producer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	srv, err := NewServer(Config{
+		Conns:        conns,
+		F:            2,
+		Filter:       aggregate.CGE{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       60,
+		RoundTimeout: 100 * time.Millisecond,
+		Reference:    inst.XH,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Eliminated) != 2 {
+		t.Fatalf("eliminated = %v, want two agents", res.Eliminated)
+	}
+	if res.FinalN != 4 || res.FinalF != 0 {
+		t.Errorf("final n=%d f=%d, want 4, 0", res.FinalN, res.FinalF)
+	}
+}
+
+func TestClusterStaggeredCrashes(t *testing.T) {
+	// Crashes in different rounds: eliminations accumulate across rounds.
+	inst, agents := paperAgents(t, nil)
+	flaky1 := transport.NewFlaky(agents[1], 5)
+	flaky2 := transport.NewFlaky(agents[4], 20)
+	defer flaky1.Release()
+	defer flaky2.Release()
+	conns := make([]transport.AgentConn, len(agents))
+	for i, a := range agents {
+		var producer transport.GradientProducer = a
+		switch i {
+		case 1:
+			producer = flaky1
+		case 4:
+			producer = flaky2
+		}
+		c, err := transport.NewChannel(producer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	srv, err := NewServer(Config{
+		Conns:        conns,
+		F:            2,
+		Filter:       aggregate.CWTM{},
+		Box:          inst.Box,
+		X0:           inst.X0,
+		Rounds:       60,
+		RoundTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Eliminated) != 2 || res.Eliminated[0] != 1 || res.Eliminated[1] != 4 {
+		t.Fatalf("eliminated = %v, want [1 4] in order", res.Eliminated)
+	}
+}

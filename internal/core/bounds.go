@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feasible reports whether deterministic (f, ε)-resilience is possible at
+// all for the given system size: Lemma 1 shows it is impossible whenever
+// f >= n/2.
+func Feasible(n, f int) bool {
+	return n > 0 && f >= 0 && 2*f < n
+}
+
+// CGEBound is the resilience constant of a CGE-filtered DGD run.
+type CGEBound struct {
+	// Alpha is the margin 1 - (f/n)(1 + kappa µ/γ); positive Alpha is the
+	// theorem's applicability condition.
+	Alpha float64
+	// D is the asymptotic resilience ratio: lim ||x_t - x_H|| <= D ε.
+	D float64
+}
+
+// CGEResilienceTheorem4 evaluates Theorem 4 for the CGE filter:
+//
+//	α = 1 - (f/n)(1 + 2µ/γ),   D = 4µf / (αγ).
+//
+// It requires 0 <= f, n > 0, 0 < γ <= µ, and returns an error when α <= 0
+// (the theorem then gives no guarantee; the fraction of faults exceeds
+// 1/(1 + 2µ/γ)).
+func CGEResilienceTheorem4(n, f int, mu, gamma float64) (*CGEBound, error) {
+	if err := checkBoundArgs(n, f, mu, gamma); err != nil {
+		return nil, err
+	}
+	alpha := 1 - float64(f)/float64(n)*(1+2*mu/gamma)
+	if alpha <= 0 {
+		return nil, fmt.Errorf("theorem 4 inapplicable: alpha = %.4f <= 0 (f/n = %.3f exceeds 1/(1+2µ/γ) = %.3f): %w",
+			alpha, float64(f)/float64(n), 1/(1+2*mu/gamma), ErrArgs)
+	}
+	return &CGEBound{Alpha: alpha, D: 4 * mu * float64(f) / (alpha * gamma)}, nil
+}
+
+// CGEResilienceTheorem5 evaluates the alternative Theorem 5 bound, which
+// uses the 2f-redundancy property more carefully:
+//
+//	α = 1 - (f/n)(1 + µ/γ),   D = (1+2f)(n-2f)µ / (αnγ),
+//
+// and additionally requires f <= n/3.
+func CGEResilienceTheorem5(n, f int, mu, gamma float64) (*CGEBound, error) {
+	if err := checkBoundArgs(n, f, mu, gamma); err != nil {
+		return nil, err
+	}
+	if 3*f > n {
+		return nil, fmt.Errorf("theorem 5 requires f <= n/3, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+	alpha := 1 - float64(f)/float64(n)*(1+mu/gamma)
+	if alpha <= 0 {
+		return nil, fmt.Errorf("theorem 5 inapplicable: alpha = %.4f <= 0: %w", alpha, ErrArgs)
+	}
+	d := float64(1+2*f) * float64(n-2*f) * mu / (alpha * float64(n) * gamma)
+	return &CGEBound{Alpha: alpha, D: d}, nil
+}
+
+// CWTMBound is the resilience constant of a CWTM-filtered DGD run.
+type CWTMBound struct {
+	// LambdaMax is the largest gradient-dissimilarity coefficient λ
+	// (Assumption 5) for which Theorem 6 applies: γ/(µ√d).
+	LambdaMax float64
+	// D is the asymptotic resilience ratio: lim ||x_t - x_H|| <= D ε.
+	D float64
+}
+
+// CWTMResilienceTheorem6 evaluates Theorem 6 for the CWTM filter:
+//
+//	D' = 2 √d n µ λ / (γ - √d µ λ),  requiring λ < γ/(µ√d).
+func CWTMResilienceTheorem6(n, f, dim int, mu, gamma, lambda float64) (*CWTMBound, error) {
+	if err := checkBoundArgs(n, f, mu, gamma); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("dimension %d must be positive: %w", dim, ErrArgs)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("lambda %v must be positive: %w", lambda, ErrArgs)
+	}
+	sqrtD := math.Sqrt(float64(dim))
+	lambdaMax := gamma / (mu * sqrtD)
+	if lambda >= lambdaMax {
+		return nil, fmt.Errorf("theorem 6 inapplicable: lambda = %.4f >= γ/(µ√d) = %.4f: %w", lambda, lambdaMax, ErrArgs)
+	}
+	d := 2 * sqrtD * float64(n) * mu * lambda / (gamma - sqrtD*mu*lambda)
+	return &CWTMBound{LambdaMax: lambdaMax, D: d}, nil
+}
+
+func checkBoundArgs(n, f int, mu, gamma float64) error {
+	if n <= 0 {
+		return fmt.Errorf("n = %d must be positive: %w", n, ErrArgs)
+	}
+	if f < 0 || 2*f >= n {
+		return fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+	if gamma <= 0 {
+		return fmt.Errorf("gamma = %v must be positive: %w", gamma, ErrArgs)
+	}
+	if mu < gamma {
+		return fmt.Errorf("mu = %v must be at least gamma = %v (Appendix C): %w", mu, gamma, ErrArgs)
+	}
+	return nil
+}
+
+// DiminishingStepCondition reports whether a step-size sequence of the form
+// η_t = c/(t+1)^p satisfies the Theorem-3 conditions (sum η = ∞, sum η² < ∞):
+// that holds iff 1/2 < p <= 1 with c > 0.
+func DiminishingStepCondition(c, p float64) bool {
+	return c > 0 && p > 0.5 && p <= 1
+}

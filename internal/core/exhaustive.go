@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"byzopt/internal/vecmath"
+)
+
+// ExhaustiveResult is the output of the Theorem-2 constructive algorithm.
+type ExhaustiveResult struct {
+	// X is the chosen output point x_S.
+	X []float64
+	// Subset is the winning (n-f)-subset S of equation (12).
+	Subset []int
+	// Score is r_S = max over (n-2f)-subsets T̂ of S of dist(x_S, argmin Q_T̂)
+	// (equation (11)). Under (2f, ε)-redundancy, Score <= ε.
+	Score float64
+}
+
+// ExhaustiveResilient runs the three-step algorithm from the proof of
+// Theorem 2 on the full set of n reported cost functions (honest agents
+// report their true costs; Byzantine agents may have reported anything —
+// the problem instance already reflects whatever the server received):
+//
+//  1. For each subset T with |T| = n-f, compute x_T = argmin sum_{i in T} Q_i.
+//  2. For each T̂ ⊂ T with |T̂| = n-2f, compute r_{T,T̂} = dist(x_T, argmin Q_T̂),
+//     and r_T = max over T̂.
+//  3. Output x_S for S minimizing r_T.
+//
+// Under (2f, ε)-redundancy of the honest costs, the output is within 2ε of
+// every (n-f)-subset of honest agents' aggregate minimizer — the paper's
+// (f, 2ε)-resilience guarantee.
+//
+// The run enumerates C(n, n-f) * C(n-f, n-2f) subset pairs; Cost reports
+// that count so callers can budget.
+func ExhaustiveResilient(p Problem, f int) (*ExhaustiveResult, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil problem: %w", ErrArgs)
+	}
+	n := p.N()
+	if f <= 0 || 2*f >= n {
+		return nil, fmt.Errorf("need 0 < f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+
+	best := &ExhaustiveResult{Score: math.Inf(1)}
+	outer := n - f
+	inner := n - 2*f
+	err := ForEachSubset(n, outer, func(t []int) error {
+		xt, err := p.MinimizeSubset(t)
+		if err != nil {
+			// A Byzantine agent can submit a cost making some aggregate
+			// degenerate (e.g. rank-deficient); such subsets simply cannot
+			// win. Honest-only subsets minimize fine under Assumption 1.
+			return nil
+		}
+		tCopy := append([]int(nil), t...)
+		rT := 0.0
+		err = ForEachSubset(outer, inner, func(pos []int) error {
+			sub := make([]int, inner)
+			for i, pi := range pos {
+				sub[i] = tCopy[pi]
+			}
+			xhat, err := p.MinimizeSubset(sub)
+			if err != nil {
+				// Degenerate inner aggregate: treat as unbounded distance so
+				// this outer subset is penalized.
+				rT = math.Inf(1)
+				return nil
+			}
+			d, err := vecmath.Dist(xt, xhat)
+			if err != nil {
+				return err
+			}
+			if d > rT {
+				rT = d
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if rT < best.Score {
+			best.Score = rT
+			best.Subset = tCopy
+			best.X = xt
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best.X == nil {
+		return nil, fmt.Errorf("no feasible (n-f)-subset could be minimized: %w", ErrArgs)
+	}
+	return best, nil
+}
+
+// ExhaustiveCost returns the number of (T, T̂) subset-pair minimizations
+// ExhaustiveResilient performs for given (n, f): C(n, n-f) * (1 + C(n-f, n-2f)).
+func ExhaustiveCost(n, f int) (int64, error) {
+	co, err := Binomial(n, n-f)
+	if err != nil {
+		return 0, err
+	}
+	ci, err := Binomial(n-f, n-2*f)
+	if err != nil {
+		return 0, err
+	}
+	total := co * (1 + ci)
+	if ci != 0 && (total-co)/ci != co {
+		return 0, fmt.Errorf("exhaustive cost overflows int64: %w", ErrArgs)
+	}
+	return total, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"byzopt/internal/vecmath"
+)
+
+// SubsetMode selects which inner subsets the redundancy measurement ranges
+// over.
+type SubsetMode int
+
+const (
+	// ExactSize enumerates inner subsets with |Ŝ| = n-2f exactly, matching
+	// Definition 3 verbatim.
+	ExactSize SubsetMode = iota + 1
+	// AtLeastSize enumerates n-2f <= |Ŝ| <= n-f, matching the measurement
+	// procedure of Appendix J.2 (and the necessity proof of Theorem 1,
+	// which considers n-2f <= |Ŝ| < n-f).
+	AtLeastSize
+)
+
+// RedundancyReport is the result of measuring the (2f, ε)-redundancy of a
+// problem instance.
+type RedundancyReport struct {
+	// Epsilon is the smallest ε for which (2f, ε)-redundancy holds: the
+	// maximum over subset pairs of the distance between minimizers.
+	Epsilon float64
+	// WorstOuter and WorstInner identify the (S, Ŝ) pair attaining Epsilon.
+	WorstOuter, WorstInner []int
+	// Pairs is the number of (S, Ŝ) pairs examined.
+	Pairs int
+}
+
+// MeasureRedundancy computes the tight redundancy parameter
+//
+//	ε = max_{|S| = n-f} max_{Ŝ ⊆ S} dist(argmin Q_S, argmin Q_Ŝ)
+//
+// by enumerating subsets and minimizing each aggregate exactly, following
+// Appendix J.2. The problems this package works with have unique subset
+// minimizers, so the Hausdorff distance of Definition 3 reduces to the
+// point distance.
+//
+// It requires 0 <= f and n - 2f >= 1 so inner subsets are non-empty, and
+// f < n/2 (Lemma 1's feasibility bound).
+func MeasureRedundancy(p Problem, f int, mode SubsetMode) (*RedundancyReport, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil problem: %w", ErrArgs)
+	}
+	n := p.N()
+	if f < 0 || 2*f >= n {
+		return nil, fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+	if mode != ExactSize && mode != AtLeastSize {
+		return nil, fmt.Errorf("unknown subset mode %d: %w", mode, ErrArgs)
+	}
+
+	report := &RedundancyReport{}
+	outer := n - f
+	err := ForEachSubset(n, outer, func(s []int) error {
+		xs, err := p.MinimizeSubset(s)
+		if err != nil {
+			return fmt.Errorf("outer subset %v: %w", s, err)
+		}
+		sCopy := append([]int(nil), s...)
+
+		sizes := []int{n - 2*f}
+		if mode == AtLeastSize {
+			sizes = sizes[:0]
+			for k := n - 2*f; k <= outer; k++ {
+				sizes = append(sizes, k)
+			}
+		}
+		for _, k := range sizes {
+			// Enumerate k-subsets of s by indexing into sCopy.
+			err := ForEachSubset(outer, k, func(pos []int) error {
+				inner := make([]int, k)
+				for i, pi := range pos {
+					inner[i] = sCopy[pi]
+				}
+				xhat, err := p.MinimizeSubset(inner)
+				if err != nil {
+					return fmt.Errorf("inner subset %v: %w", inner, err)
+				}
+				d, err := vecmath.Dist(xs, xhat)
+				if err != nil {
+					return err
+				}
+				report.Pairs++
+				if d > report.Epsilon {
+					report.Epsilon = d
+					report.WorstOuter = sCopy
+					report.WorstInner = inner
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// HasExactRedundancy reports whether the instance satisfies 2f-redundancy
+// (Definition 1), i.e. (2f, 0)-redundancy, within numerical tolerance tol.
+func HasExactRedundancy(p Problem, f int, tol float64) (bool, error) {
+	rep, err := MeasureRedundancy(p, f, AtLeastSize)
+	if err != nil {
+		return false, err
+	}
+	return rep.Epsilon <= tol, nil
+}
+
+// ResilienceReport quantifies how well an output point approximates every
+// (n-f)-subset aggregate minimizer: the left-hand side of Definition 2.
+type ResilienceReport struct {
+	// MaxDistance is max over subsets S, |S| = n-f, of dist(x, argmin Q_S).
+	// The output is (f, ε)-resilient in this execution iff MaxDistance <= ε.
+	MaxDistance float64
+	// WorstSubset attains MaxDistance.
+	WorstSubset []int
+	// Subsets is the number of (n-f)-subsets examined.
+	Subsets int
+}
+
+// MeasureResilience evaluates Definition 2 for a candidate output x against
+// the honest problem instance: the maximum distance from x to the aggregate
+// minimizer of any (n-f)-subset of the given honest agents.
+//
+// honest lists the indices of the non-faulty agents (strictly increasing);
+// they must number at least n-f.
+func MeasureResilience(p Problem, f int, honest []int, x []float64) (*ResilienceReport, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil problem: %w", ErrArgs)
+	}
+	n := p.N()
+	if f < 0 || 2*f >= n {
+		return nil, fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+	if len(honest) < n-f {
+		return nil, fmt.Errorf("%d honest agents, need at least n-f = %d: %w", len(honest), n-f, ErrArgs)
+	}
+	if len(x) != p.Dim() {
+		return nil, fmt.Errorf("output dim %d, want %d: %w", len(x), p.Dim(), ErrArgs)
+	}
+	report := &ResilienceReport{}
+	err := ForEachSubset(len(honest), n-f, func(pos []int) error {
+		subset := make([]int, len(pos))
+		for i, pi := range pos {
+			subset[i] = honest[pi]
+		}
+		xs, err := p.MinimizeSubset(subset)
+		if err != nil {
+			return fmt.Errorf("subset %v: %w", subset, err)
+		}
+		d, err := vecmath.Dist(x, xs)
+		if err != nil {
+			return err
+		}
+		report.Subsets++
+		if d > report.MaxDistance {
+			report.MaxDistance = d
+			report.WorstSubset = subset
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}

@@ -1,0 +1,548 @@
+// Package costfunc models the agents' local cost functions Q_i : R^d -> R of
+// the paper and the aggregates the theory quantifies over.
+//
+// The central abstractions are Function (evaluation only — the paper's
+// impossibility and feasibility results in Section 3 never require
+// differentiability) and Differentiable (evaluation plus gradient — what the
+// distributed gradient-descent method of Section 4 consumes).
+//
+// Concrete costs provided:
+//
+//   - LeastSquares: Q(x) = sum_i (b_i - a_i x)^2, the distributed linear
+//     regression cost of Section 5 / Appendix J.
+//   - QuadraticForm: Q(x) = 1/2 x'Px + q'x + c, the generic strongly convex
+//     quadratic used by tests and synthetic instances.
+//   - Logistic: binary cross-entropy, for the learning experiments.
+//   - Hinge: the SVM cost mentioned in Section 5 (subgradients).
+//
+// Sum and Scale combine costs; Smoothness and StrongConvexity compute the
+// paper's µ and γ for quadratic costs from Hessian eigenvalue bounds.
+package costfunc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"byzopt/internal/matrix"
+	"byzopt/internal/vecmath"
+)
+
+// ErrDimension is returned (wrapped) when an argument does not match the
+// cost function's domain dimension.
+var ErrDimension = errors.New("costfunc: dimension mismatch")
+
+// Function is a real-valued cost on R^d.
+type Function interface {
+	// Dim returns the domain dimension d.
+	Dim() int
+	// Eval returns Q(x).
+	Eval(x []float64) (float64, error)
+}
+
+// Differentiable is a cost with a (sub)gradient oracle.
+type Differentiable interface {
+	Function
+	// Grad returns the gradient (or a subgradient) of Q at x.
+	Grad(x []float64) ([]float64, error)
+}
+
+// Minimizable is implemented by costs with a closed-form minimizer, such as
+// full-rank least squares. The redundancy machinery uses it to compute the
+// subset argmins x_S exactly.
+type Minimizable interface {
+	Function
+	// Minimum returns one minimizer of the cost.
+	Minimum() ([]float64, error)
+}
+
+// --- least squares ---
+
+// LeastSquares is the regression cost Q(x) = ||b - A x||^2 over the rows of
+// a design matrix. With a single row it is exactly one agent's cost
+// Q_i(x) = (B_i - A_i x)^2 from Section 5.
+type LeastSquares struct {
+	a *matrix.Matrix
+	b []float64
+}
+
+var (
+	_ Differentiable = (*LeastSquares)(nil)
+	_ Minimizable    = (*LeastSquares)(nil)
+)
+
+// NewLeastSquares builds the cost ||b - A x||^2.
+func NewLeastSquares(a *matrix.Matrix, b []float64) (*LeastSquares, error) {
+	if a == nil {
+		return nil, errors.New("costfunc: nil design matrix")
+	}
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("costfunc: %d rows vs %d responses: %w", a.Rows(), len(b), ErrDimension)
+	}
+	return &LeastSquares{a: a.Clone(), b: vecmath.Clone(b)}, nil
+}
+
+// NewSingleRowLeastSquares builds one agent's cost (b - a.x)^2.
+func NewSingleRowLeastSquares(row []float64, b float64) (*LeastSquares, error) {
+	m, err := matrix.FromRows([][]float64{row})
+	if err != nil {
+		return nil, fmt.Errorf("costfunc: %w", err)
+	}
+	return &LeastSquares{a: m, b: []float64{b}}, nil
+}
+
+// Dim returns the number of regression coefficients.
+func (q *LeastSquares) Dim() int { return q.a.Cols() }
+
+// Eval returns ||b - A x||^2.
+func (q *LeastSquares) Eval(x []float64) (float64, error) {
+	if len(x) != q.Dim() {
+		return 0, fmt.Errorf("costfunc: eval at dim %d, want %d: %w", len(x), q.Dim(), ErrDimension)
+	}
+	res, err := matrix.Residual(q.a, x, q.b)
+	if err != nil {
+		return 0, err
+	}
+	return vecmath.NormSq(res), nil
+}
+
+// Grad returns -2 A' (b - A x).
+func (q *LeastSquares) Grad(x []float64) ([]float64, error) {
+	if len(x) != q.Dim() {
+		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), q.Dim(), ErrDimension)
+	}
+	res, err := matrix.Residual(q.a, x, q.b)
+	if err != nil {
+		return nil, err
+	}
+	g, err := q.a.T().MulVec(res)
+	if err != nil {
+		return nil, err
+	}
+	vecmath.ScaleInPlace(-2, g)
+	return g, nil
+}
+
+// Hessian returns the constant Hessian 2 A'A.
+func (q *LeastSquares) Hessian() *matrix.Matrix { return q.a.Gram().Scale(2) }
+
+// Minimum returns the least-squares minimizer. It requires A to have full
+// column rank and at least Dim rows.
+func (q *LeastSquares) Minimum() ([]float64, error) {
+	x, err := matrix.LeastSquares(q.a, q.b)
+	if err != nil {
+		return nil, fmt.Errorf("costfunc: least squares minimum: %w", err)
+	}
+	return x, nil
+}
+
+// Design returns a copy of the design matrix A.
+func (q *LeastSquares) Design() *matrix.Matrix { return q.a.Clone() }
+
+// Response returns a copy of the response vector b.
+func (q *LeastSquares) Response() []float64 { return vecmath.Clone(q.b) }
+
+// --- quadratic form ---
+
+// QuadraticForm is Q(x) = 1/2 x'Px + q'x + c with symmetric P.
+type QuadraticForm struct {
+	p *matrix.Matrix
+	q []float64
+	c float64
+}
+
+var _ Differentiable = (*QuadraticForm)(nil)
+
+// NewQuadraticForm builds 1/2 x'Px + q'x + c. P must be square, symmetric,
+// and match len(q).
+func NewQuadraticForm(p *matrix.Matrix, q []float64, c float64) (*QuadraticForm, error) {
+	if p == nil {
+		return nil, errors.New("costfunc: nil quadratic matrix")
+	}
+	if p.Rows() != p.Cols() || p.Rows() != len(q) {
+		return nil, fmt.Errorf("costfunc: quadratic %dx%d with linear dim %d: %w", p.Rows(), p.Cols(), len(q), ErrDimension)
+	}
+	if !p.IsSymmetric(1e-9 * (1 + p.FrobeniusNorm())) {
+		return nil, errors.New("costfunc: quadratic matrix must be symmetric")
+	}
+	return &QuadraticForm{p: p.Clone(), q: vecmath.Clone(q), c: c}, nil
+}
+
+// Dim returns the domain dimension.
+func (f *QuadraticForm) Dim() int { return len(f.q) }
+
+// Eval returns 1/2 x'Px + q'x + c.
+func (f *QuadraticForm) Eval(x []float64) (float64, error) {
+	if len(x) != f.Dim() {
+		return 0, fmt.Errorf("costfunc: eval at dim %d, want %d: %w", len(x), f.Dim(), ErrDimension)
+	}
+	px, err := f.p.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	xpx, err := vecmath.Dot(x, px)
+	if err != nil {
+		return 0, err
+	}
+	qx, err := vecmath.Dot(f.q, x)
+	if err != nil {
+		return 0, err
+	}
+	return 0.5*xpx + qx + f.c, nil
+}
+
+// Grad returns Px + q.
+func (f *QuadraticForm) Grad(x []float64) ([]float64, error) {
+	if len(x) != f.Dim() {
+		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), f.Dim(), ErrDimension)
+	}
+	px, err := f.p.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	return vecmath.Add(px, f.q)
+}
+
+// Minimum solves Px = -q. It errors when P is singular.
+func (f *QuadraticForm) Minimum() ([]float64, error) {
+	x, err := f.p.Solve(vecmath.Neg(f.q))
+	if err != nil {
+		return nil, fmt.Errorf("costfunc: quadratic minimum: %w", err)
+	}
+	return x, nil
+}
+
+// Hessian returns a copy of P.
+func (f *QuadraticForm) Hessian() *matrix.Matrix { return f.p.Clone() }
+
+// --- logistic loss ---
+
+// Logistic is the binary logistic regression cost
+// Q(w) = (1/n) sum_i log(1 + exp(-y_i w.x_i)) + (reg/2)||w||^2,
+// with labels y in {-1, +1}.
+type Logistic struct {
+	xs     [][]float64
+	ys     []float64
+	reg    float64
+	weight float64 // 1/n normalization
+}
+
+var _ Differentiable = (*Logistic)(nil)
+
+// NewLogistic builds a logistic cost over the given points. Labels must be
+// -1 or +1; reg must be non-negative.
+func NewLogistic(xs [][]float64, ys []float64, reg float64) (*Logistic, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("costfunc: %d points vs %d labels: %w", len(xs), len(ys), ErrDimension)
+	}
+	if reg < 0 {
+		return nil, fmt.Errorf("costfunc: negative regularization %v", reg)
+	}
+	d := len(xs[0])
+	cp := make([][]float64, len(xs))
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("costfunc: point %d has dim %d, want %d: %w", i, len(x), d, ErrDimension)
+		}
+		if ys[i] != 1 && ys[i] != -1 {
+			return nil, fmt.Errorf("costfunc: label %d is %v, want +-1", i, ys[i])
+		}
+		cp[i] = vecmath.Clone(x)
+	}
+	return &Logistic{xs: cp, ys: vecmath.Clone(ys), reg: reg, weight: 1 / float64(len(xs))}, nil
+}
+
+// Dim returns the feature dimension.
+func (l *Logistic) Dim() int { return len(l.xs[0]) }
+
+// Eval returns the regularized mean logistic loss.
+func (l *Logistic) Eval(w []float64) (float64, error) {
+	if len(w) != l.Dim() {
+		return 0, fmt.Errorf("costfunc: eval at dim %d, want %d: %w", len(w), l.Dim(), ErrDimension)
+	}
+	var s float64
+	for i, x := range l.xs {
+		wx, err := vecmath.Dot(w, x)
+		if err != nil {
+			return 0, err
+		}
+		s += log1pExp(-l.ys[i] * wx)
+	}
+	return l.weight*s + 0.5*l.reg*vecmath.NormSq(w), nil
+}
+
+// Grad returns the gradient of the regularized mean logistic loss.
+func (l *Logistic) Grad(w []float64) ([]float64, error) {
+	if len(w) != l.Dim() {
+		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), l.Dim(), ErrDimension)
+	}
+	g := vecmath.Scale(l.reg, w)
+	for i, x := range l.xs {
+		wx, err := vecmath.Dot(w, x)
+		if err != nil {
+			return nil, err
+		}
+		// d/dw log(1+exp(-y wx)) = -y sigmoid(-y wx) x
+		coeff := -l.ys[i] * sigmoid(-l.ys[i]*wx) * l.weight
+		if err := vecmath.AxpyInPlace(g, coeff, x); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// --- hinge loss (SVM) ---
+
+// Hinge is the soft-margin SVM cost
+// Q(w) = (1/n) sum_i max(0, 1 - y_i w.x_i) + (reg/2)||w||^2.
+// Grad returns a subgradient (the hinge is non-smooth at the margin).
+type Hinge struct {
+	xs     [][]float64
+	ys     []float64
+	reg    float64
+	weight float64
+}
+
+var _ Differentiable = (*Hinge)(nil)
+
+// NewHinge builds an SVM hinge cost over the given points. Labels must be
+// -1 or +1; reg must be non-negative.
+func NewHinge(xs [][]float64, ys []float64, reg float64) (*Hinge, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("costfunc: %d points vs %d labels: %w", len(xs), len(ys), ErrDimension)
+	}
+	if reg < 0 {
+		return nil, fmt.Errorf("costfunc: negative regularization %v", reg)
+	}
+	d := len(xs[0])
+	cp := make([][]float64, len(xs))
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("costfunc: point %d has dim %d, want %d: %w", i, len(x), d, ErrDimension)
+		}
+		if ys[i] != 1 && ys[i] != -1 {
+			return nil, fmt.Errorf("costfunc: label %d is %v, want +-1", i, ys[i])
+		}
+		cp[i] = vecmath.Clone(x)
+	}
+	return &Hinge{xs: cp, ys: vecmath.Clone(ys), reg: reg, weight: 1 / float64(len(xs))}, nil
+}
+
+// Dim returns the feature dimension.
+func (h *Hinge) Dim() int { return len(h.xs[0]) }
+
+// Eval returns the regularized mean hinge loss.
+func (h *Hinge) Eval(w []float64) (float64, error) {
+	if len(w) != h.Dim() {
+		return 0, fmt.Errorf("costfunc: eval at dim %d, want %d: %w", len(w), h.Dim(), ErrDimension)
+	}
+	var s float64
+	for i, x := range h.xs {
+		wx, err := vecmath.Dot(w, x)
+		if err != nil {
+			return 0, err
+		}
+		if m := 1 - h.ys[i]*wx; m > 0 {
+			s += m
+		}
+	}
+	return h.weight*s + 0.5*h.reg*vecmath.NormSq(w), nil
+}
+
+// Grad returns a subgradient of the regularized mean hinge loss.
+func (h *Hinge) Grad(w []float64) ([]float64, error) {
+	if len(w) != h.Dim() {
+		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), h.Dim(), ErrDimension)
+	}
+	g := vecmath.Scale(h.reg, w)
+	for i, x := range h.xs {
+		wx, err := vecmath.Dot(w, x)
+		if err != nil {
+			return nil, err
+		}
+		if 1-h.ys[i]*wx > 0 {
+			if err := vecmath.AxpyInPlace(g, -h.ys[i]*h.weight, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// --- combinators ---
+
+// Sum is the aggregate cost sum_i Q_i(x) over a set of agents, the object
+// the paper's definitions quantify over.
+type Sum struct {
+	terms []Differentiable
+	dim   int
+}
+
+var _ Differentiable = (*Sum)(nil)
+
+// NewSum aggregates the given costs; they must share a dimension.
+func NewSum(terms ...Differentiable) (*Sum, error) {
+	if len(terms) == 0 {
+		return nil, errors.New("costfunc: empty sum")
+	}
+	d := terms[0].Dim()
+	for i, f := range terms {
+		if f == nil {
+			return nil, fmt.Errorf("costfunc: nil term %d", i)
+		}
+		if f.Dim() != d {
+			return nil, fmt.Errorf("costfunc: term %d has dim %d, want %d: %w", i, f.Dim(), d, ErrDimension)
+		}
+	}
+	cp := make([]Differentiable, len(terms))
+	copy(cp, terms)
+	return &Sum{terms: cp, dim: d}, nil
+}
+
+// Dim returns the shared domain dimension.
+func (s *Sum) Dim() int { return s.dim }
+
+// Len returns the number of terms.
+func (s *Sum) Len() int { return len(s.terms) }
+
+// Eval returns sum_i Q_i(x).
+func (s *Sum) Eval(x []float64) (float64, error) {
+	var total float64
+	for i, f := range s.terms {
+		v, err := f.Eval(x)
+		if err != nil {
+			return 0, fmt.Errorf("sum term %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// Grad returns sum_i grad Q_i(x).
+func (s *Sum) Grad(x []float64) ([]float64, error) {
+	g := vecmath.Zeros(s.dim)
+	for i, f := range s.terms {
+		gi, err := f.Grad(x)
+		if err != nil {
+			return nil, fmt.Errorf("sum term %d: %w", i, err)
+		}
+		if err := vecmath.AddInPlace(g, gi); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Scale wraps a cost multiplied by a positive constant (e.g. the 1/|H|
+// average of Assumption 3).
+type Scale struct {
+	f     Differentiable
+	alpha float64
+}
+
+var _ Differentiable = (*Scale)(nil)
+
+// NewScale builds alpha * f.
+func NewScale(alpha float64, f Differentiable) (*Scale, error) {
+	if f == nil {
+		return nil, errors.New("costfunc: nil scaled cost")
+	}
+	return &Scale{f: f, alpha: alpha}, nil
+}
+
+// Dim returns the wrapped dimension.
+func (s *Scale) Dim() int { return s.f.Dim() }
+
+// Eval returns alpha * f(x).
+func (s *Scale) Eval(x []float64) (float64, error) {
+	v, err := s.f.Eval(x)
+	if err != nil {
+		return 0, err
+	}
+	return s.alpha * v, nil
+}
+
+// Grad returns alpha * grad f(x).
+func (s *Scale) Grad(x []float64) ([]float64, error) {
+	g, err := s.f.Grad(x)
+	if err != nil {
+		return nil, err
+	}
+	vecmath.ScaleInPlace(s.alpha, g)
+	return g, nil
+}
+
+// --- analysis helpers ---
+
+// Hessianer is implemented by costs with a constant Hessian.
+type Hessianer interface {
+	Hessian() *matrix.Matrix
+}
+
+// Smoothness returns the Lipschitz-smoothness coefficient µ of a quadratic
+// cost: the largest eigenvalue of its Hessian (Assumption 2).
+func Smoothness(f Hessianer) (float64, error) {
+	_, hi, err := matrix.EigenBounds(f.Hessian())
+	if err != nil {
+		return 0, fmt.Errorf("costfunc: smoothness: %w", err)
+	}
+	return hi, nil
+}
+
+// StrongConvexity returns the strong-convexity coefficient γ of a quadratic
+// cost: the smallest eigenvalue of its Hessian (Assumption 3).
+func StrongConvexity(f Hessianer) (float64, error) {
+	lo, _, err := matrix.EigenBounds(f.Hessian())
+	if err != nil {
+		return 0, fmt.Errorf("costfunc: strong convexity: %w", err)
+	}
+	return lo, nil
+}
+
+// NumericGrad approximates the gradient of f at x with central differences
+// of width h. Used by tests to validate analytic gradients.
+func NumericGrad(f Function, x []float64, h float64) ([]float64, error) {
+	if len(x) != f.Dim() {
+		return nil, fmt.Errorf("costfunc: numeric grad at dim %d, want %d: %w", len(x), f.Dim(), ErrDimension)
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("costfunc: step %v must be positive", h)
+	}
+	g := make([]float64, len(x))
+	xp := vecmath.Clone(x)
+	for i := range x {
+		xp[i] = x[i] + h
+		hiV, err := f.Eval(xp)
+		if err != nil {
+			return nil, err
+		}
+		xp[i] = x[i] - h
+		loV, err := f.Eval(xp)
+		if err != nil {
+			return nil, err
+		}
+		xp[i] = x[i]
+		g[i] = (hiV - loV) / (2 * h)
+	}
+	return g, nil
+}
+
+// sigmoid is the numerically stable logistic function.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// log1pExp computes log(1 + exp(z)) without overflow.
+func log1pExp(z float64) float64 {
+	if z > 35 {
+		return z // exp(z) dominates; log(1+e^z) ~= z
+	}
+	if z < -35 {
+		return math.Exp(z) // log(1+eps) ~= eps
+	}
+	return math.Log1p(math.Exp(z))
+}

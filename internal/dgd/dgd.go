@@ -1,0 +1,363 @@
+// Package dgd implements the distributed gradient-descent method of
+// Section 4.1: in each synchronous iteration t, the server broadcasts its
+// estimate x_t, every agent reports a gradient (honest agents report
+// grad Q_i(x_t), Byzantine agents report anything), the server applies a
+// gradient filter and takes a projected step
+//
+//	x_{t+1} = [ x_t - η_t GradFilter(g_1, ..., g_n) ]_W.
+//
+// The engine is a deterministic in-process simulation — the distributed
+// messaging versions live in packages cluster (server-based over a
+// transport) and p2p (fully decentralized via Byzantine broadcast), both of
+// which reuse these step semantics.
+package dgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/vecmath"
+)
+
+// ErrConfig is returned (wrapped) for invalid run configurations.
+var ErrConfig = errors.New("dgd: invalid configuration")
+
+// ErrDiverged is returned (wrapped) when an estimate leaves the space of
+// finite vectors (a filter or behavior produced NaN/Inf).
+var ErrDiverged = errors.New("dgd: estimate diverged to non-finite values")
+
+// Agent produces the gradient reported to the server each round. Honest
+// agents report their true local gradient; Byzantine wrappers distort it.
+type Agent interface {
+	// Gradient returns the agent's report for round t at estimate x.
+	// Implementations must not retain or mutate x.
+	Gradient(round int, x []float64) ([]float64, error)
+}
+
+// --- honest agent ---
+
+// honest is an Agent reporting the exact gradient of its local cost.
+type honest struct {
+	cost costfunc.Differentiable
+}
+
+// NewHonest wraps a cost function as a truthful agent.
+func NewHonest(cost costfunc.Differentiable) (Agent, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("nil cost: %w", ErrConfig)
+	}
+	return &honest{cost: cost}, nil
+}
+
+// Gradient implements Agent.
+func (h *honest) Gradient(round int, x []float64) ([]float64, error) {
+	return h.cost.Grad(x)
+}
+
+// HonestAgents wraps each cost as a truthful agent, in order.
+func HonestAgents(costs []costfunc.Differentiable) ([]Agent, error) {
+	out := make([]Agent, len(costs))
+	for i, c := range costs {
+		a, err := NewHonest(c)
+		if err != nil {
+			return nil, fmt.Errorf("agent %d: %w", i, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// --- faulty agent ---
+
+// faulty wraps an inner agent with a Byzantine behavior. If the behavior
+// implements byzantine.Omniscient it also sees the honest gradients of the
+// round (the engine collects honest reports first).
+type faulty struct {
+	inner    Agent
+	behavior byzantine.Behavior
+}
+
+// NewFaulty builds a Byzantine agent: inner produces the gradient the agent
+// would truthfully send (nil means a zero vector of the estimate's
+// dimension), and behavior distorts it.
+func NewFaulty(inner Agent, behavior byzantine.Behavior) (Agent, error) {
+	if behavior == nil {
+		return nil, fmt.Errorf("nil behavior: %w", ErrConfig)
+	}
+	return &faulty{inner: inner, behavior: behavior}, nil
+}
+
+// Gradient implements Agent (non-omniscient path).
+func (f *faulty) Gradient(round int, x []float64) ([]float64, error) {
+	g, err := f.trueGradient(round, x)
+	if err != nil {
+		return nil, err
+	}
+	return f.behavior.Apply(round, 0, g)
+}
+
+func (f *faulty) trueGradient(round int, x []float64) ([]float64, error) {
+	if f.inner == nil {
+		return vecmath.Zeros(len(x)), nil
+	}
+	return f.inner.Gradient(round, x)
+}
+
+// --- step-size schedules ---
+
+// StepSchedule yields the step size η_t for each round.
+type StepSchedule interface {
+	// Name returns a short stable identifier.
+	Name() string
+	// At returns η_t; it must be positive.
+	At(t int) float64
+}
+
+// Diminishing is η_t = C/(t+1)^P. With 1/2 < P <= 1 it satisfies the
+// Theorem-3 conditions (sum η_t = ∞, sum η_t² < ∞); the paper's experiments
+// use C = 1.5, P = 1.
+type Diminishing struct {
+	C, P float64
+}
+
+var _ StepSchedule = Diminishing{}
+
+// Name implements StepSchedule.
+func (d Diminishing) Name() string { return fmt.Sprintf("diminishing-%g-%g", d.C, d.P) }
+
+// At implements StepSchedule.
+func (d Diminishing) At(t int) float64 { return d.C / math.Pow(float64(t+1), d.P) }
+
+// Constant is the fixed step η_t = Eta, used by the learning experiments
+// (η = 0.01 in Appendix K) and the step-size ablation.
+type Constant struct {
+	Eta float64
+}
+
+var _ StepSchedule = Constant{}
+
+// Name implements StepSchedule.
+func (c Constant) Name() string { return fmt.Sprintf("constant-%g", c.Eta) }
+
+// At implements StepSchedule.
+func (c Constant) At(int) float64 { return c.Eta }
+
+// --- run configuration ---
+
+// Config describes one DGD execution.
+type Config struct {
+	// Agents are the n participants, in agent-index order.
+	Agents []Agent
+	// F is the fault-tolerance parameter handed to the filter (the maximum
+	// number of Byzantine agents the server defends against).
+	F int
+	// Filter is the gradient aggregation rule.
+	Filter aggregate.Filter
+	// Steps is the step-size schedule; nil means the paper's 1.5/(t+1).
+	Steps StepSchedule
+	// Box is the compact convex constraint set W; nil disables projection
+	// (only sensible for well-conditioned fault-free runs).
+	Box *vecmath.Box
+	// X0 is the initial estimate.
+	X0 []float64
+	// Rounds is the number of iterations T; the result is x_T.
+	Rounds int
+
+	// TrackLoss, when non-nil, is evaluated at every estimate (typically
+	// the honest aggregate cost, the paper's "loss" series).
+	TrackLoss costfunc.Function
+	// Reference, when non-nil, tracks ||x_t - Reference|| (the paper's
+	// "distance" series, with Reference = x_H).
+	Reference []float64
+	// OnRound, when non-nil, observes every estimate x_t for t = 0..T.
+	// Returning an error aborts the run.
+	OnRound func(t int, x []float64) error
+}
+
+// Trace records per-iteration series for t = 0..Rounds inclusive.
+type Trace struct {
+	// Loss[t] is TrackLoss(x_t); nil when TrackLoss was nil.
+	Loss []float64
+	// Dist[t] is ||x_t - Reference||; nil when Reference was nil.
+	Dist []float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// X is the final estimate x_T.
+	X []float64
+	// Rounds echoes the configured iteration count.
+	Rounds int
+	// Trace holds the recorded series.
+	Trace Trace
+}
+
+// Run executes the configured DGD simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	steps := cfg.Steps
+	if steps == nil {
+		steps = Diminishing{C: 1.5, P: 1}
+	}
+
+	x := vecmath.Clone(cfg.X0)
+	if cfg.Box != nil {
+		var err error
+		x, err = cfg.Box.Project(x)
+		if err != nil {
+			return nil, fmt.Errorf("projecting x0: %w", err)
+		}
+	}
+
+	trace := Trace{}
+	if cfg.TrackLoss != nil {
+		trace.Loss = make([]float64, 0, cfg.Rounds+1)
+	}
+	if cfg.Reference != nil {
+		trace.Dist = make([]float64, 0, cfg.Rounds+1)
+	}
+	record := func(t int, x []float64) error {
+		if cfg.TrackLoss != nil {
+			v, err := cfg.TrackLoss.Eval(x)
+			if err != nil {
+				return fmt.Errorf("loss at round %d: %w", t, err)
+			}
+			trace.Loss = append(trace.Loss, v)
+		}
+		if cfg.Reference != nil {
+			d, err := vecmath.Dist(x, cfg.Reference)
+			if err != nil {
+				return fmt.Errorf("distance at round %d: %w", t, err)
+			}
+			trace.Dist = append(trace.Dist, d)
+		}
+		if cfg.OnRound != nil {
+			if err := cfg.OnRound(t, x); err != nil {
+				return fmt.Errorf("round callback at %d: %w", t, err)
+			}
+		}
+		return nil
+	}
+
+	grads := make([][]float64, len(cfg.Agents))
+	for t := 0; t < cfg.Rounds; t++ {
+		if err := record(t, x); err != nil {
+			return nil, err
+		}
+		if err := collectGradients(cfg.Agents, t, x, grads); err != nil {
+			return nil, err
+		}
+		dir, err := cfg.Filter.Aggregate(grads, cfg.F)
+		if err != nil {
+			return nil, fmt.Errorf("filter %s at round %d: %w", cfg.Filter.Name(), t, err)
+		}
+		eta := steps.At(t)
+		if eta <= 0 {
+			return nil, fmt.Errorf("step size %v at round %d must be positive: %w", eta, t, ErrConfig)
+		}
+		if err := vecmath.AxpyInPlace(x, -eta, dir); err != nil {
+			return nil, err
+		}
+		if cfg.Box != nil {
+			x, err = cfg.Box.Project(x)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !vecmath.IsFinite(x) {
+			return nil, fmt.Errorf("at round %d: %w", t, ErrDiverged)
+		}
+	}
+	if err := record(cfg.Rounds, x); err != nil {
+		return nil, err
+	}
+	return &Result{X: x, Rounds: cfg.Rounds, Trace: trace}, nil
+}
+
+// collectGradients fills grads with every agent's report for the round.
+// Honest reports are collected first so omniscient Byzantine behaviors can
+// observe them, matching the strongest adversary the literature assumes.
+func collectGradients(agents []Agent, t int, x []float64, grads [][]float64) error {
+	honestGrads := make([][]float64, 0, len(agents))
+	type pendingFault struct {
+		idx int
+		fa  *faulty
+	}
+	var pending []pendingFault
+
+	for i, a := range agents {
+		fa, isFaulty := a.(*faulty)
+		if !isFaulty {
+			g, err := a.Gradient(t, x)
+			if err != nil {
+				return fmt.Errorf("agent %d at round %d: %w", i, t, err)
+			}
+			if len(g) != len(x) {
+				return fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
+			}
+			grads[i] = g
+			honestGrads = append(honestGrads, g)
+			continue
+		}
+		pending = append(pending, pendingFault{idx: i, fa: fa})
+	}
+	for _, p := range pending {
+		trueGrad, err := p.fa.trueGradient(t, x)
+		if err != nil {
+			return fmt.Errorf("faulty agent %d at round %d: %w", p.idx, t, err)
+		}
+		var g []float64
+		if omni, ok := p.fa.behavior.(byzantine.Omniscient); ok {
+			g, err = omni.ApplyOmniscient(t, p.idx, trueGrad, honestGrads)
+		} else {
+			g, err = p.fa.behavior.Apply(t, p.idx, trueGrad)
+		}
+		if err != nil {
+			return fmt.Errorf("behavior %s for agent %d at round %d: %w", p.fa.behavior.Name(), p.idx, t, err)
+		}
+		if len(g) != len(x) {
+			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", p.idx, len(g), len(x), ErrConfig)
+		}
+		grads[p.idx] = g
+	}
+	return nil
+}
+
+func (cfg *Config) validate() error {
+	if len(cfg.Agents) == 0 {
+		return fmt.Errorf("no agents: %w", ErrConfig)
+	}
+	for i, a := range cfg.Agents {
+		if a == nil {
+			return fmt.Errorf("nil agent %d: %w", i, ErrConfig)
+		}
+	}
+	if cfg.F < 0 || 2*cfg.F >= len(cfg.Agents) {
+		return fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", len(cfg.Agents), cfg.F, ErrConfig)
+	}
+	if cfg.Filter == nil {
+		return fmt.Errorf("nil filter: %w", ErrConfig)
+	}
+	if len(cfg.X0) == 0 {
+		return fmt.Errorf("empty initial estimate: %w", ErrConfig)
+	}
+	if cfg.Rounds < 0 {
+		return fmt.Errorf("negative rounds %d: %w", cfg.Rounds, ErrConfig)
+	}
+	if cfg.Box != nil && cfg.Box.Dim() != len(cfg.X0) {
+		return fmt.Errorf("box dim %d vs x0 dim %d: %w", cfg.Box.Dim(), len(cfg.X0), ErrConfig)
+	}
+	if cfg.Reference != nil && len(cfg.Reference) != len(cfg.X0) {
+		return fmt.Errorf("reference dim %d vs x0 dim %d: %w", len(cfg.Reference), len(cfg.X0), ErrConfig)
+	}
+	if cfg.TrackLoss != nil && cfg.TrackLoss.Dim() != len(cfg.X0) {
+		return fmt.Errorf("loss dim %d vs x0 dim %d: %w", cfg.TrackLoss.Dim(), len(cfg.X0), ErrConfig)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, inst, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	// The paper's headline claim: every filtered run lands within epsilon
+	// of x_H (Table 1 reports all four distances below 0.0890).
+	for _, r := range rows {
+		if r.Dist >= inst.Epsilon {
+			t.Errorf("%s/%s: dist %v >= epsilon %v", r.Filter, r.Fault, r.Dist, inst.Epsilon)
+		}
+		if len(r.XOut) != 2 {
+			t.Errorf("%s/%s: bad output %v", r.Filter, r.Fault, r.XOut)
+		}
+	}
+	// Random faults are easier for CGE than gradient-reverse (huge-norm
+	// gradients get eliminated almost surely): the paper reports 4.7e-5 vs
+	// 2.4e-2. Check the ordering, not the exact magnitudes.
+	var cgeGR, cgeRand float64
+	for _, r := range rows {
+		if r.Filter == "cge" && r.Fault == "gradient-reverse" {
+			cgeGR = r.Dist
+		}
+		if r.Filter == "cge" && r.Fault == "random" {
+			cgeRand = r.Dist
+		}
+	}
+	if cgeRand >= cgeGR {
+		t.Errorf("CGE: random fault dist %v should be far below gradient-reverse %v", cgeRand, cgeGR)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	figs, inst, err := Figure2(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d fault columns, want 2", len(figs))
+	}
+	for _, fd := range figs {
+		if len(fd.Series) != 4 {
+			t.Fatalf("fault %s: %d series, want 4", fd.Fault, len(fd.Series))
+		}
+		byName := map[string]Series{}
+		for _, s := range fd.Series {
+			if len(s.Loss) != 301 || len(s.Dist) != 301 {
+				t.Fatalf("series %s has %d/%d points", s.Name, len(s.Loss), len(s.Dist))
+			}
+			byName[s.Name] = s
+		}
+		end := func(name string) float64 { return byName[name].Dist[300] }
+		// Filtered runs behave like fault-free; plain GD does not.
+		if end("cge") > 0.05 || end("cwtm") > 0.05 {
+			t.Errorf("fault %s: filtered distances %v, %v too large", fd.Fault, end("cge"), end("cwtm"))
+		}
+		if end("plain-gd") < 5*end("cge") {
+			t.Errorf("fault %s: plain GD dist %v should be far above CGE %v", fd.Fault, end("plain-gd"), end("cge"))
+		}
+		// Fault-free converges to x_H of the honest five, i.e. distance -> 0.
+		if end("fault-free") > 0.01 {
+			t.Errorf("fault-free distance %v", end("fault-free"))
+		}
+		_ = inst
+	}
+}
+
+func TestFigure3IsPrefixOfFigure2(t *testing.T) {
+	f3, _, err := Figure3(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range f3 {
+		for _, s := range fd.Series {
+			if len(s.Loss) != 81 {
+				t.Fatalf("zoomed series %s has %d points", s.Name, len(s.Loss))
+			}
+		}
+	}
+	if _, _, err := Figure3(0); !errors.Is(err, ErrArgs) {
+		t.Errorf("zoom 0: %v", err)
+	}
+	if _, _, err := Figure2(0); !errors.Is(err, ErrArgs) {
+		t.Errorf("rounds 0: %v", err)
+	}
+}
+
+func TestAppendixJReport(t *testing.T) {
+	rep, err := AppendixJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Theorem4Applicable {
+		t.Error("Theorem 4 should be inapplicable on the paper instance (alpha < 0)")
+	}
+	if rep.Theorem5 == nil || rep.Theorem5.Alpha <= 0 {
+		t.Fatal("Theorem 5 must apply")
+	}
+	if rep.ExhaustiveScore > rep.Epsilon+1e-9 {
+		t.Errorf("exhaustive score %v exceeds epsilon %v", rep.ExhaustiveScore, rep.Epsilon)
+	}
+	if rep.ExhaustiveResilience > 2*rep.Epsilon+1e-9 {
+		t.Errorf("exhaustive resilience %v exceeds 2 epsilon %v", rep.ExhaustiveResilience, 2*rep.Epsilon)
+	}
+	out := FormatAppendixJ(rep)
+	for _, want := range []string{"epsilon", "Theorem 5", "Exhaustive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTheorem3BoundCheck(t *testing.T) {
+	final, bound, err := Theorem3BoundCheck("gradient-reverse", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final > bound {
+		t.Errorf("empirical distance %v exceeds theoretical bound %v", final, bound)
+	}
+	if _, _, err := Theorem3BoundCheck("gradient-reverse", 0); !errors.Is(err, ErrArgs) {
+		t.Errorf("rounds 0: %v", err)
+	}
+}
+
+func TestLearnFigureShapes(t *testing.T) {
+	series, err := Figure4(LearnConfig{Rounds: 60, AccuracyEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("%d series, want 5", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.Loss) != 61 || len(s.Accuracy) != 61 {
+			t.Fatalf("series %s has %d/%d points", s.Name, len(s.Loss), len(s.Accuracy))
+		}
+		// Loss must decrease from the zero-parameter baseline log(10).
+		if s.Loss[len(s.Loss)-1] >= s.Loss[0] {
+			t.Errorf("series %s loss did not decrease: %v -> %v", s.Name, s.Loss[0], s.Loss[len(s.Loss)-1])
+		}
+	}
+	for _, want := range []string{"fault-free", "cwtm-lf", "cwtm-gr", "cge-lf", "cge-gr"} {
+		if !names[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+	if _, err := Figure4(LearnConfig{Rounds: -1}); !errors.Is(err, ErrArgs) {
+		t.Errorf("negative rounds: %v", err)
+	}
+	if _, err := Figure4(LearnConfig{Rounds: 1, AccuracyEvery: -1}); !errors.Is(err, ErrArgs) {
+		t.Errorf("negative accuracy interval: %v", err)
+	}
+}
+
+func TestLearnFilteredTracksFaultFree(t *testing.T) {
+	// The Appendix-K claim at modest scale: filtered runs approach the
+	// fault-free accuracy while the faults are active.
+	series, err := Figure4(LearnConfig{Rounds: 150, AccuracyEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]float64{}
+	for _, s := range series {
+		acc[s.Name] = s.Accuracy[len(s.Accuracy)-1]
+	}
+	if acc["fault-free"] < 0.6 {
+		t.Fatalf("fault-free accuracy %v too low for the test to be meaningful", acc["fault-free"])
+	}
+	for _, name := range []string{"cge-gr", "cwtm-gr", "cge-lf", "cwtm-lf"} {
+		if acc[name] < acc["fault-free"]-0.25 {
+			t.Errorf("%s accuracy %v far below fault-free %v", name, acc[name], acc["fault-free"])
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []Table1Row{{Filter: "cge", Fault: "random", XOut: []float64{1.07, 0.98}, Dist: 4.7e-5}}
+	if s := FormatTable1(rows); !strings.Contains(s, "cge") || !strings.Contains(s, "4.7") {
+		t.Errorf("table render:\n%s", s)
+	}
+	fd := FigureData{
+		Fault: "random",
+		Series: []Series{
+			{Name: "cge", Loss: []float64{1, 0.5}, Dist: []float64{1, 0.2}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, fd); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "t,cge_loss,cge_dist") || !strings.Contains(csv, "\n1,") {
+		t.Errorf("figure csv:\n%s", csv)
+	}
+	if s := SummarizeFigure(fd); !strings.Contains(s, "cge") {
+		t.Errorf("figure summary:\n%s", s)
+	}
+	ls := []LearnSeries{{Name: "cge-lf", Loss: []float64{2, 1}, Accuracy: []float64{0.1, 0.9}}}
+	sb.Reset()
+	if err := WriteLearnCSV(&sb, ls); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "t,cge-lf_loss,cge-lf_acc") {
+		t.Errorf("learn csv:\n%s", sb.String())
+	}
+	if s := SummarizeLearn(ls); !strings.Contains(s, "90.0%") {
+		t.Errorf("learn summary:\n%s", s)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/dgd"
+	"byzopt/internal/mlsim"
+	"byzopt/internal/vecmath"
+)
+
+// Appendix-K experiment constants.
+const (
+	// LearnAgents is n = 10.
+	LearnAgents = 10
+	// LearnFaults is f = 3.
+	LearnFaults = 3
+	// LearnBatch is the minibatch size b = 128.
+	LearnBatch = 128
+	// LearnStep is the constant step size η = 0.01.
+	LearnStep = 0.01
+	// LearnRounds is the plotted horizon (1000 iterations).
+	LearnRounds = 1000
+	// learnSeed pins dataset generation and minibatch sampling.
+	learnSeed = 7
+)
+
+// faultyLearnAgents are the agents designated Byzantine; the paper selects
+// f = 3 of 10 at random with a fixed seed — we pin the last three, which is
+// equivalent up to relabeling because shards are i.i.d.
+var faultyLearnAgents = []int{7, 8, 9}
+
+// LearnSeries is one curve pair of Figures 4-5.
+type LearnSeries struct {
+	// Name identifies the variant: fault-free, cwtm-lf, cwtm-gr, cge-lf,
+	// cge-gr (lf = label-flip, gr = gradient-reverse).
+	Name string
+	// Loss[t] is the cross-entropy of the current parameters on the clean
+	// training set.
+	Loss []float64
+	// Accuracy[t] is the test-set accuracy (fraction in [0, 1]).
+	Accuracy []float64
+}
+
+// LearnConfig tunes the Figure 4/5 drivers; zero values take the paper's
+// settings (with the dataset sizes of the presets).
+type LearnConfig struct {
+	// Rounds overrides the iteration count (default LearnRounds).
+	Rounds int
+	// AccuracyEvery computes test accuracy every k-th round (default 10;
+	// intermediate rounds reuse the previous value so the series stays
+	// aligned with the loss series).
+	AccuracyEvery int
+	// UseMLP swaps the convex softmax model for the one-hidden-layer MLP
+	// (the non-convex extension closer in spirit to the paper's LeNet).
+	UseMLP bool
+	// Hidden is the MLP hidden width (default 16; ignored without UseMLP).
+	Hidden int
+}
+
+// Figure4 reproduces Figure 4 on dataset A (the MNIST stand-in; see
+// DESIGN.md section 4 for the substitution argument).
+func Figure4(cfg LearnConfig) ([]LearnSeries, error) {
+	return learnFigure(mlsim.PresetA(learnSeed), cfg)
+}
+
+// Figure5 reproduces Figure 5 on dataset B (the Fashion-MNIST stand-in).
+func Figure5(cfg LearnConfig) ([]LearnSeries, error) {
+	return learnFigure(mlsim.PresetB(learnSeed), cfg)
+}
+
+// learnFigure runs the five Appendix-K variants on one dataset.
+func learnFigure(gen mlsim.GenConfig, cfg LearnConfig) ([]LearnSeries, error) {
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = LearnRounds
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("rounds = %d: %w", rounds, ErrArgs)
+	}
+	accEvery := cfg.AccuracyEvery
+	if accEvery == 0 {
+		accEvery = 10
+	}
+	if accEvery < 1 {
+		return nil, fmt.Errorf("accuracy interval = %d: %w", accEvery, ErrArgs)
+	}
+
+	train, test, err := mlsim.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	var model mlsim.Model = mlsim.Softmax{Classes: gen.Classes, Dim: gen.Dim, Reg: 1e-4}
+	x0 := vecmath.Zeros(model.ParamDim())
+	if cfg.UseMLP {
+		hidden := cfg.Hidden
+		if hidden == 0 {
+			hidden = 16
+		}
+		mlp := mlsim.MLP{Classes: gen.Classes, Dim: gen.Dim, Hidden: hidden, Reg: 1e-4}
+		model = mlp
+		x0, err = mlp.InitParams(learnSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type variant struct {
+		name   string
+		filter aggregate.Filter
+		fault  string // "", "lf", or "gr"
+		f      int
+	}
+	variants := []variant{
+		{name: "fault-free", filter: aggregate.Mean{}, fault: "", f: 0},
+		{name: "cwtm-lf", filter: aggregate.CWTM{}, fault: "lf", f: LearnFaults},
+		{name: "cwtm-gr", filter: aggregate.CWTM{}, fault: "gr", f: LearnFaults},
+		{name: "cge-lf", filter: aggregate.CGE{Averaged: true}, fault: "lf", f: LearnFaults},
+		{name: "cge-gr", filter: aggregate.CGE{Averaged: true}, fault: "gr", f: LearnFaults},
+	}
+
+	var out []LearnSeries
+	for _, v := range variants {
+		agents, err := learnAgents(model, train, v.fault)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		series := LearnSeries{Name: v.name}
+		lastAcc := 0.0
+		res, err := dgd.Run(dgd.Config{
+			Agents: agents,
+			F:      v.f,
+			Filter: v.filter,
+			Steps:  dgd.Constant{Eta: LearnStep},
+			X0:     x0,
+			Rounds: rounds,
+			OnRound: func(t int, x []float64) error {
+				if t%accEvery == 0 || t == rounds {
+					acc, err := model.Accuracy(x, test)
+					if err != nil {
+						return err
+					}
+					lastAcc = acc
+				}
+				series.Accuracy = append(series.Accuracy, lastAcc)
+				loss, err := model.Loss(x, train)
+				if err != nil {
+					return err
+				}
+				series.Loss = append(series.Loss, loss)
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		_ = res
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// learnAgents builds the 10 D-SGD agents for one variant. fault selects the
+// Byzantine mode of the designated faulty agents: "" omits them entirely
+// (the paper's fault-free baseline), "lf" flips their shard labels, "gr"
+// wraps them with gradient reversal.
+func learnAgents(model mlsim.Model, train *mlsim.Dataset, fault string) ([]dgd.Agent, error) {
+	shards, err := mlsim.Shard(train, LearnAgents)
+	if err != nil {
+		return nil, err
+	}
+	isFaulty := make(map[int]bool, len(faultyLearnAgents))
+	for _, i := range faultyLearnAgents {
+		isFaulty[i] = true
+	}
+	var agents []dgd.Agent
+	for i, shard := range shards {
+		if fault == "" && isFaulty[i] {
+			continue // fault-free baseline: would-be faulty agents sit out
+		}
+		if fault == "lf" && isFaulty[i] {
+			mlsim.FlipLabels(shard)
+		}
+		var agent dgd.Agent = &mlsim.SGDAgent{
+			Model: model,
+			Data:  shard,
+			Batch: LearnBatch,
+			Seed:  learnSeed + int64(i)*1009,
+		}
+		if fault == "gr" && isFaulty[i] {
+			agent, err = dgd.NewFaulty(agent, byzantine.GradientReverse{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		agents = append(agents, agent)
+	}
+	return agents, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import "testing"
+
+func TestSVMShape(t *testing.T) {
+	results, err := SVM(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d variants", len(results))
+	}
+	acc := map[string]float64{}
+	for _, r := range results {
+		acc[r.Name] = r.Accuracy
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("%s accuracy = %v", r.Name, r.Accuracy)
+		}
+	}
+	if acc["fault-free"] < 0.9 {
+		t.Fatalf("fault-free SVM accuracy = %v; separable task should be easy", acc["fault-free"])
+	}
+	// The Section-5 claim: filtered runs reach comparable performance to
+	// fault-free; plain averaging under label-flip does not.
+	for _, name := range []string{"cge-lf", "cwtm-lf", "cge-gr", "cwtm-gr"} {
+		if acc[name] < acc["fault-free"]-0.1 {
+			t.Errorf("%s accuracy %v far below fault-free %v", name, acc[name], acc["fault-free"])
+		}
+	}
+	if acc["mean-attack"] > acc["fault-free"]-0.2 {
+		t.Errorf("plain averaging under scaled reversal (%v) should collapse well below fault-free (%v)",
+			acc["mean-attack"], acc["fault-free"])
+	}
+}
+
+func TestSVMDefaultRounds(t *testing.T) {
+	// rounds <= 0 takes the default without erroring.
+	if _, err := SVM(-1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnFigureMLPVariant(t *testing.T) {
+	series, err := Figure4(LearnConfig{Rounds: 60, AccuracyEvery: 30, UseMLP: true, Hidden: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Loss) != 61 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Loss))
+		}
+		if s.Loss[len(s.Loss)-1] >= s.Loss[0] {
+			t.Errorf("MLP series %s loss did not decrease: %v -> %v", s.Name, s.Loss[0], s.Loss[len(s.Loss)-1])
+		}
+	}
+}
+
+func TestHeterogeneityDegradesWithSkew(t *testing.T) {
+	results, err := Heterogeneity(200, []float64{0, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	iid, skewed := results[0], results[1]
+	if iid.Skew != 0 || skewed.Skew != 0.9 {
+		t.Fatalf("unexpected skews: %+v", results)
+	}
+	// The Appendix-K correlation remark: less correlated (more skewed)
+	// honest data means worse filtered learning.
+	if skewed.Accuracy > iid.Accuracy+0.01 {
+		t.Errorf("skewed accuracy %v should not beat iid %v", skewed.Accuracy, iid.Accuracy)
+	}
+	if skewed.Loss < iid.Loss-0.01 {
+		t.Errorf("skewed loss %v should not beat iid %v", skewed.Loss, iid.Loss)
+	}
+}
+
+func TestHeterogeneityDefaults(t *testing.T) {
+	results, err := Heterogeneity(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("default skews: %d results", len(results))
+	}
+}

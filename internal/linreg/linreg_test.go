@@ -1,0 +1,215 @@
+package linreg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"byzopt/internal/core"
+	"byzopt/internal/vecmath"
+)
+
+func paperInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := Paper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestDataConsistency(t *testing.T) {
+	// B = A x* + N with x* = (1, 1) (equation 133).
+	a := A()
+	b := B()
+	noise := Noise()
+	xstar := GroundTruth()
+	for i := range a {
+		pred := a[i][0]*xstar[0] + a[i][1]*xstar[1] + noise[i]
+		if math.Abs(pred-b[i]) > 1e-12 {
+			t.Errorf("row %d: A x* + N = %v, B = %v", i, pred, b[i])
+		}
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	a := A()
+	a[0][0] = 99
+	if A()[0][0] == 99 {
+		t.Error("A aliases package data")
+	}
+	b := B()
+	b[0] = 99
+	if B()[0] == 99 {
+		t.Error("B aliases package data")
+	}
+	n := Noise()
+	n[0] = 99
+	if Noise()[0] == 99 {
+		t.Error("Noise aliases package data")
+	}
+	x := X0()
+	x[0] = 99
+	if X0()[0] == 99 {
+		t.Error("X0 aliases package data")
+	}
+}
+
+func TestPaperXH(t *testing.T) {
+	// Appendix J: x_H = (1.0780, 0.9825).
+	inst := paperInstance(t)
+	want := []float64{1.0780, 0.9825}
+	if !vecmath.Equal(inst.XH, want, 5e-4) {
+		t.Errorf("x_H = %v, want %v", inst.XH, want)
+	}
+}
+
+func TestPaperEpsilon(t *testing.T) {
+	// Appendix J.2: epsilon = 0.0890.
+	inst := paperInstance(t)
+	if math.Abs(inst.Epsilon-0.0890) > 5e-4 {
+		t.Errorf("epsilon = %v, want 0.0890", inst.Epsilon)
+	}
+}
+
+func TestPaperMuGamma(t *testing.T) {
+	// Section 5: mu = 2 (rows of unit norm, Hessian 2 A_i'A_i) and
+	// gamma = 0.712 (smallest eigenvalue of (2/5) A_S'A_S over 5-subsets).
+	inst := paperInstance(t)
+	if math.Abs(inst.Mu-2) > 1e-9 {
+		t.Errorf("mu = %v, want 2", inst.Mu)
+	}
+	if math.Abs(inst.Gamma-0.712) > 1e-3 {
+		t.Errorf("gamma = %v, want 0.712", inst.Gamma)
+	}
+	if inst.Gamma > inst.Mu {
+		t.Error("gamma must not exceed mu")
+	}
+}
+
+func TestRankCondition(t *testing.T) {
+	// Equation (135): every subset of >= 4 rows has full rank 2 — the
+	// paper's designed 2f-redundancy in the noise-free case.
+	inst := paperInstance(t)
+	err := core.ForEachSubset(N, 4, func(idx []int) error {
+		if _, err := inst.Problem.MinimizeSubset(idx); err != nil {
+			t.Errorf("subset %v rank-deficient: %v", idx, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseFreeInstanceHasExactRedundancy(t *testing.T) {
+	// With N_i = 0 the instance satisfies 2f-redundancy exactly.
+	a := A()
+	xstar := GroundTruth()
+	b := make([]float64, len(a))
+	for i := range a {
+		b[i] = a[i][0]*xstar[0] + a[i][1]*xstar[1]
+	}
+	inst, err := FromData(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Epsilon > 1e-8 {
+		t.Errorf("noise-free epsilon = %v, want ~0", inst.Epsilon)
+	}
+	if !vecmath.Equal(inst.XH, xstar, 1e-9) {
+		t.Errorf("noise-free x_H = %v, want %v", inst.XH, xstar)
+	}
+}
+
+func TestHonestAgents(t *testing.T) {
+	h := HonestAgents()
+	if len(h) != 5 {
+		t.Fatalf("honest = %v", h)
+	}
+	for _, i := range h {
+		if i == FaultyAgent {
+			t.Errorf("faulty agent %d listed honest", i)
+		}
+	}
+}
+
+func TestHonestSumMinimizesAtXH(t *testing.T) {
+	inst := paperInstance(t)
+	sum, err := inst.HonestSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sum.Grad(inst.XH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.Norm(g) > 1e-8 {
+		t.Errorf("gradient at x_H = %v", g)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	inst := paperInstance(t)
+	costs, err := inst.Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != N {
+		t.Fatalf("%d costs", len(costs))
+	}
+	// Each agent's cost at the generator equals its squared noise.
+	noise := Noise()
+	for i, c := range costs {
+		v, err := c.Eval(GroundTruth())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-noise[i]*noise[i]) > 1e-12 {
+			t.Errorf("agent %d cost at x* = %v, want %v", i, v, noise[i]*noise[i])
+		}
+	}
+}
+
+func TestGradientDissimilarity(t *testing.T) {
+	inst := paperInstance(t)
+	lambda, err := inst.GradientDissimilarity(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By the triangle inequality lambda <= 2 always.
+	if lambda <= 0 || lambda > 2 {
+		t.Errorf("lambda = %v out of (0, 2]", lambda)
+	}
+	if _, err := inst.GradientDissimilarity(1); !errors.Is(err, ErrArgs) {
+		t.Errorf("bad samples: %v", err)
+	}
+}
+
+func TestFromDataValidation(t *testing.T) {
+	if _, err := FromData(nil, nil); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := FromData([][]float64{{1, 0}}, []float64{1, 2}); !errors.Is(err, ErrArgs) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := FromData([][]float64{{1, 0}, {0, 1}}, []float64{1, 1}); !errors.Is(err, ErrArgs) {
+		t.Errorf("n too small: %v", err)
+	}
+}
+
+func TestBoxAndConstants(t *testing.T) {
+	inst := paperInstance(t)
+	if inst.Box.Dim() != Dim {
+		t.Errorf("box dim = %d", inst.Box.Dim())
+	}
+	if !inst.Box.Contains(inst.XH) {
+		t.Error("x_H must lie in W (Assumption 4)")
+	}
+	if !inst.Box.Contains(inst.X0) {
+		t.Error("x0 must lie in W")
+	}
+	if !vecmath.Equal(inst.X0, []float64{-0.0085, -0.5643}, 0) {
+		t.Errorf("x0 = %v", inst.X0)
+	}
+}

@@ -1,0 +1,119 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration; convergence for
+// symmetric matrices is quadratic, so a handful of sweeps suffices at the
+// sizes this module works with.
+const maxJacobiSweeps = 100
+
+// SymmetricEigen computes all eigenvalues (ascending) and an orthonormal set
+// of eigenvectors of a symmetric matrix using the cyclic Jacobi method.
+// Column j of the returned matrix is the eigenvector for eigenvalue j.
+//
+// It returns ErrShape (wrapped) for non-square input and an error when the
+// matrix is not symmetric within a scale-aware tolerance.
+func SymmetricEigen(m *Matrix) ([]float64, *Matrix, error) {
+	n := m.rows
+	if m.cols != n {
+		return nil, nil, fmt.Errorf("matrix: eigen of non-square %dx%d: %w", m.rows, m.cols, ErrShape)
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("matrix: eigen of empty matrix: %w", ErrShape)
+	}
+	if !m.IsSymmetric(1e-9 * (1 + m.FrobeniusNorm())) {
+		return nil, nil, fmt.Errorf("matrix: eigen requires symmetry: %w", ErrNotSPD)
+	}
+
+	a := m.Clone()
+	v, err := Identity(n)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	offNorm := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+
+	tol := 1e-14 * (1 + a.FrobeniusNorm())
+	for sweep := 0; sweep < maxJacobiSweeps && offNorm() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				// Classic Jacobi rotation annihilating a[p][q].
+				theta := (a.At(q, q) - a.At(p, p)) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				app, aqq := a.At(p, p), a.At(q, q)
+				a.Set(p, p, app-t*apq)
+				a.Set(q, q, aqq+t*apq)
+				a.Set(p, q, 0)
+				a.Set(q, p, 0)
+				for k := 0; k < n; k++ {
+					if k == p || k == q {
+						continue
+					}
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(p, k, a.At(k, p))
+					a.Set(k, q, s*akp+c*akq)
+					a.Set(q, k, a.At(k, q))
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract diagonal, sort ascending, permute eigenvector columns to match.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: a.At(i, i), col: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+
+	vals := make([]float64, n)
+	vecs, err := Zero(n, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, p := range pairs {
+		vals[j] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, v.At(i, p.col))
+		}
+	}
+	return vals, vecs, nil
+}
+
+// EigenBounds returns the smallest and largest eigenvalue of a symmetric
+// matrix. This pairing is the workhorse for computing the paper's (γ, µ).
+func EigenBounds(m *Matrix) (smallest, largest float64, err error) {
+	vals, _, err := SymmetricEigen(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vals[0], vals[len(vals)-1], nil
+}

@@ -1,0 +1,544 @@
+// Package matrix implements the dense linear algebra the reproduction needs
+// and the Go standard library does not provide: matrix arithmetic, linear
+// solvers (Gaussian elimination with partial pivoting, Cholesky), Householder
+// QR least squares, and a cyclic Jacobi eigensolver for symmetric matrices.
+//
+// The eigensolver is what lets us compute the paper's smoothness coefficient
+// µ (largest eigenvalue of the per-agent Hessian) and strong-convexity
+// coefficient γ (smallest eigenvalue of the subset-aggregate Hessian), and
+// the QR solver is what computes the subset minimizers x_S = argmin ||B_S -
+// A_S x||² that the redundancy measurement enumerates.
+//
+// Matrices are small in this domain (d is the optimization dimension, a few
+// dozen at most in the paper's experiments), so the implementations favor
+// clarity and numerical robustness over blocking or parallelism.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned (wrapped) when operand shapes are incompatible.
+var ErrShape = errors.New("matrix: shape mismatch")
+
+// ErrSingular is returned (wrapped) when a solver meets a singular or
+// numerically rank-deficient system.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// ErrNotSPD is returned (wrapped) when a Cholesky factorization is attempted
+// on a matrix that is not symmetric positive definite.
+var ErrNotSPD = errors.New("matrix: matrix not symmetric positive definite")
+
+// Matrix is a dense, row-major matrix of float64.
+// The zero value is an empty 0x0 matrix; construct with New, Zero, Identity,
+// or FromRows.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New builds an r x c matrix backed by the given data (row-major). The data
+// is copied so the matrix never aliases caller memory.
+func New(r, c int, data []float64) (*Matrix, error) {
+	if r < 0 || c < 0 {
+		return nil, fmt.Errorf("matrix: negative dimensions %dx%d", r, c)
+	}
+	if len(data) != r*c {
+		return nil, fmt.Errorf("matrix: %dx%d needs %d entries, got %d: %w", r, c, r*c, len(data), ErrShape)
+	}
+	d := make([]float64, len(data))
+	copy(d, data)
+	return &Matrix{rows: r, cols: c, data: d}, nil
+}
+
+// Zero builds an r x c matrix of zeros.
+func Zero(r, c int) (*Matrix, error) {
+	if r < 0 || c < 0 {
+		return nil, fmt.Errorf("matrix: negative dimensions %dx%d", r, c)
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}, nil
+}
+
+// Identity builds the n x n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := Zero(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m, nil
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and of
+// equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("matrix: FromRows with no rows")
+	}
+	c := len(rows[0])
+	if c == 0 {
+		return nil, errors.New("matrix: FromRows with empty rows")
+	}
+	data := make([]float64, 0, len(rows)*c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("matrix: row %d has %d entries, want %d: %w", i, len(row), c, ErrShape)
+		}
+		data = append(data, row...)
+	}
+	return &Matrix{rows: len(rows), cols: c, data: data}, nil
+}
+
+// FromColumn builds an n x 1 column matrix from a vector.
+func FromColumn(v []float64) (*Matrix, error) {
+	if len(v) == 0 {
+		return nil, errors.New("matrix: FromColumn with empty vector")
+	}
+	d := make([]float64, len(v))
+	copy(d, v)
+	return &Matrix{rows: len(v), cols: 1, data: d}, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the entry at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Matrix{rows: m.rows, cols: m.cols, data: d}
+}
+
+// SelectRows returns the submatrix formed by the given row indices, in the
+// order provided. It is how the redundancy machinery builds A_S from S.
+func (m *Matrix) SelectRows(idx []int) (*Matrix, error) {
+	if len(idx) == 0 {
+		return nil, errors.New("matrix: SelectRows with no indices")
+	}
+	out := make([]float64, 0, len(idx)*m.cols)
+	for _, i := range idx {
+		if i < 0 || i >= m.rows {
+			return nil, fmt.Errorf("matrix: row index %d out of range [0,%d)", i, m.rows)
+		}
+		out = append(out, m.data[i*m.cols:(i+1)*m.cols]...)
+	}
+	return &Matrix{rows: len(idx), cols: m.cols, data: out}, nil
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	out := &Matrix{rows: m.cols, cols: m.rows, data: make([]float64, len(m.data))}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("matrix: add %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("matrix: sub %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns alpha * m.
+func (m *Matrix) Scale(alpha float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= alpha
+	}
+	return out
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("matrix: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	out := &Matrix{rows: m.rows, cols: b.cols, data: make([]float64, m.rows*b.cols)}
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j := range brow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("matrix: mulvec %dx%d by %d: %w", m.rows, m.cols, len(v), ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Gram returns mᵀ m, the Gram matrix (symmetric positive semi-definite).
+func (m *Matrix) Gram() *Matrix {
+	out := &Matrix{rows: m.cols, cols: m.cols, data: make([]float64, m.cols*m.cols)}
+	for i := 0; i < m.cols; i++ {
+		for j := i; j < m.cols; j++ {
+			var s float64
+			for k := 0; k < m.rows; k++ {
+				s += m.data[k*m.cols+i] * m.data[k*m.cols+j]
+			}
+			out.data[i*m.cols+j] = s
+			out.data[j*m.cols+i] = s
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and b agree entry-wise within absolute tolerance.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns the Frobenius norm of the matrix.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix for debugging and error messages.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteString("]")
+		if i < m.rows-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Solve solves the square linear system m x = b by Gaussian elimination with
+// partial pivoting. It returns ErrSingular (wrapped) when the pivot falls
+// below a scale-aware threshold.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	n := m.rows
+	if m.cols != n {
+		return nil, fmt.Errorf("matrix: solve on non-square %dx%d: %w", m.rows, m.cols, ErrShape)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: solve rhs length %d, want %d: %w", len(b), n, ErrShape)
+	}
+	// Work on copies: the receiver must not be mutated.
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		return nil, fmt.Errorf("matrix: zero matrix: %w", ErrSingular)
+	}
+	tol := scale * 1e-13
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: the row with the largest magnitude in this column.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < tol {
+			return nil, fmt.Errorf("matrix: pivot %e below tolerance at column %d: %w", best, col, ErrSingular)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.data[col*n+j], a.data[pivot*n+j] = a.data[pivot*n+j], a.data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := a.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			a.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-factor*a.At(col, j))
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of a square matrix via column-wise solves.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	n := m.rows
+	if m.cols != n {
+		return nil, fmt.Errorf("matrix: inverse of non-square %dx%d: %w", m.rows, m.cols, ErrShape)
+	}
+	out, err := Zero(n, n)
+	if err != nil {
+		return nil, err
+	}
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := range e {
+			e[k] = 0
+		}
+		e[j] = 1
+		col, err := m.Solve(e)
+		if err != nil {
+			return nil, fmt.Errorf("inverse column %d: %w", j, err)
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of a square matrix via LU elimination.
+func (m *Matrix) Det() (float64, error) {
+	n := m.rows
+	if m.cols != n {
+		return 0, fmt.Errorf("matrix: det of non-square %dx%d: %w", m.rows, m.cols, ErrShape)
+	}
+	a := m.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best == 0 {
+			return 0, nil
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.data[col*n+j], a.data[pivot*n+j] = a.data[pivot*n+j], a.data[col*n+j]
+			}
+			det = -det
+		}
+		det *= a.At(col, col)
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := a.At(r, col) * inv
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-factor*a.At(col, j))
+			}
+		}
+	}
+	return det, nil
+}
+
+// Rank returns the numerical rank of the matrix, estimated by Gaussian
+// elimination with a relative pivot tolerance.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		return 0
+	}
+	tol := scale * 1e-12
+	rank := 0
+	row := 0
+	for col := 0; col < a.cols && row < a.rows; col++ {
+		pivot := row
+		best := math.Abs(a.At(row, col))
+		for r := row + 1; r < a.rows; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < tol {
+			continue
+		}
+		if pivot != row {
+			for j := 0; j < a.cols; j++ {
+				a.data[row*a.cols+j], a.data[pivot*a.cols+j] = a.data[pivot*a.cols+j], a.data[row*a.cols+j]
+			}
+		}
+		inv := 1 / a.At(row, col)
+		for r := row + 1; r < a.rows; r++ {
+			factor := a.At(r, col) * inv
+			for j := col; j < a.cols; j++ {
+				a.Set(r, j, a.At(r, j)-factor*a.At(row, j))
+			}
+		}
+		rank++
+		row++
+	}
+	return rank
+}
+
+// Cholesky returns the lower-triangular factor L with m = L Lᵀ.
+// It returns ErrNotSPD (wrapped) if m is not symmetric positive definite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	n := m.rows
+	if m.cols != n {
+		return nil, fmt.Errorf("matrix: cholesky of non-square %dx%d: %w", m.rows, m.cols, ErrShape)
+	}
+	if !m.IsSymmetric(1e-10 * (1 + m.FrobeniusNorm())) {
+		return nil, fmt.Errorf("matrix: not symmetric: %w", ErrNotSPD)
+	}
+	l, err := Zero(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("matrix: non-positive pivot %e at %d: %w", s, i, ErrNotSPD)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m x = b for symmetric positive definite m using the
+// Cholesky factorization (forward then backward substitution).
+func (m *Matrix) SolveCholesky(b []float64) ([]float64, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: rhs length %d, want %d: %w", len(b), n, ErrShape)
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

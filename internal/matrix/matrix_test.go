@@ -1,0 +1,651 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, r, c int, data []float64) *Matrix {
+	t.Helper()
+	m, err := New(r, c, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 2, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("New short data: %v", err)
+	}
+	if _, err := New(-1, 2, nil); err == nil {
+		t.Error("New negative rows should error")
+	}
+	if _, err := Zero(-1, 2); err == nil {
+		t.Error("Zero negative rows should error")
+	}
+}
+
+func TestNewCopiesData(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := mustNew(t, 2, 2, data)
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("New aliased caller data")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows got %v", m)
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) should error")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("FromRows empty row should error")
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrShape) {
+		t.Errorf("FromRows ragged: %v", err)
+	}
+}
+
+func TestFromColumn(t *testing.T) {
+	m, err := FromColumn([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 1 || m.At(1, 0) != 2 {
+		t.Fatalf("FromColumn got %v", m)
+	}
+	if _, err := FromColumn(nil); err == nil {
+		t.Error("FromColumn(nil) should error")
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := mustNew(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	row := m.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 99
+	if m.At(1, 0) != 4 {
+		t.Error("Row aliased internal data")
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Fatalf("Col = %v", col)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := mustNew(t, 3, 2, []float64{1, 2, 3, 4, 5, 6})
+	sub, err := m.SelectRows([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustNew(t, 2, 2, []float64{5, 6, 1, 2})
+	if !sub.Equal(want, 0) {
+		t.Fatalf("SelectRows = %v", sub)
+	}
+	if _, err := m.SelectRows(nil); err == nil {
+		t.Error("SelectRows empty should error")
+	}
+	if _, err := m.SelectRows([]int{3}); err == nil {
+		t.Error("SelectRows out of range should error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustNew(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 || mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("T = %v", mt)
+	}
+	if !mt.T().Equal(m, 0) {
+		t.Error("double transpose should be identity")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{1, 2, 3, 4})
+	b := mustNew(t, 2, 2, []float64{4, 3, 2, 1})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(mustNew(t, 2, 2, []float64{5, 5, 5, 5}), 0) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(mustNew(t, 2, 2, []float64{-3, -1, 1, 3}), 0) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	if got := a.Scale(2); !got.Equal(mustNew(t, 2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	c := mustNew(t, 1, 2, []float64{1, 2})
+	if _, err := a.Add(c); !errors.Is(err, ErrShape) {
+		t.Errorf("Add shape: %v", err)
+	}
+	if _, err := a.Sub(c); !errors.Is(err, ErrShape) {
+		t.Errorf("Sub shape: %v", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := mustNew(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := mustNew(t, 3, 2, []float64{7, 8, 9, 10, 11, 12})
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustNew(t, 2, 2, []float64{58, 64, 139, 154})
+	if !ab.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v", ab)
+	}
+	if _, err := a.Mul(a); !errors.Is(err, ErrShape) {
+		t.Errorf("Mul shape: %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mustNew(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got, err := a.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec shape: %v", err)
+	}
+}
+
+func TestGram(t *testing.T) {
+	a := mustNew(t, 3, 2, []float64{1, 0, 0, 1, 1, 1})
+	g := a.Gram()
+	want := mustNew(t, 2, 2, []float64{2, 1, 1, 2})
+	if !g.Equal(want, 1e-12) {
+		t.Fatalf("Gram = %v", g)
+	}
+	if !g.IsSymmetric(0) {
+		t.Error("Gram should be symmetric")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := mustNew(t, 3, 3, []float64{2, 1, 1, 1, 3, 2, 1, 0, 0})
+	// x = (1, 2, 3): b = (2+2+3, 1+6+6, 1) = (7, 13, 1)
+	x, err := a.Solve([]float64{7, 13, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("Solve = %v", x)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{1, 2, 2, 4})
+	if _, err := a.Solve([]float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular solve: %v", err)
+	}
+	z := mustNew(t, 2, 2, []float64{0, 0, 0, 0})
+	if _, err := z.Solve([]float64{0, 0}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero solve: %v", err)
+	}
+	r := mustNew(t, 2, 3, make([]float64, 6))
+	if _, err := r.Solve([]float64{0, 0}); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square solve: %v", err)
+	}
+	sq := mustNew(t, 2, 2, []float64{1, 0, 0, 1})
+	if _, err := sq.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("rhs shape: %v", err)
+	}
+}
+
+func TestSolveDoesNotMutateReceiver(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{4, 1, 1, 3})
+	before := a.Clone()
+	if _, err := a.Solve([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(before, 0) {
+		t.Error("Solve mutated the receiver")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{4, 7, 2, 6})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Identity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(id, 1e-10) {
+		t.Fatalf("A * A^-1 = %v", prod)
+	}
+	if _, err := mustNew(t, 1, 2, []float64{1, 2}).Inverse(); !errors.Is(err, ErrShape) {
+		t.Errorf("inverse non-square: %v", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{3, 8, 4, 6})
+	d, err := a.Det()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(-14)) > 1e-10 {
+		t.Fatalf("Det = %v", d)
+	}
+	sing := mustNew(t, 2, 2, []float64{1, 2, 2, 4})
+	d, err = sing.Det()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Det singular = %v", d)
+	}
+	if _, err := mustNew(t, 1, 2, []float64{1, 2}).Det(); !errors.Is(err, ErrShape) {
+		t.Errorf("det non-square: %v", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	full := mustNew(t, 3, 2, []float64{1, 0, 0, 1, 1, 1})
+	if r := full.Rank(); r != 2 {
+		t.Errorf("full rank = %d", r)
+	}
+	deficient := mustNew(t, 3, 2, []float64{1, 2, 2, 4, 3, 6})
+	if r := deficient.Rank(); r != 1 {
+		t.Errorf("deficient rank = %d", r)
+	}
+	zero := mustNew(t, 2, 2, make([]float64, 4))
+	if r := zero.Rank(); r != 0 {
+		t.Errorf("zero rank = %d", r)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := mustNew(t, 2, 2, []float64{4, 2, 2, 3})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := l.Mul(l.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(a, 1e-10) {
+		t.Fatalf("L Lt = %v", prod)
+	}
+	notSPD := mustNew(t, 2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := notSPD.Cholesky(); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("cholesky not SPD: %v", err)
+	}
+	asym := mustNew(t, 2, 2, []float64{1, 2, 0, 1})
+	if _, err := asym.Cholesky(); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("cholesky asymmetric: %v", err)
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := mustNew(t, 3, 3, []float64{4, 1, 0, 1, 5, 2, 0, 2, 6})
+	want := []float64{1, -1, 2}
+	b, err := a.MulVec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := a.SolveCholesky(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("SolveCholesky = %v", x)
+		}
+	}
+	if _, err := a.SolveCholesky([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("cholesky rhs shape: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := mustNew(t, 2, 2, []float64{1, 2, 3, 4})
+	got := m.String()
+	want := "[1 2]\n[3 4]"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// --- least squares ---
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system: recovery must be exact.
+	a := mustNew(t, 4, 2, []float64{1, 0, 0, 1, 1, 1, 1, -1})
+	want := []float64{2, -3}
+	b, err := a.MulVec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("LeastSquares = %v", x)
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The optimality condition: Aᵀ(b - Ax) = 0.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 6+r.Intn(5), 2+r.Intn(3)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		a := mustNew(t, rows, cols, data)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atr, err := a.T().MulVec(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range atr {
+			if math.Abs(v) > 1e-8 {
+				t.Fatalf("trial %d: At r[%d] = %v, not orthogonal", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresMatchesNormalEquations(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 8, 3
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		a := mustNew(t, rows, cols, data)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x1, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := NormalEquations(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8 {
+				t.Fatalf("trial %d: QR %v vs normal equations %v", trial, x1, x2)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	a := mustNew(t, 3, 2, []float64{1, 2, 2, 4, 3, 6}) // rank 1
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient lstsq: %v", err)
+	}
+	good := mustNew(t, 3, 2, []float64{1, 0, 0, 1, 1, 1})
+	if _, err := LeastSquares(good, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("lstsq rhs shape: %v", err)
+	}
+	under := mustNew(t, 1, 2, []float64{1, 2})
+	if _, err := LeastSquares(under, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined: %v", err)
+	}
+	zero := mustNew(t, 3, 2, make([]float64, 6))
+	if _, err := LeastSquares(zero, []float64{0, 0, 0}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero design: %v", err)
+	}
+}
+
+// --- eigenvalues ---
+
+func TestSymmetricEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := mustNew(t, 2, 2, []float64{2, 1, 1, 2})
+	vals, vecs, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-10 || math.Abs(vals[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Verify A v = lambda v for each column.
+	for j := 0; j < 2; j++ {
+		v := vecs.Col(j)
+		av, err := m.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v {
+			if math.Abs(av[i]-vals[j]*v[i]) > 1e-9 {
+				t.Fatalf("eigenpair %d: Av = %v, lambda v = %v", j, av, vals[j])
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := mustNew(t, 3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 1})
+	vals, _, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 1, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("diag eigen = %v", vals)
+		}
+	}
+}
+
+func TestSymmetricEigenErrors(t *testing.T) {
+	if _, _, err := SymmetricEigen(mustNew(t, 2, 3, make([]float64, 6))); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square: %v", err)
+	}
+	asym := mustNew(t, 2, 2, []float64{1, 5, 0, 1})
+	if _, _, err := SymmetricEigen(asym); err == nil {
+		t.Error("asymmetric should error")
+	}
+}
+
+func TestEigenBounds(t *testing.T) {
+	m := mustNew(t, 2, 2, []float64{2, 1, 1, 2})
+	lo, hi, err := EigenBounds(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1) > 1e-10 || math.Abs(hi-3) > 1e-10 {
+		t.Fatalf("EigenBounds = %v %v", lo, hi)
+	}
+}
+
+// --- property tests ---
+
+func randSymmetric(r *rand.Rand, n int) *Matrix {
+	data := make([]float64, n*n)
+	m := &Matrix{rows: n, cols: n, data: data}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64() * 3
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestPropEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		m := randSymmetric(r, n)
+		vals, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			return false
+		}
+		// Reconstruct V diag(vals) Vt and compare to m.
+		d, err := Zero(n, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			d.Set(i, i, vals[i])
+		}
+		vd, err := vecs.Mul(d)
+		if err != nil {
+			return false
+		}
+		rec, err := vd.Mul(vecs.T())
+		if err != nil {
+			return false
+		}
+		return rec.Equal(m, 1e-7*(1+m.FrobeniusNorm()))
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEigenvectorsOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		m := randSymmetric(r, n)
+		_, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			return false
+		}
+		gram := vecs.Gram()
+		id, err := Identity(n)
+		if err != nil {
+			return false
+		}
+		return gram.Equal(id, 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		// Diagonally dominant matrices are comfortably non-singular.
+		m, err := Zero(n, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+			m.Set(i, i, m.At(i, i)+float64(n)+5)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64() * 10
+		}
+		b, err := m.MulVec(want)
+		if err != nil {
+			return false
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCholeskyOnGram(t *testing.T) {
+	// Gram matrices of full-column-rank designs are SPD, so Cholesky must
+	// succeed and reconstruct.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 5+r.Intn(4), 2+r.Intn(3)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		a := &Matrix{rows: rows, cols: cols, data: data}
+		g := a.Gram()
+		// Regularize slightly to keep strictly positive definite.
+		for i := 0; i < cols; i++ {
+			g.Set(i, i, g.At(i, i)+1e-6)
+		}
+		l, err := g.Cholesky()
+		if err != nil {
+			return false
+		}
+		rec, err := l.Mul(l.T())
+		if err != nil {
+			return false
+		}
+		return rec.Equal(g, 1e-8*(1+g.FrobeniusNorm()))
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package mlsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"byzopt/internal/vecmath"
+)
+
+// MLP is a one-hidden-layer neural network (tanh hidden activation,
+// softmax output) — the repository's stand-in for the paper's LeNet: a
+// non-convex model driven through the identical D-SGD + gradient-filter
+// machinery. Parameters are flattened as [W1 | W2] with
+// W1 in R^{Hidden x (Dim+1)} and W2 in R^{Classes x (Hidden+1)} (the +1
+// columns are biases).
+type MLP struct {
+	// Classes is the number of output classes.
+	Classes int
+	// Dim is the feature dimension.
+	Dim int
+	// Hidden is the hidden-layer width.
+	Hidden int
+	// Reg is the L2 regularization coefficient (may be zero).
+	Reg float64
+}
+
+var _ Model = MLP{}
+
+// ParamDim returns Hidden*(Dim+1) + Classes*(Hidden+1).
+func (m MLP) ParamDim() int { return m.Hidden*(m.Dim+1) + m.Classes*(m.Hidden+1) }
+
+func (m MLP) check() error {
+	if m.Classes < 2 || m.Dim < 1 || m.Hidden < 1 || m.Reg < 0 {
+		return fmt.Errorf("mlp classes=%d dim=%d hidden=%d reg=%v: %w", m.Classes, m.Dim, m.Hidden, m.Reg, ErrArgs)
+	}
+	return nil
+}
+
+func (m MLP) checkEval(params []float64, ds *Dataset) error {
+	if err := m.check(); err != nil {
+		return err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return fmt.Errorf("empty dataset: %w", ErrArgs)
+	}
+	if ds.Classes != m.Classes || ds.Dim != m.Dim {
+		return fmt.Errorf("dataset %d classes dim %d vs model %d/%d: %w", ds.Classes, ds.Dim, m.Classes, m.Dim, ErrArgs)
+	}
+	if len(params) != m.ParamDim() {
+		return fmt.Errorf("param dim %d, want %d: %w", len(params), m.ParamDim(), ErrArgs)
+	}
+	return nil
+}
+
+// split views the flattened parameters as the two weight blocks.
+func (m MLP) split(params []float64) (w1, w2 []float64) {
+	cut := m.Hidden * (m.Dim + 1)
+	return params[:cut], params[cut:]
+}
+
+// forward computes hidden activations and output logits for one point.
+// hidden and logits must have lengths Hidden and Classes.
+func (m MLP) forward(params, x, hidden, logits []float64) {
+	w1, w2 := m.split(params)
+	s1 := m.Dim + 1
+	for h := 0; h < m.Hidden; h++ {
+		row := w1[h*s1 : (h+1)*s1]
+		z := row[m.Dim]
+		for j := 0; j < m.Dim; j++ {
+			z += row[j] * x[j]
+		}
+		hidden[h] = math.Tanh(z)
+	}
+	s2 := m.Hidden + 1
+	for c := 0; c < m.Classes; c++ {
+		row := w2[c*s2 : (c+1)*s2]
+		z := row[m.Hidden]
+		for h := 0; h < m.Hidden; h++ {
+			z += row[h] * hidden[h]
+		}
+		logits[c] = z
+	}
+}
+
+// Loss implements Model: mean cross-entropy plus L2 penalty.
+func (m MLP) Loss(params []float64, ds *Dataset) (float64, error) {
+	if err := m.checkEval(params, ds); err != nil {
+		return 0, err
+	}
+	hidden := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	var total float64
+	for i, x := range ds.Points {
+		m.forward(params, x, hidden, logits)
+		total += logSumExp(logits) - logits[ds.Labels[i]]
+	}
+	total /= float64(ds.Len())
+	if m.Reg > 0 {
+		total += 0.5 * m.Reg * vecmath.NormSq(params)
+	}
+	return total, nil
+}
+
+// Grad implements Model: backpropagation over the minibatch indices.
+func (m MLP) Grad(params []float64, ds *Dataset, idx []int) ([]float64, error) {
+	if err := m.checkEval(params, ds); err != nil {
+		return nil, err
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("empty minibatch: %w", ErrArgs)
+	}
+	g := make([]float64, len(params))
+	gw1, gw2 := m.split(g)
+	_, w2 := m.split(params)
+	s1, s2 := m.Dim+1, m.Hidden+1
+	hidden := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	probs := make([]float64, m.Classes)
+	dHidden := make([]float64, m.Hidden)
+
+	for _, i := range idx {
+		if i < 0 || i >= ds.Len() {
+			return nil, fmt.Errorf("batch index %d out of [0, %d): %w", i, ds.Len(), ErrArgs)
+		}
+		x := ds.Points[i]
+		m.forward(params, x, hidden, logits)
+		lse := logSumExp(logits)
+		for c := 0; c < m.Classes; c++ {
+			probs[c] = math.Exp(logits[c] - lse)
+		}
+		probs[ds.Labels[i]] -= 1 // dLoss/dlogits
+
+		// Output layer gradient and hidden backprop signal.
+		for h := range dHidden {
+			dHidden[h] = 0
+		}
+		for c := 0; c < m.Classes; c++ {
+			dz := probs[c]
+			if dz == 0 {
+				continue
+			}
+			row := gw2[c*s2 : (c+1)*s2]
+			wrow := w2[c*s2 : (c+1)*s2]
+			for h := 0; h < m.Hidden; h++ {
+				row[h] += dz * hidden[h]
+				dHidden[h] += dz * wrow[h]
+			}
+			row[m.Hidden] += dz
+		}
+		// Hidden layer: dz1 = dHidden * (1 - tanh^2).
+		for h := 0; h < m.Hidden; h++ {
+			dz := dHidden[h] * (1 - hidden[h]*hidden[h])
+			if dz == 0 {
+				continue
+			}
+			row := gw1[h*s1 : (h+1)*s1]
+			for j := 0; j < m.Dim; j++ {
+				row[j] += dz * x[j]
+			}
+			row[m.Dim] += dz
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for i := range g {
+		g[i] *= inv
+	}
+	if m.Reg > 0 {
+		if err := vecmath.AxpyInPlace(g, m.Reg, params); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Predict returns the argmax class for one feature vector.
+func (m MLP) Predict(params, x []float64) (int, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if len(params) != m.ParamDim() || len(x) != m.Dim {
+		return 0, fmt.Errorf("predict param dim %d, x dim %d: %w", len(params), len(x), ErrArgs)
+	}
+	hidden := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	m.forward(params, x, hidden, logits)
+	best := 0
+	for c := 1; c < m.Classes; c++ {
+		if logits[c] > logits[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Accuracy implements Model.
+func (m MLP) Accuracy(params []float64, ds *Dataset) (float64, error) {
+	if err := m.checkEval(params, ds); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, x := range ds.Points {
+		p, err := m.Predict(params, x)
+		if err != nil {
+			return 0, err
+		}
+		if p == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// InitParams returns small random initial weights (tanh networks cannot
+// start from all zeros: symmetry would never break). Deterministic for a
+// given seed.
+func (m MLP) InitParams(seed int64) ([]float64, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	params := make([]float64, m.ParamDim())
+	scale := 1 / math.Sqrt(float64(m.Dim+1))
+	for i := range params {
+		params[i] = r.NormFloat64() * scale
+	}
+	return params, nil
+}

@@ -1,0 +1,225 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/dgd"
+	"byzopt/internal/vecmath"
+)
+
+// Peer is one participant in the decentralized run.
+type Peer struct {
+	// Agent produces the gradient the peer injects into its own broadcast
+	// (for honest peers, the true local gradient; for Byzantine peers, any
+	// dgd.Agent — including dgd.NewFaulty wrappers).
+	Agent dgd.Agent
+	// Distorter, when non-nil, marks the peer Byzantine in the broadcast
+	// layer as well: it may equivocate while relaying others' gradients.
+	Distorter Distorter
+}
+
+// Config describes a decentralized DGD run.
+type Config struct {
+	// Peers are the n participants.
+	Peers []Peer
+	// F is the Byzantine budget; the broadcast layer requires n > 3f.
+	F int
+	// Filter is applied locally by every honest peer.
+	Filter aggregate.Filter
+	// Steps is the step-size schedule; nil means 1.5/(t+1).
+	Steps dgd.StepSchedule
+	// Box is the constraint set W; nil disables projection.
+	Box *vecmath.Box
+	// X0 is the shared initial estimate.
+	X0 []float64
+	// Rounds is the number of iterations.
+	Rounds int
+	// TrackLoss and Reference mirror dgd.Config, evaluated on the honest
+	// peers' common estimate.
+	TrackLoss costfunc.Function
+	Reference []float64
+}
+
+// Result is the outcome of a decentralized run.
+type Result struct {
+	// X is the honest peers' common final estimate.
+	X []float64
+	// Trace holds the recorded series.
+	Trace dgd.Trace
+	// MaxEstimateSpread is the largest distance observed between any two
+	// honest peers' estimates across the whole run; the broadcast layer
+	// guarantees it is exactly zero.
+	MaxEstimateSpread float64
+}
+
+// Run executes the decentralized simulation: each round every peer
+// broadcasts its gradient via EIG, so all honest peers agree on the same
+// n reported gradients, apply the same deterministic filter, and take the
+// same projected step — reproducing the server-based algorithm without a
+// server, exactly as Section 1.4 claims for f < n/3.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("no peers: %w", ErrArgs)
+	}
+	if cfg.F < 0 || n <= 3*cfg.F {
+		return nil, fmt.Errorf("decentralized DGD needs n > 3f, got n=%d f=%d: %w", n, cfg.F, ErrArgs)
+	}
+	byzCount := 0
+	byz := make(map[int]Distorter)
+	for i, p := range cfg.Peers {
+		if p.Agent == nil {
+			return nil, fmt.Errorf("peer %d has no agent: %w", i, ErrArgs)
+		}
+		if p.Distorter != nil {
+			byz[i] = p.Distorter
+			byzCount++
+		}
+	}
+	if byzCount > cfg.F {
+		return nil, fmt.Errorf("%d distorting peers exceed budget f=%d: %w", byzCount, cfg.F, ErrArgs)
+	}
+	if cfg.Filter == nil {
+		return nil, fmt.Errorf("nil filter: %w", ErrArgs)
+	}
+	if len(cfg.X0) == 0 {
+		return nil, fmt.Errorf("empty initial estimate: %w", ErrArgs)
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("negative rounds: %w", ErrArgs)
+	}
+	steps := cfg.Steps
+	if steps == nil {
+		steps = dgd.Diminishing{C: 1.5, P: 1}
+	}
+	dim := len(cfg.X0)
+
+	// Every honest peer maintains its own estimate; the protocol keeps them
+	// identical, which the run verifies as it goes.
+	estimates := make([][]float64, n)
+	for i := range estimates {
+		x := vecmath.Clone(cfg.X0)
+		if cfg.Box != nil {
+			var err error
+			x, err = cfg.Box.Project(x)
+			if err != nil {
+				return nil, err
+			}
+		}
+		estimates[i] = x
+	}
+
+	res := &Result{}
+	honestIdx := -1
+	for i := range cfg.Peers {
+		if _, bad := byz[i]; !bad {
+			honestIdx = i
+			break
+		}
+	}
+	if honestIdx < 0 {
+		return nil, fmt.Errorf("no honest peer: %w", ErrArgs)
+	}
+
+	record := func(t int) error {
+		x := estimates[honestIdx]
+		if cfg.TrackLoss != nil {
+			v, err := cfg.TrackLoss.Eval(x)
+			if err != nil {
+				return fmt.Errorf("loss at round %d: %w", t, err)
+			}
+			res.Trace.Loss = append(res.Trace.Loss, v)
+		}
+		if cfg.Reference != nil {
+			d, err := vecmath.Dist(x, cfg.Reference)
+			if err != nil {
+				return err
+			}
+			res.Trace.Dist = append(res.Trace.Dist, d)
+		}
+		return nil
+	}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		if err := record(t); err != nil {
+			return nil, err
+		}
+		// Each peer broadcasts its gradient (computed at its own estimate;
+		// honest estimates coincide). agreed[p][sender] is peer p's decided
+		// gradient string for the sender's broadcast.
+		agreed := make([][]string, n)
+		for p := range agreed {
+			agreed[p] = make([]string, n)
+		}
+		for sender := 0; sender < n; sender++ {
+			g, err := cfg.Peers[sender].Agent.Gradient(t, estimates[sender])
+			if err != nil {
+				if _, bad := byz[sender]; !bad {
+					return nil, fmt.Errorf("honest peer %d at round %d: %w", sender, t, err)
+				}
+				g = vecmath.Zeros(dim) // a Byzantine peer's failure is its problem
+			}
+			decisions, err := Broadcast(n, cfg.F, sender, EncodeVector(g), byz)
+			if err != nil {
+				return nil, fmt.Errorf("broadcast from %d at round %d: %w", sender, t, err)
+			}
+			for p := 0; p < n; p++ {
+				agreed[p][sender] = decisions[p]
+			}
+		}
+		// Every honest peer applies the filter to its agreed set and steps.
+		eta := steps.At(t)
+		if eta <= 0 {
+			return nil, fmt.Errorf("step size %v at round %d: %w", eta, t, ErrArgs)
+		}
+		for p := 0; p < n; p++ {
+			if _, bad := byz[p]; bad {
+				continue // Byzantine peers' local state is irrelevant
+			}
+			grads := make([][]float64, n)
+			for sender := 0; sender < n; sender++ {
+				grads[sender] = DecodeVector(agreed[p][sender], dim)
+			}
+			dir, err := cfg.Filter.Aggregate(grads, cfg.F)
+			if err != nil {
+				return nil, fmt.Errorf("peer %d filter at round %d: %w", p, t, err)
+			}
+			if err := vecmath.AxpyInPlace(estimates[p], -eta, dir); err != nil {
+				return nil, err
+			}
+			if cfg.Box != nil {
+				estimates[p], err = cfg.Box.Project(estimates[p])
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !vecmath.IsFinite(estimates[p]) {
+				return nil, fmt.Errorf("peer %d at round %d: %w", p, t, dgd.ErrDiverged)
+			}
+		}
+		// Verify the agreement invariant across honest peers.
+		for p := 0; p < n; p++ {
+			if _, bad := byz[p]; bad || p == honestIdx {
+				continue
+			}
+			d, err := vecmath.Dist(estimates[p], estimates[honestIdx])
+			if err != nil {
+				return nil, err
+			}
+			if d > res.MaxEstimateSpread {
+				res.MaxEstimateSpread = d
+			}
+		}
+	}
+	if err := record(cfg.Rounds); err != nil {
+		return nil, err
+	}
+	res.X = vecmath.Clone(estimates[honestIdx])
+	if res.MaxEstimateSpread > 0 {
+		return res, errors.New("p2p: honest estimates diverged — broadcast agreement violated")
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package robustmean
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/core"
+	"byzopt/internal/vecmath"
+)
+
+// cluster draws honest points around center with the given noise, then
+// appends outliers far away.
+func cluster(r *rand.Rand, honest, outliers, d int, center []float64, noise float64) [][]float64 {
+	points := make([][]float64, 0, honest+outliers)
+	for i := 0; i < honest; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = center[j] + r.NormFloat64()*noise
+		}
+		points = append(points, p)
+	}
+	for i := 0; i < outliers; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = 1e4 * (1 + r.Float64())
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+func honestMean(points [][]float64, honest int) []float64 {
+	m, err := vecmath.Mean(points[:honest])
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestProblemAdapter(t *testing.T) {
+	p, err := NewProblem([][]float64{{0, 0}, {2, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 3 || p.Dim() != 2 {
+		t.Fatalf("N/Dim = %d/%d", p.N(), p.Dim())
+	}
+	m, err := p.MinimizeSubset([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(m, []float64{1, 0}, 1e-12) {
+		t.Fatalf("subset mean = %v", m)
+	}
+	if _, err := p.MinimizeSubset(nil); !errors.Is(err, ErrArgs) {
+		t.Errorf("empty subset: %v", err)
+	}
+	if _, err := p.MinimizeSubset([]int{7}); !errors.Is(err, ErrArgs) {
+		t.Errorf("bad index: %v", err)
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	if _, err := NewProblem(nil); !errors.Is(err, ErrArgs) {
+		t.Errorf("no points: %v", err)
+	}
+	if _, err := NewProblem([][]float64{{}}); !errors.Is(err, ErrArgs) {
+		t.Errorf("zero dim: %v", err)
+	}
+	if _, err := NewProblem([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrArgs) {
+		t.Errorf("ragged: %v", err)
+	}
+}
+
+func TestExhaustiveIgnoresOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	center := []float64{3, -2}
+	points := cluster(r, 7, 2, 2, center, 0.1)
+	res, err := Exhaustive(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vecmath.Dist(res.X, honestMean(points, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.2 {
+		t.Errorf("exhaustive estimate %v is %v from the honest mean", res.X, d)
+	}
+	// The winning subset must exclude both outliers (indices 7, 8).
+	for _, i := range res.Subset {
+		if i >= 7 {
+			t.Errorf("outlier %d selected: %v", i, res.Subset)
+		}
+	}
+}
+
+func TestSpreadScalesWithNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	center := []float64{0, 0}
+	tight := cluster(r, 9, 0, 2, center, 0.01)
+	loose := cluster(r, 9, 0, 2, center, 1.0)
+	sTight, err := Spread(tight, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLoose, err := Spread(loose, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTight >= sLoose {
+		t.Errorf("spread should grow with noise: %v vs %v", sTight, sLoose)
+	}
+	if sTight > 0.05 {
+		t.Errorf("tight cluster spread = %v", sTight)
+	}
+}
+
+func TestViaDGDMatchesHonestMean(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	center := []float64{-1, 4, 2}
+	points := cluster(r, 10, 2, 3, center, 0.05)
+	est, err := ViaDGD(points, 2, aggregate.CWTM{}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vecmath.Dist(est, honestMean(points, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.25 {
+		t.Errorf("DGD estimate %v is %v from the honest mean", est, d)
+	}
+}
+
+func TestViaDGDValidation(t *testing.T) {
+	points := [][]float64{{1}, {2}, {3}}
+	if _, err := ViaDGD(points, 1, nil, 10); !errors.Is(err, ErrArgs) {
+		t.Errorf("nil filter: %v", err)
+	}
+	if _, err := ViaDGD(points, 1, aggregate.CWTM{}, 0); !errors.Is(err, ErrArgs) {
+		t.Errorf("zero rounds: %v", err)
+	}
+}
+
+func TestCoordinateMedianRobust(t *testing.T) {
+	points := [][]float64{{1, 1}, {1.2, 0.8}, {0.9, 1.1}, {1e6, -1e6}}
+	m, err := CoordinateMedian(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vecmath.Dist(m, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.5 {
+		t.Errorf("median dragged to %v", m)
+	}
+	if _, err := CoordinateMedian(points, 2); !errors.Is(err, ErrArgs) {
+		t.Errorf("f too large: %v", err)
+	}
+}
+
+// TestPropExhaustiveWithinTwoEps is Theorem 2 specialized to means: the
+// estimate must be within 2 eps of every (n-f)-subset mean of honest
+// points, with eps measured on the full (honest-only) instance.
+func TestPropExhaustiveWithinTwoEps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(3)
+		fCount := 1
+		d := 1 + r.Intn(3)
+		center := make([]float64, d)
+		for j := range center {
+			center[j] = r.NormFloat64() * 5
+		}
+		points := cluster(r, n, 0, d, center, 0.5) // all honest
+		eps, err := Spread(points, fCount)
+		if err != nil {
+			return false
+		}
+		res, err := Exhaustive(points, fCount)
+		if err != nil {
+			return false
+		}
+		p, err := NewProblem(points)
+		if err != nil {
+			return false
+		}
+		honest := make([]int, n)
+		for i := range honest {
+			honest[i] = i
+		}
+		resil, err := core.MeasureResilience(p, fCount, honest, res.X)
+		if err != nil {
+			return false
+		}
+		return resil.MaxDistance <= 2*eps+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package sensing applies the paper's framework to fault-tolerant
+// distributed state estimation (Section 2.4): n sensors each make partial
+// linear observations y_i = C_i x + noise of a system state x in R^d, and
+// up to f sensors may report arbitrary values.
+//
+// The classic condition for exact recovery — 2f-sparse observability (the
+// state is determined by the observations of any n-2f sensors) — is, as
+// the paper notes, exactly 2f-redundancy of the induced costs
+// Q_i(x) = ||y_i - C_i x||²; noisy observations induce (2f, ε)-redundancy
+// instead. The package wires sensor systems into the generic core theory:
+// observability checks, ε measurement, the Theorem-2 exhaustive estimator,
+// and a filtered-DGD streaming estimator.
+package sensing
+
+import (
+	"errors"
+	"fmt"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/core"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/dgd"
+	"byzopt/internal/matrix"
+	"byzopt/internal/vecmath"
+)
+
+// ErrArgs is returned (wrapped) for invalid inputs.
+var ErrArgs = errors.New("sensing: invalid arguments")
+
+// Sensor is one observer: Y = C x + noise, with C having one row per scalar
+// measurement.
+type Sensor struct {
+	// C is the observation matrix (rows x dim).
+	C *matrix.Matrix
+	// Y is the reported measurement vector (len = C.Rows()). A Byzantine
+	// sensor may report anything.
+	Y []float64
+}
+
+// System is a collection of sensors observing a common state.
+type System struct {
+	sensors []Sensor
+	dim     int
+}
+
+var _ core.Problem = (*System)(nil)
+
+// NewSystem validates and copies the sensors. All observation matrices
+// must share the state dimension.
+func NewSystem(sensors []Sensor) (*System, error) {
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("no sensors: %w", ErrArgs)
+	}
+	if sensors[0].C == nil {
+		return nil, fmt.Errorf("sensor 0 has nil observation matrix: %w", ErrArgs)
+	}
+	dim := sensors[0].C.Cols()
+	cp := make([]Sensor, len(sensors))
+	for i, s := range sensors {
+		if s.C == nil {
+			return nil, fmt.Errorf("sensor %d has nil observation matrix: %w", i, ErrArgs)
+		}
+		if s.C.Cols() != dim {
+			return nil, fmt.Errorf("sensor %d observes dim %d, want %d: %w", i, s.C.Cols(), dim, ErrArgs)
+		}
+		if s.C.Rows() != len(s.Y) {
+			return nil, fmt.Errorf("sensor %d has %d rows but %d measurements: %w", i, s.C.Rows(), len(s.Y), ErrArgs)
+		}
+		cp[i] = Sensor{C: s.C.Clone(), Y: vecmath.Clone(s.Y)}
+	}
+	return &System{sensors: cp, dim: dim}, nil
+}
+
+// N implements core.Problem: the number of sensors.
+func (s *System) N() int { return len(s.sensors) }
+
+// Dim implements core.Problem: the state dimension.
+func (s *System) Dim() int { return s.dim }
+
+// stack builds the stacked observation matrix and measurement vector of a
+// sensor subset.
+func (s *System) stack(idx []int) (*matrix.Matrix, []float64, error) {
+	if len(idx) == 0 {
+		return nil, nil, fmt.Errorf("empty subset: %w", ErrArgs)
+	}
+	var rows [][]float64
+	var ys []float64
+	for _, i := range idx {
+		if i < 0 || i >= len(s.sensors) {
+			return nil, nil, fmt.Errorf("sensor %d out of [0, %d): %w", i, len(s.sensors), ErrArgs)
+		}
+		sen := s.sensors[i]
+		for r := 0; r < sen.C.Rows(); r++ {
+			rows = append(rows, sen.C.Row(r))
+			ys = append(ys, sen.Y[r])
+		}
+	}
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ys, nil
+}
+
+// MinimizeSubset implements core.Problem: the least-squares state estimate
+// from the stacked observations of the subset.
+func (s *System) MinimizeSubset(idx []int) ([]float64, error) {
+	m, ys, err := s.stack(idx)
+	if err != nil {
+		return nil, err
+	}
+	x, err := matrix.LeastSquares(m, ys)
+	if err != nil {
+		return nil, fmt.Errorf("sensing: subset %v: %w", idx, err)
+	}
+	return x, nil
+}
+
+// SparseObservable reports whether the system is 2f-sparse observable: the
+// stacked observation matrix of every (n-2f)-subset has full column rank,
+// so the state is determined by any n-2f sensors. Per Section 2.4 this is
+// equivalent to 2f-redundancy of the induced costs (in the noise-free
+// case).
+func (s *System) SparseObservable(f int) (bool, error) {
+	n := len(s.sensors)
+	if f < 0 || 2*f >= n {
+		return false, fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
+	}
+	observable := true
+	err := core.ForEachSubset(n, n-2*f, func(idx []int) error {
+		m, _, err := s.stack(idx)
+		if err != nil {
+			return err
+		}
+		if m.Rank() < s.dim {
+			observable = false
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return observable, nil
+}
+
+// MeasureEpsilon returns the (2f, ε)-redundancy of the induced costs: the
+// accuracy floor Theorem 1 imposes on any fault-tolerant estimator, and
+// the level at which Theorem 2 guarantees 2ε-accurate estimation.
+func (s *System) MeasureEpsilon(f int) (float64, error) {
+	rep, err := core.MeasureRedundancy(s, f, core.AtLeastSize)
+	if err != nil {
+		return 0, fmt.Errorf("sensing: %w", err)
+	}
+	return rep.Epsilon, nil
+}
+
+// Estimate runs the Theorem-2 exhaustive estimator: the returned state is
+// within 2ε of the estimate any (n-f)-subset of honest sensors would
+// produce, despite up to f Byzantine sensors.
+func (s *System) Estimate(f int) (*core.ExhaustiveResult, error) {
+	res, err := core.ExhaustiveResilient(s, f)
+	if err != nil {
+		return nil, fmt.Errorf("sensing: %w", err)
+	}
+	return res, nil
+}
+
+// EstimateDGD estimates the state by filtered gradient descent over the
+// per-sensor costs ||y_i - C_i x||², trading the exhaustive estimator's
+// combinatorial cost for an iterative one.
+func (s *System) EstimateDGD(f int, filter aggregate.Filter, rounds int) ([]float64, error) {
+	if filter == nil {
+		return nil, fmt.Errorf("nil filter: %w", ErrArgs)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("rounds = %d: %w", rounds, ErrArgs)
+	}
+	agents := make([]dgd.Agent, len(s.sensors))
+	for i, sen := range s.sensors {
+		cost, err := costfunc.NewLeastSquares(sen.C, sen.Y)
+		if err != nil {
+			return nil, err
+		}
+		agents[i], err = dgd.NewHonest(cost)
+		if err != nil {
+			return nil, err
+		}
+	}
+	box, err := vecmath.NewCube(s.dim, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dgd.Run(dgd.Config{
+		Agents: agents,
+		F:      f,
+		Filter: filter,
+		Steps:  dgd.Diminishing{C: 0.5, P: 1},
+		Box:    box,
+		X0:     vecmath.Zeros(s.dim),
+		Rounds: rounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sensing: %w", err)
+	}
+	return res.X, nil
+}

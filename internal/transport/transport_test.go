@@ -1,0 +1,361 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"byzopt/internal/vecmath"
+)
+
+// echoProducer reports a fixed multiple of the estimate.
+type echoProducer struct {
+	scale float64
+}
+
+func (e *echoProducer) Gradient(round int, x []float64) ([]float64, error) {
+	return vecmath.Scale(e.scale, x), nil
+}
+
+// failingProducer always errors.
+type failingProducer struct{}
+
+func (failingProducer) Gradient(round int, x []float64) ([]float64, error) {
+	return nil, errors.New("boom")
+}
+
+// mutatingProducer scribbles on the estimate it receives.
+type mutatingProducer struct{}
+
+func (mutatingProducer) Gradient(round int, x []float64) ([]float64, error) {
+	for i := range x {
+		x[i] = -999
+	}
+	return vecmath.Clone(x), nil
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	conn, err := NewChannel(&echoProducer{scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := conn.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	g, err := conn.RequestGradient(context.Background(), 0, []float64{1, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(g, []float64{2, -4}, 0) {
+		t.Fatalf("gradient = %v", g)
+	}
+}
+
+func TestChannelProducerErrorPropagates(t *testing.T) {
+	conn, err := NewChannel(failingProducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.RequestGradient(context.Background(), 0, []float64{1}); err == nil {
+		t.Fatal("want error from producer")
+	}
+}
+
+func TestChannelEstimateIsCopied(t *testing.T) {
+	conn, err := NewChannel(mutatingProducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	estimate := []float64{1, 2, 3}
+	if _, err := conn.RequestGradient(context.Background(), 0, estimate); err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.Equal(estimate, []float64{1, 2, 3}, 0) {
+		t.Errorf("server-side estimate mutated: %v", estimate)
+	}
+}
+
+func TestChannelCloseIdempotentAndRejectsRequests(t *testing.T) {
+	conn, err := NewChannel(&echoProducer{scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := conn.RequestGradient(context.Background(), 0, []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("request after close: %v", err)
+	}
+}
+
+func TestChannelTimeoutOnCrashedProducer(t *testing.T) {
+	flaky := NewFlaky(&echoProducer{scale: 1}, 0) // crashes immediately
+	defer flaky.Release()
+	conn, err := NewChannel(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = conn.RequestGradient(ctx, 0, []float64{1})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took far longer than deadline")
+	}
+}
+
+func TestFlakyHealthyBeforeCrashRound(t *testing.T) {
+	flaky := NewFlaky(&echoProducer{scale: 3}, 5)
+	defer flaky.Release()
+	g, err := flaky.Gradient(4, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 3 {
+		t.Fatalf("gradient = %v", g)
+	}
+}
+
+func TestFlakyReleaseUnblocks(t *testing.T) {
+	flaky := NewFlaky(&echoProducer{scale: 1}, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := flaky.Gradient(0, []float64{1})
+		done <- err
+	}()
+	flaky.Release()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("released gradient err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Release did not unblock the call")
+	}
+}
+
+func TestNewChannelNilProducer(t *testing.T) {
+	if _, err := NewChannel(nil); err == nil {
+		t.Fatal("nil producer should error")
+	}
+}
+
+// --- TCP ---
+
+func startAgents(t *testing.T, addr string, n int, makeProducer func(id int) GradientProducer) (*sync.WaitGroup, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := ServeAgent(ctx, addr, id, makeProducer(id)); err != nil {
+				t.Errorf("agent %d: %v", id, err)
+			}
+		}(id)
+	}
+	return &wg, cancel
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	const n = 3
+	wg, cancel := startAgents(t, l.Addr().String(), n, func(id int) GradientProducer {
+		return &echoProducer{scale: float64(id + 1)}
+	})
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	conns, err := AcceptAgents(l, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+
+	// Two rounds against every agent; agent id scales by id+1.
+	for round := 0; round < 2; round++ {
+		for id, conn := range conns {
+			ctx, cancelReq := context.WithTimeout(context.Background(), 2*time.Second)
+			g, err := conn.RequestGradient(ctx, round, []float64{1, 1})
+			cancelReq()
+			if err != nil {
+				t.Fatalf("agent %d round %d: %v", id, round, err)
+			}
+			want := float64(id + 1)
+			if !vecmath.Equal(g, []float64{want, want}, 0) {
+				t.Fatalf("agent %d gradient = %v", id, g)
+			}
+		}
+	}
+}
+
+func TestTCPAgentErrorPropagates(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	wg, cancel := startAgents(t, l.Addr().String(), 1, func(int) GradientProducer {
+		return failingProducer{}
+	})
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	conns, err := AcceptAgents(l, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conns[0].Close() }()
+
+	ctx, cancelReq := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelReq()
+	if _, err := conns[0].RequestGradient(ctx, 0, []float64{1}); err == nil {
+		t.Fatal("want agent error")
+	}
+}
+
+func TestTCPDuplicateAgentIDRejected(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			// Both agents claim id 0; ServeAgent exits when the handshake
+			// fails server-side and the socket closes.
+			errs <- ServeAgent(ctx, l.Addr().String(), 0, &echoProducer{scale: 1})
+		}()
+	}
+	if _, err := AcceptAgents(l, 2, 5*time.Second); err == nil {
+		t.Fatal("duplicate ids should fail the handshake")
+	}
+	cancel()
+	<-errs
+	<-errs
+}
+
+func TestTCPAcceptTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	// Nobody dials: accept must give up at the deadline.
+	start := time.Now()
+	if _, err := AcceptAgents(l, 1, 200*time.Millisecond); err == nil {
+		t.Fatal("want accept timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("accept timeout overshot")
+	}
+}
+
+func TestTCPShutdownEndsAgent(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- ServeAgent(context.Background(), l.Addr().String(), 0, &echoProducer{scale: 1})
+	}()
+	conns, err := AcceptAgents(l, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-agentDone:
+		if err != nil {
+			t.Errorf("agent exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not exit on shutdown")
+	}
+}
+
+func TestTCPBadAgentCount(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if _, err := AcceptAgents(l, 0, time.Second); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestServeAgentNilProducer(t *testing.T) {
+	if err := ServeAgent(context.Background(), "127.0.0.1:1", 0, nil); err == nil {
+		t.Fatal("nil producer should error")
+	}
+}
+
+func TestServeAgentDialFailure(t *testing.T) {
+	// A port with no listener: dial must fail quickly and cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := ServeAgent(ctx, "127.0.0.1:1", 0, &echoProducer{scale: 1})
+	if err == nil {
+		t.Fatal("want dial error")
+	}
+	if !errors.Is(err, ErrClosed) && err.Error() == "" {
+		t.Fatalf("unexpected: %v", err)
+	}
+}
+
+func TestWrapNetErrTimeout(t *testing.T) {
+	timeoutErr := &net.OpError{Op: "read", Err: &timeoutError{}}
+	if err := wrapNetErr("op", 1, timeoutErr); !errors.Is(err, ErrTimeout) {
+		t.Errorf("timeout classification: %v", err)
+	}
+	if err := wrapNetErr("op", 1, fmt.Errorf("plain")); !errors.Is(err, ErrClosed) {
+		t.Errorf("non-timeout classification: %v", err)
+	}
+}
+
+// timeoutError implements net.Error with Timeout() true.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
