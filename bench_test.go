@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"byzopt"
@@ -174,6 +175,107 @@ func BenchmarkFilters(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := filter.Aggregate(grads, f); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- parallelism baselines (sequential vs concurrent hot paths) ---
+
+// benchGrid is the (n, d) grid shared by the parallelism baselines, so
+// future PRs can diff like against like.
+var benchGrid = []struct{ n, d int }{
+	{10, 10}, {10, 1000}, {50, 10}, {50, 1000}, {100, 10}, {100, 1000},
+}
+
+// BenchmarkCollectGradients compares sequential and concurrent gradient
+// collection (dgd.Config.Workers) over one engine round; all agents are
+// honest so the measurement isolates the collection fan-out.
+func BenchmarkCollectGradients(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	for _, g := range benchGrid {
+		costs := make([]byzopt.Cost, g.n)
+		for i := range costs {
+			row := make([]float64, g.d)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			c, err := byzopt.SingleObservationCost(row, r.NormFloat64())
+			if err != nil {
+				b.Fatal(err)
+			}
+			costs[i] = c
+		}
+		agents, err := byzopt.HonestAgents(costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x0 := make([]float64, g.d)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n=%d/d=%d/workers=%d", g.n, g.d, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := byzopt.Run(byzopt.Config{
+						Agents:  agents,
+						F:       0,
+						Filter:  aggregate.Mean{},
+						X0:      x0,
+						Rounds:  1,
+						Workers: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKrumScores compares the sequential and concurrent O(n²·d)
+// distance matrix behind the Krum family (aggregate.Krum.Workers).
+func BenchmarkKrumScores(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	const f = 2
+	for _, g := range benchGrid {
+		grads := make([][]float64, g.n)
+		for i := range grads {
+			grads[i] = make([]float64, g.d)
+			for j := range grads[i] {
+				grads[i][j] = r.NormFloat64()
+			}
+		}
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n=%d/d=%d/workers=%d", g.n, g.d, workers), func(b *testing.B) {
+				filter := aggregate.Krum{Workers: workers}
+				for i := 0; i < b.N; i++ {
+					if _, err := filter.Aggregate(grads, f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweepEngine runs the acceptance sweep — 8 filters × 4 behaviors
+// × 2 f-values = 64 scenarios on the paper's regression benchmark — at one
+// worker and at GOMAXPROCS, so the speedup is a reported baseline.
+func BenchmarkSweepEngine(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := byzopt.Sweep(byzopt.SweepSpec{
+					Problem:   "paper",
+					Filters:   []string{"mean", "cge", "cge-avg", "cwtm", "cwmedian", "krum", "geomedian", "centeredclip"},
+					Behaviors: []string{"gradient-reverse", "random", "ipm", "alie"},
+					FValues:   []int{1, 2},
+					Workers:   workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 64 {
+					b.Fatalf("expected 64 scenarios, got %d", len(results))
 				}
 			}
 		})

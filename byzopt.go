@@ -24,18 +24,46 @@
 //	        X0: []float64{0, 0}, Rounds: 500,
 //	})
 //
+// # Scenario sweeps
+//
+// The paper's evaluation is a grid — filters × Byzantine behaviors × fault
+// counts — and the sweep engine runs such grids as one call, expanding a
+// declarative spec into scenarios and executing them concurrently on a
+// worker pool. Every scenario derives its random seed by hashing its own
+// key, so results are identical at any worker count and a sweep replays
+// exactly from its spec:
+//
+//	results, err := byzopt.Sweep(byzopt.SweepSpec{
+//	        Filters:   []string{"cge", "cwtm", "krum"},
+//	        Behaviors: []string{"gradient-reverse", "random"},
+//	        FValues:   []int{1, 2},
+//	        Workers:   0, // 0 = GOMAXPROCS
+//	})
+//	// results[i].FinalDist is ||x_T - x_H|| for grid point i;
+//	// byzopt.WriteSweepJSON(os.Stdout, results, false) exports them.
+//
+// Leaving SweepSpec fields zero selects the paper's defaults (every
+// registered filter and behavior, n = 6, d = 2, 500 rounds); Problem:
+// "paper" swaps the synthetic workload for the exact Appendix-J instance.
+// Per-run gradient collection parallelizes independently via
+// Config.Workers (SweepSpec.DGDWorkers inside a sweep). The abft-sweep
+// command is this API as a CLI.
+//
 // The deeper machinery (matrix solvers, transports, the peer-to-peer
 // broadcast layer, experiment drivers) lives in internal packages; the
 // runnable programs under examples/ and cmd/ show them in action.
 package byzopt
 
 import (
+	"io"
+
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
 	"byzopt/internal/core"
 	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
 	"byzopt/internal/matrix"
+	"byzopt/internal/sweep"
 	"byzopt/internal/vecmath"
 )
 
@@ -147,6 +175,34 @@ type ConstantStep = dgd.Constant
 
 // Run executes the configured DGD simulation.
 func Run(cfg Config) (*Result, error) { return dgd.Run(cfg) }
+
+// --- scenario sweeps ---
+
+// SweepSpec declares a scenario matrix: filters × behaviors × f × n ×
+// dimension × step schedules. Zero fields select the paper's defaults.
+type SweepSpec = sweep.Spec
+
+// SweepScenario identifies one expanded grid point of a sweep.
+type SweepScenario = sweep.Scenario
+
+// SweepResult is one scenario's outcome: final distance to x_H, loss
+// summary, wall time, and divergence/skip classification.
+type SweepResult = sweep.Result
+
+// Sweep expands the spec and runs every scenario concurrently with
+// deterministic per-scenario seeds; results are identical at any worker
+// count.
+func Sweep(spec SweepSpec) ([]SweepResult, error) { return sweep.Run(spec) }
+
+// SweepScenarios expands the spec without running it, in execution order.
+func SweepScenarios(spec SweepSpec) ([]SweepScenario, error) { return sweep.Scenarios(spec) }
+
+// WriteSweepJSON exports sweep results as indented JSON; wall-clock
+// timings are stripped unless includeTiming is set, making the output a
+// pure function of the spec.
+func WriteSweepJSON(w io.Writer, results []SweepResult, includeTiming bool) error {
+	return sweep.WriteJSON(w, results, includeTiming)
+}
 
 // --- resilience theory (Section 3) ---
 

@@ -2,6 +2,7 @@ package byzopt
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -151,5 +152,44 @@ func TestPublicCostConstructors(t *testing.T) {
 	}
 	if sum.Dim() != 2 {
 		t.Errorf("sum dim = %d", sum.Dim())
+	}
+}
+
+func TestPublicSweepAPI(t *testing.T) {
+	spec := SweepSpec{
+		Filters:   []string{"cge", "cwtm"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1},
+		Rounds:    40,
+		Workers:   4,
+	}
+	scns, err := SweepScenarios(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scns) != 2 {
+		t.Fatalf("expected 2 scenarios, got %d", len(scns))
+	}
+	results, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(scns) {
+		t.Fatalf("expected %d results, got %d", len(scns), len(results))
+	}
+	var buf strings.Builder
+	if err := WriteSweepJSON(&buf, results, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Status() != "ok" {
+			t.Errorf("%s: %s", r.Key(), r.Err)
+		}
+		if math.IsNaN(r.FinalDist) || r.FinalDist < 0 {
+			t.Errorf("%s: bad distance %v", r.Key(), r.FinalDist)
+		}
+	}
+	if !strings.Contains(buf.String(), `"filter": "cge"`) {
+		t.Errorf("JSON export missing scenario axes:\n%s", buf.String())
 	}
 }

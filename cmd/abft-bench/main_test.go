@@ -1,9 +1,12 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"byzopt/internal/experiments"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -27,6 +30,57 @@ func TestRunSmallFigureWithCSV(t *testing.T) {
 		if len(data) == 0 {
 			t.Errorf("empty CSV %s", path)
 		}
+	}
+}
+
+func TestRunTable1ViaSweep(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-rounds", "60", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTable1SweepMatchesExperiments pins the parity between the
+// sweep-driven Table 1 and the original experiments driver: the published
+// table must not drift when sweep internals (seeding, defaults) change.
+func TestTable1SweepMatchesExperiments(t *testing.T) {
+	got, err := table1Rows(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := experiments.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row count %d vs %d", len(got), len(want))
+	}
+	const tol = 1e-9
+	for i := range want {
+		if got[i].Filter != want[i].Filter || got[i].Fault != want[i].Fault {
+			t.Fatalf("row %d is %s/%s, want %s/%s", i, got[i].Filter, got[i].Fault, want[i].Filter, want[i].Fault)
+		}
+		if math.Abs(got[i].Dist-want[i].Dist) > tol {
+			t.Errorf("%s/%s: dist %v vs experiments %v", got[i].Filter, got[i].Fault, got[i].Dist, want[i].Dist)
+		}
+		for k := range want[i].XOut {
+			if math.Abs(got[i].XOut[k]-want[i].XOut[k]) > tol {
+				t.Errorf("%s/%s: x_out[%d] %v vs experiments %v", got[i].Filter, got[i].Fault, k, got[i].XOut[k], want[i].XOut[k])
+			}
+		}
+	}
+}
+
+func TestRunGridWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := run([]string{"-exp", "grid", "-rounds", "20", "-workers", "4", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing JSON %s: %v", path, err)
+	}
+	if len(data) == 0 {
+		t.Errorf("empty JSON %s", path)
 	}
 }
 

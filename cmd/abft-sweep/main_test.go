@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallGridWritesDeterministicJSON(t *testing.T) {
+	dir := t.TempDir()
+	read := func(workers string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, "out-"+workers+".json")
+		err := run([]string{
+			"-filters", "cge,cwtm", "-behaviors", "gradient-reverse,random",
+			"-f", "1,2", "-rounds", "30", "-workers", workers,
+			"-json", path, "-quiet",
+		}, os.Stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq, par := read("1"), read("8")
+	if !bytes.Equal(seq, par) {
+		t.Error("JSON differs between -workers 1 and -workers 8")
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(seq, &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 8 {
+		t.Errorf("2 filters x 2 behaviors x 2 f-values should give 8 results, got %d", len(results))
+	}
+}
+
+func TestRunPaperProblem(t *testing.T) {
+	if err := run([]string{
+		"-problem", "paper", "-filters", "cge", "-behaviors", "gradient-reverse",
+		"-rounds", "50",
+	}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStepSweepAndBadFlags(t *testing.T) {
+	if err := run([]string{
+		"-filters", "cwtm", "-behaviors", "zero", "-rounds", "10", "-steps", "0.05", "-quiet",
+	}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", "x"}, os.Stdout); err == nil {
+		t.Error("bad -f should error")
+	}
+	if err := run([]string{"-filters", "bogus"}, os.Stdout); err == nil {
+		t.Error("unknown filter should error")
+	}
+	if err := run([]string{"-steps", "abc"}, os.Stdout); err == nil {
+		t.Error("bad -steps should error")
+	}
+}

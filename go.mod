@@ -1,0 +1,3 @@
+module byzopt
+
+go 1.24

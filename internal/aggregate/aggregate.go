@@ -28,6 +28,12 @@ var ErrInput = errors.New("aggregate: invalid input")
 // on (n, f) is violated (e.g. CWTM needs n > 2f, Krum needs n >= 2f+3).
 var ErrTooManyFaults = errors.New("aggregate: too many Byzantine agents for this filter")
 
+// ErrNonFinite is returned (wrapped) when any input gradient contains a NaN
+// or Inf component. Every registered filter rejects such inputs up front:
+// sorting and distance comparisons are meaningless on NaN, and a consistent
+// sentinel lets the engine classify the run as diverged.
+var ErrNonFinite = errors.New("aggregate: non-finite gradient (NaN or Inf)")
+
 // Filter is a gradient aggregation rule GradFilter: R^{d x n} -> R^d.
 // Implementations must be deterministic (the paper's resilience definition
 // is stated for deterministic algorithms) and must not mutate the input.
@@ -53,6 +59,9 @@ func validate(grads [][]float64, f int) (n, d int, err error) {
 	for i, g := range grads {
 		if len(g) != d {
 			return 0, 0, fmt.Errorf("gradient %d has dim %d, want %d: %w", i, len(g), d, ErrInput)
+		}
+		if !vecmath.IsFinite(g) {
+			return 0, 0, fmt.Errorf("gradient %d: %w", i, ErrNonFinite)
 		}
 	}
 	return len(grads), d, nil
@@ -209,7 +218,12 @@ func (CWMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
 
 // Krum selects the single gradient whose summed squared distance to its
 // n-f-2 nearest neighbors is smallest (Blanchard et al., 2017).
-type Krum struct{}
+type Krum struct {
+	// Workers bounds the goroutines computing the O(n²·d) distance matrix:
+	// 0 parallelizes automatically on large inputs, 1 forces the sequential
+	// path, negative means GOMAXPROCS. The output is identical either way.
+	Workers int
+}
 
 var _ Filter = Krum{}
 
@@ -217,8 +231,8 @@ var _ Filter = Krum{}
 func (Krum) Name() string { return "krum" }
 
 // Aggregate implements Filter. It requires n >= 2f + 3.
-func (Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	scores, _, err := krumScores(grads, f)
+func (kr Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	scores, _, err := krumScores(grads, f, kr.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +249,8 @@ func (Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
 // (Blanchard et al., 2017). M must be in [1, n-f].
 type MultiKrum struct {
 	M int
+	// Workers has the same semantics as Krum.Workers.
+	Workers int
 }
 
 var _ Filter = MultiKrum{}
@@ -244,7 +260,7 @@ func (m MultiKrum) Name() string { return fmt.Sprintf("multikrum-%d", m.M) }
 
 // Aggregate implements Filter. It requires n >= 2f + 3 and 1 <= M <= n-f.
 func (m MultiKrum) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	scores, n, err := krumScores(grads, f)
+	scores, n, err := krumScores(grads, f, m.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -263,31 +279,18 @@ func (m MultiKrum) Aggregate(grads [][]float64, f int) ([]float64, error) {
 	return vecmath.Mean(chosen)
 }
 
-// krumScores returns the Krum score of every gradient.
-func krumScores(grads [][]float64, f int) ([]float64, int, error) {
-	n, _, err := validate(grads, f)
+// krumScores returns the Krum score of every gradient, computing the
+// pairwise distance matrix with up to workers goroutines (see Krum.Workers
+// for the 0/1/negative semantics).
+func krumScores(grads [][]float64, f, workers int) ([]float64, int, error) {
+	n, d, err := validate(grads, f)
 	if err != nil {
 		return nil, 0, err
 	}
 	if n < 2*f+3 {
 		return nil, 0, fmt.Errorf("krum needs n >= 2f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	// Pairwise squared distances.
-	d2 := make([][]float64, n)
-	for i := range d2 {
-		d2[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			diff, err := vecmath.Sub(grads[i], grads[j])
-			if err != nil {
-				return nil, 0, err
-			}
-			v := vecmath.NormSq(diff)
-			d2[i][j] = v
-			d2[j][i] = v
-		}
-	}
+	d2 := pairwiseDistSq(grads, resolvePairwiseWorkers(workers, n, d))
 	k := n - f - 2 // number of closest neighbors scored
 	scores := make([]float64, n)
 	row := make([]float64, 0, n-1)
@@ -313,7 +316,11 @@ func krumScores(grads [][]float64, f int) ([]float64, int, error) {
 // Bulyan runs iterated Krum selection to pick theta = n-2f gradients, then
 // applies a beta = theta-2f trimmed-mean around the coordinate-wise median
 // (El Mhamdi et al., 2018).
-type Bulyan struct{}
+type Bulyan struct {
+	// Workers has the same semantics as Krum.Workers and applies to every
+	// distance matrix of the iterated selection.
+	Workers int
+}
 
 var _ Filter = Bulyan{}
 
@@ -321,7 +328,7 @@ var _ Filter = Bulyan{}
 func (Bulyan) Name() string { return "bulyan" }
 
 // Aggregate implements Filter. It requires n >= 4f + 3.
-func (Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
+func (bl Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
 	n, d, err := validate(grads, f)
 	if err != nil {
 		return nil, err
@@ -334,7 +341,7 @@ func (Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
 	copy(remaining, grads)
 	selected := make([][]float64, 0, theta)
 	for len(selected) < theta {
-		scores, _, err := krumScores(remaining, f)
+		scores, _, err := krumScores(remaining, f, bl.Workers)
 		if err != nil {
 			// As gradients are removed the Krum condition can tighten; fall
 			// back to taking the rest in order, which preserves determinism.

@@ -1,0 +1,208 @@
+package aggregate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"byzopt/internal/vecmath"
+)
+
+// edge-case suite: every registered filter (iterated via Names(), so new
+// filters are covered the day they are registered) is pushed through the
+// boundary conditions the theory cares about.
+
+func constGrads(n, d int, v float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		g := make([]float64, d)
+		for j := range g {
+			g[j] = v + float64(j)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// TestFiltersFaultFree: at f = 0 no filter may refuse, and on identical
+// inputs each must return (numerically) that very gradient — dropping
+// nothing is the only sane fault-free consensus.
+func TestFiltersFaultFree(t *testing.T) {
+	grads := constGrads(7, 3, 1.5)
+	for _, name := range Names() {
+		filter, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := filter.Aggregate(grads, 0)
+		if err != nil {
+			t.Errorf("%s: f=0 must be feasible, got %v", name, err)
+			continue
+		}
+		want := grads[0]
+		if name == "cge" { // unnormalized CGE sums the n-f survivors
+			want = vecmath.Scale(7, grads[0])
+		}
+		if !vecmath.Equal(out, want, 1e-9) {
+			t.Errorf("%s: identical inputs gave %v, want %v", name, out, want)
+		}
+	}
+}
+
+// TestFiltersAtHalfBoundary: n = 2f+1 is the Lemma-1 feasibility edge.
+// Every filter must either aggregate or refuse with ErrTooManyFaults —
+// never panic, never return a silent wrong answer shape.
+func TestFiltersAtHalfBoundary(t *testing.T) {
+	const f = 2
+	grads := randGrads(rand.New(rand.NewSource(1)), 2*f+1, 4, 1)
+	for _, name := range Names() {
+		filter, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := filter.Aggregate(grads, f)
+		switch {
+		case err == nil:
+			if len(out) != 4 || !vecmath.IsFinite(out) {
+				t.Errorf("%s: malformed output %v at n=2f+1", name, out)
+			}
+		case errors.Is(err, ErrTooManyFaults):
+			// A declared tolerance refusal is the other legal outcome.
+		default:
+			t.Errorf("%s: want success or ErrTooManyFaults at n=2f+1, got %v", name, err)
+		}
+	}
+}
+
+// TestFiltersAllIdenticalUnderFaults: with every report identical there is
+// nothing to distinguish honest from Byzantine; any filter that accepts
+// (n, f) must return that gradient.
+func TestFiltersAllIdenticalUnderFaults(t *testing.T) {
+	grads := constGrads(9, 2, -0.75)
+	for _, name := range Names() {
+		filter, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := filter.Aggregate(grads, 1)
+		if errors.Is(err, ErrTooManyFaults) {
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		want := grads[0]
+		if name == "cge" {
+			want = vecmath.Scale(8, grads[0]) // sums n-f = 8 survivors
+		}
+		if !vecmath.Equal(out, want, 1e-9) {
+			t.Errorf("%s: identical inputs gave %v, want %v", name, out, want)
+		}
+	}
+}
+
+// TestFiltersRejectNonFinite: a NaN or Inf anywhere in any report must be
+// refused by every filter with the shared ErrNonFinite sentinel, before
+// any feasibility or aggregation logic runs.
+func TestFiltersRejectNonFinite(t *testing.T) {
+	poisons := map[string]float64{"nan": math.NaN(), "+inf": math.Inf(1), "-inf": math.Inf(-1)}
+	for _, name := range Names() {
+		filter, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, v := range poisons {
+			grads := constGrads(7, 3, 1)
+			grads[4][1] = v
+			if _, err := filter.Aggregate(grads, 1); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("%s: %s gradient accepted (err = %v), want ErrNonFinite", name, label, err)
+			}
+			// Even at infeasible (n, f) the non-finite input is the error
+			// that must surface: validation precedes feasibility.
+			if _, err := filter.Aggregate(grads, 3); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("%s: %s at infeasible f: got %v, want ErrNonFinite", name, label, err)
+			}
+		}
+	}
+}
+
+// TestFiltersRejectStructurallyInvalid pins the shared validate() path:
+// empty input, ragged dimensions, and negative f.
+func TestFiltersRejectStructurallyInvalid(t *testing.T) {
+	ragged := constGrads(5, 3, 1)
+	ragged[2] = []float64{1, 2}
+	for _, name := range Names() {
+		filter, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, call := range map[string]func() error{
+			"empty":      func() error { _, err := filter.Aggregate(nil, 1); return err },
+			"ragged":     func() error { _, err := filter.Aggregate(ragged, 1); return err },
+			"negative f": func() error { _, err := filter.Aggregate(constGrads(5, 3, 1), -1); return err },
+		} {
+			if err := call(); !errors.Is(err, ErrInput) {
+				t.Errorf("%s: %s input gave %v, want ErrInput", name, label, err)
+			}
+		}
+	}
+}
+
+// TestKrumFamilyParallelParity: the concurrent distance matrix must be
+// bitwise identical to the sequential one through every Workers setting,
+// for the whole Krum family.
+func TestKrumFamilyParallelParity(t *testing.T) {
+	grads := randGrads(rand.New(rand.NewSource(7)), 40, 32, 1)
+	const f = 3
+	mk := func(workers int) []Filter {
+		return []Filter{
+			Krum{Workers: workers},
+			MultiKrum{M: 5, Workers: workers},
+			Bulyan{Workers: workers},
+		}
+	}
+	seq := mk(1)
+	for _, workers := range []int{0, 4, -1} {
+		for i, filter := range mk(workers) {
+			want, err := seq[i].Aggregate(grads, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := filter.Aggregate(grads, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vecmath.Equal(got, want, 0) {
+				t.Errorf("%s Workers=%d differs from sequential", filter.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestPairwiseDistSqMatchesNaive cross-checks the shared kernel against a
+// direct vecmath computation at several worker counts.
+func TestPairwiseDistSqMatchesNaive(t *testing.T) {
+	grads := randGrads(rand.New(rand.NewSource(3)), 17, 9, 1)
+	n := len(grads)
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, n)
+		for j := range want[i] {
+			diff, err := vecmath.Sub(grads[i], grads[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i][j] = vecmath.NormSq(diff)
+		}
+	}
+	for _, workers := range []int{1, 2, 5, 16, 32} {
+		got := pairwiseDistSq(grads, workers)
+		for i := range want {
+			if !vecmath.Equal(got[i], want[i], 0) {
+				t.Fatalf("workers=%d row %d: %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package aggregate
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pairwiseParallelWork is the n·n·d work size above which the distance
+// matrix is computed concurrently when a filter's Workers field is 0
+// (auto); below it goroutine startup costs more than it saves.
+const pairwiseParallelWork = 1 << 17
+
+// resolvePairwiseWorkers maps a filter's Workers field to a goroutine
+// count for an n x n x d distance-matrix job: 0 picks GOMAXPROCS once the
+// job is large enough to amortize the fan-out (1 otherwise), negative
+// always means GOMAXPROCS, and a positive value is taken as given.
+func resolvePairwiseWorkers(workers, n, d int) int {
+	switch {
+	case workers < 0:
+		workers = runtime.GOMAXPROCS(0)
+	case workers == 0:
+		if n*n*d < pairwiseParallelWork {
+			return 1
+		}
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// pairwiseDistSq returns the symmetric n x n matrix of squared Euclidean
+// distances between gradients, the O(n²·d) kernel shared by the Krum
+// family and Bulyan. Rows are striped across workers; every (i, j) entry
+// is computed independently and written exactly once, so the matrix is
+// bitwise identical at any worker count. Dimensions must have been
+// validated by the caller.
+func pairwiseDistSq(grads [][]float64, workers int) [][]float64 {
+	n := len(grads)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	fillRow := func(i int) {
+		gi := grads[i]
+		for j := i + 1; j < n; j++ {
+			gj := grads[j]
+			var s float64
+			for k, v := range gi {
+				dv := v - gj[k]
+				s += dv * dv
+			}
+			d2[i][j] = s
+			d2[j][i] = s
+		}
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fillRow(i)
+		}
+		return d2
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				fillRow(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return d2
+}

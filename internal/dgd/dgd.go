@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
@@ -176,6 +177,16 @@ type Config struct {
 	// OnRound, when non-nil, observes every estimate x_t for t = 0..T.
 	// Returning an error aborts the run.
 	OnRound func(t int, x []float64) error
+
+	// Workers opts into concurrent gradient collection: the number of
+	// goroutines querying agents each round. 0 and 1 keep the sequential
+	// path; negative means GOMAXPROCS. Honest agents are still collected
+	// before Byzantine ones (omniscient adversaries observe the full honest
+	// set either way), and gradients land in agent-index slots, so a
+	// parallel run produces exactly the estimates of a sequential one.
+	// Agents must tolerate concurrent Gradient calls when Workers > 1; the
+	// built-in honest and faulty wrappers do.
+	Workers int
 }
 
 // Trace records per-iteration series for t = 0..Rounds inclusive.
@@ -245,16 +256,26 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	}
 
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	grads := make([][]float64, len(cfg.Agents))
 	for t := 0; t < cfg.Rounds; t++ {
 		if err := record(t, x); err != nil {
 			return nil, err
 		}
-		if err := collectGradients(cfg.Agents, t, x, grads); err != nil {
+		if err := collectGradients(cfg.Agents, t, x, grads, workers); err != nil {
 			return nil, err
 		}
 		dir, err := cfg.Filter.Aggregate(grads, cfg.F)
 		if err != nil {
+			if errors.Is(err, aggregate.ErrNonFinite) {
+				// A NaN/Inf report is the gradient-level face of divergence;
+				// surface it as such so callers need one sentinel.
+				return nil, fmt.Errorf("filter %s at round %d: %v: %w", cfg.Filter.Name(), t, err, ErrDiverged)
+			}
 			return nil, fmt.Errorf("filter %s at round %d: %w", cfg.Filter.Name(), t, err)
 		}
 		eta := steps.At(t)
@@ -280,53 +301,61 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{X: x, Rounds: cfg.Rounds, Trace: trace}, nil
 }
 
-// collectGradients fills grads with every agent's report for the round.
-// Honest reports are collected first so omniscient Byzantine behaviors can
-// observe them, matching the strongest adversary the literature assumes.
-func collectGradients(agents []Agent, t int, x []float64, grads [][]float64) error {
-	honestGrads := make([][]float64, 0, len(agents))
-	type pendingFault struct {
-		idx int
-		fa  *faulty
-	}
-	var pending []pendingFault
-
+// collectGradients fills grads with every agent's report for the round,
+// fanning the queries out over up to workers goroutines. Honest reports are
+// collected first (a full barrier separates the phases) so omniscient
+// Byzantine behaviors observe the complete honest set, matching the
+// strongest adversary the literature assumes. Reports land in agent-index
+// slots and the honest set is ordered by agent index, so the filter input
+// is identical at any worker count.
+func collectGradients(agents []Agent, t int, x []float64, grads [][]float64, workers int) error {
+	var honestIdx, faultyIdx []int
 	for i, a := range agents {
-		fa, isFaulty := a.(*faulty)
-		if !isFaulty {
-			g, err := a.Gradient(t, x)
-			if err != nil {
-				return fmt.Errorf("agent %d at round %d: %w", i, t, err)
-			}
-			if len(g) != len(x) {
-				return fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
-			}
-			grads[i] = g
-			honestGrads = append(honestGrads, g)
-			continue
-		}
-		pending = append(pending, pendingFault{idx: i, fa: fa})
-	}
-	for _, p := range pending {
-		trueGrad, err := p.fa.trueGradient(t, x)
-		if err != nil {
-			return fmt.Errorf("faulty agent %d at round %d: %w", p.idx, t, err)
-		}
-		var g []float64
-		if omni, ok := p.fa.behavior.(byzantine.Omniscient); ok {
-			g, err = omni.ApplyOmniscient(t, p.idx, trueGrad, honestGrads)
+		if _, isFaulty := a.(*faulty); isFaulty {
+			faultyIdx = append(faultyIdx, i)
 		} else {
-			g, err = p.fa.behavior.Apply(t, p.idx, trueGrad)
+			honestIdx = append(honestIdx, i)
 		}
+	}
+	err := parallelFor(workers, honestIdx, func(i int) error {
+		g, err := agents[i].Gradient(t, x)
 		if err != nil {
-			return fmt.Errorf("behavior %s for agent %d at round %d: %w", p.fa.behavior.Name(), p.idx, t, err)
+			return fmt.Errorf("agent %d at round %d: %w", i, t, err)
 		}
 		if len(g) != len(x) {
-			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", p.idx, len(g), len(x), ErrConfig)
+			return fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
 		}
-		grads[p.idx] = g
+		grads[i] = g
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	return nil
+	honestGrads := make([][]float64, 0, len(honestIdx))
+	for _, i := range honestIdx {
+		honestGrads = append(honestGrads, grads[i])
+	}
+	return parallelFor(workers, faultyIdx, func(i int) error {
+		fa := agents[i].(*faulty)
+		trueGrad, err := fa.trueGradient(t, x)
+		if err != nil {
+			return fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
+		}
+		var g []float64
+		if omni, ok := fa.behavior.(byzantine.Omniscient); ok {
+			g, err = omni.ApplyOmniscient(t, i, trueGrad, honestGrads)
+		} else {
+			g, err = fa.behavior.Apply(t, i, trueGrad)
+		}
+		if err != nil {
+			return fmt.Errorf("behavior %s for agent %d at round %d: %w", fa.behavior.Name(), i, t, err)
+		}
+		if len(g) != len(x) {
+			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
+		}
+		grads[i] = g
+		return nil
+	})
 }
 
 func (cfg *Config) validate() error {

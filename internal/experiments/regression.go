@@ -31,10 +31,10 @@ var ErrArgs = errors.New("experiments: invalid arguments")
 // FaultNames are the two Byzantine behaviors of Section 5, in paper order.
 var FaultNames = []string{"gradient-reverse", "random"}
 
-// randomFaultSeed fixes the Gaussian fault stream so every run of the
+// RandomFaultSeed fixes the Gaussian fault stream so every run of the
 // harness reproduces the same "random" execution (the paper reports a
 // randomly chosen execution; we pin it).
-const randomFaultSeed = 2021
+const RandomFaultSeed = 2021
 
 // Table1Row is one cell block of Table 1.
 type Table1Row struct {
@@ -62,7 +62,7 @@ func regressionAgents(inst *linreg.Instance, fault string) ([]dgd.Agent, error) 
 	if fault == "" {
 		return agents, nil
 	}
-	behavior, err := byzantine.New(fault, randomFaultSeed)
+	behavior, err := byzantine.New(fault, RandomFaultSeed)
 	if err != nil {
 		return nil, err
 	}

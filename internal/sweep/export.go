@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSON writes the results as an indented JSON array. Wall-clock
+// times vary run to run, so they are stripped unless includeTiming is
+// set; without them the output of the same Spec is byte-identical at any
+// worker count, which the determinism tests (and any caching layer
+// keyed on it) rely on.
+func WriteJSON(w io.Writer, results []Result, includeTiming bool) error {
+	out := results
+	if !includeTiming {
+		out = make([]Result, len(results))
+		copy(out, results)
+		for i := range out {
+			out[i].WallMS = 0
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteJSONFile writes the WriteJSON export to a file, the shared export
+// path of the CLIs.
+func WriteJSONFile(path string, results []Result, includeTiming bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, results, includeTiming); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FormatTable renders the results as an aligned text table, one scenario
+// per row, with skipped/diverged/error rows showing their status instead
+// of metrics.
+func FormatTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-18s %3s %4s %5s %-20s %10s %12s %9s %s\n",
+		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", "WALL_MS", "STATUS")
+	for i := range results {
+		r := &results[i]
+		status := r.Status()
+		if status == "ok" {
+			fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f %9.1f %s\n",
+				r.Filter, r.Behavior, r.F, r.N, r.Dim, r.Step,
+				r.FinalDist, r.LossFinal, r.WallMS, status)
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10s %12s %9.1f %s (%s)\n",
+			r.Filter, r.Behavior, r.F, r.N, r.Dim, r.Step,
+			"-", "-", r.WallMS, status, r.Err)
+	}
+	return b.String()
+}
+
+// Summarize counts results by status, for one-line sweep reports.
+func Summarize(results []Result) string {
+	counts := map[string]int{}
+	for i := range results {
+		counts[results[i].Status()]++
+	}
+	return fmt.Sprintf("%d scenarios: %d ok, %d skipped, %d diverged, %d error",
+		len(results), counts["ok"], counts["skipped"], counts["diverged"], counts["error"])
+}

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+
+	"byzopt/internal/costfunc"
+	"byzopt/internal/dgd"
+	"byzopt/internal/linreg"
+	"byzopt/internal/matrix"
+	"byzopt/internal/vecmath"
+)
+
+// problem is one scenario's concrete workload: per-agent regression data,
+// the honest minimizer x_H (the paper's reference point), the honest
+// aggregate cost (the paper's "loss" series), and the run geometry.
+type problem struct {
+	rows      [][]float64
+	resp      []float64
+	x0        []float64
+	xH        []float64
+	box       *vecmath.Box
+	honestSum costfunc.Differentiable
+}
+
+// buildProblem materializes the scenario's workload. The first scn.F
+// agents are the Byzantine ones (mirroring the paper's faulty agent 0), so
+// the honest set is rows[scn.F:], and x_H minimizes the honest aggregate
+// sum_{i >= f} (resp_i - rows_i · x)² exactly, by least squares.
+func buildProblem(spec *Spec, scn Scenario) (*problem, error) {
+	var (
+		rows [][]float64
+		resp []float64
+		x0   []float64
+	)
+	switch scn.Problem {
+	case ProblemPaper:
+		rows, resp, x0 = linreg.A(), linreg.B(), linreg.X0()
+	case ProblemSynthetic:
+		rows, resp = syntheticRegression(scn.N, scn.Dim, spec.Seed, spec.Noise)
+		x0 = vecmath.Zeros(scn.Dim)
+	default:
+		return nil, fmt.Errorf("unknown problem %q: %w", scn.Problem, ErrSpec)
+	}
+	if scn.F >= len(rows) {
+		return nil, fmt.Errorf("f=%d leaves no honest agent at n=%d: %w", scn.F, len(rows), ErrSpec)
+	}
+	honest, err := matrix.FromRows(rows[scn.F:])
+	if err != nil {
+		return nil, err
+	}
+	honestResp := resp[scn.F:]
+	if honest.Rows() < honest.Cols() {
+		return nil, fmt.Errorf("honest system underdetermined: %d agents for dim %d: %w",
+			honest.Rows(), honest.Cols(), ErrSpec)
+	}
+	xH, err := matrix.LeastSquares(honest, honestResp)
+	if err != nil {
+		return nil, fmt.Errorf("honest minimizer: %w", err)
+	}
+	honestSum, err := costfunc.NewLeastSquares(honest, honestResp)
+	if err != nil {
+		return nil, err
+	}
+	box, err := vecmath.NewCube(scn.Dim, spec.BoxRadius)
+	if err != nil {
+		return nil, err
+	}
+	return &problem{rows: rows, resp: resp, x0: x0, xH: xH, box: box, honestSum: honestSum}, nil
+}
+
+// agents wraps every row as a truthful single-observation agent.
+func (p *problem) agents() ([]dgd.Agent, error) {
+	costs := make([]costfunc.Differentiable, len(p.rows))
+	for i, row := range p.rows {
+		c, err := costfunc.NewSingleRowLeastSquares(row, p.resp[i])
+		if err != nil {
+			return nil, fmt.Errorf("agent %d cost: %w", i, err)
+		}
+		costs[i] = c
+	}
+	return dgd.HonestAgents(costs)
+}
+
+// problemSeed derives the synthetic data stream from the axes the data may
+// depend on — (n, d, base seed, noise) — and nothing else, so every
+// scenario at the same system size optimizes the same instance.
+func problemSeed(base int64, n, d int, noise float64) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, fmt.Sprintf("problem n=%d d=%d noise=%g", n, d, noise))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// syntheticRegression generates the deterministic (n, d) regression
+// instance: rows drawn Gaussian and scaled to unit norm (matching the
+// conditioning of the paper's design, whose rows are unit vectors), and
+// responses rows_i · x* + noise with generator x* = (1, ..., 1).
+func syntheticRegression(n, d int, seed int64, noise float64) (rows [][]float64, resp []float64) {
+	r := rand.New(rand.NewSource(problemSeed(seed, n, d, noise)))
+	xstar := vecmath.Ones(d)
+	rows = make([][]float64, n)
+	resp = make([]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		var normSq float64
+		for j := range row {
+			row[j] = r.NormFloat64()
+			normSq += row[j] * row[j]
+		}
+		if normSq == 0 {
+			row[i%d] = 1
+			normSq = 1
+		}
+		vecmath.ScaleInPlace(1/math.Sqrt(normSq), row)
+		rows[i] = row
+		dot := 0.0
+		for j := range row {
+			dot += row[j] * xstar[j]
+		}
+		resp[i] = dot + noise*r.NormFloat64()
+	}
+	return rows, resp
+}

@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/dgd"
+)
+
+// Result is one scenario's outcome. Exactly one of the success fields
+// (FinalDist et al.) or the status flags (Skipped, Diverged, Err) is
+// meaningful; Status summarizes which.
+type Result struct {
+	Scenario
+	// Seed is the scenario seed derived from the key (recorded so a single
+	// scenario can be replayed without the Spec).
+	Seed int64 `json:"seed"`
+	// FinalDist is ||x_T - x_H||, the paper's headline metric.
+	FinalDist float64 `json:"final_dist"`
+	// FinalX is the output estimate x_T.
+	FinalX []float64 `json:"final_x,omitempty"`
+	// LossStart, LossFinal, LossMin summarize the honest aggregate loss
+	// trace Q_H(x_t) for t = 0..T.
+	LossStart float64 `json:"loss_start"`
+	LossFinal float64 `json:"loss_final"`
+	LossMin   float64 `json:"loss_min"`
+	// Diverged reports that the estimate (or a gradient) left the finite
+	// floats — the engine's dgd.ErrDiverged.
+	Diverged bool `json:"diverged,omitempty"`
+	// Skipped reports an infeasible grid point: the filter's (n, f)
+	// tolerance condition failed, or f >= n/2.
+	Skipped bool `json:"skipped,omitempty"`
+	// Err is the error string for skipped/diverged/failed scenarios.
+	Err string `json:"error,omitempty"`
+	// WallMS is the scenario's wall-clock milliseconds. It is the one
+	// nondeterministic field, and WriteJSON strips it by default.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// Status returns "ok", "skipped", "diverged", or "error".
+func (r *Result) Status() string {
+	switch {
+	case r.Skipped:
+		return "skipped"
+	case r.Diverged:
+		return "diverged"
+	case r.Err != "":
+		return "error"
+	default:
+		return "ok"
+	}
+}
+
+// problemKey identifies the axes a scenario's workload can depend on;
+// scenarios sharing a key share one problem instance.
+type problemKey struct {
+	problem string
+	n, d, f int
+}
+
+// problemEntry caches one materialized workload (or its build failure).
+type problemEntry struct {
+	prob *problem
+	err  error
+}
+
+// buildProblems materializes every distinct workload of the grid once,
+// before the worker pool starts: a full-registry sweep reuses one
+// instance across all filter × behavior cells of a system size instead
+// of regenerating data and re-solving x_H per scenario. The entries are
+// read-only afterwards, so workers share them without synchronization.
+func buildProblems(spec *Spec, jobs []job) map[problemKey]problemEntry {
+	cache := make(map[problemKey]problemEntry)
+	for _, jb := range jobs {
+		scn := jb.scn
+		if 2*scn.F >= scn.N {
+			continue // skipped before the problem is ever needed
+		}
+		key := problemKey{problem: scn.Problem, n: scn.N, d: scn.Dim, f: scn.F}
+		if _, ok := cache[key]; ok {
+			continue
+		}
+		prob, err := buildProblem(spec, scn)
+		cache[key] = problemEntry{prob: prob, err: err}
+	}
+	return cache
+}
+
+// Run expands the spec and executes every scenario on a pool of
+// spec.Workers goroutines. Results come back in grid order regardless of
+// completion order, and every value except WallMS is a pure function of
+// the Spec — the same spec yields the same results at any worker count.
+func Run(spec Spec) ([]Result, error) {
+	jobs, err := expand(&spec)
+	if err != nil {
+		return nil, err
+	}
+	problems := buildProblems(&spec, jobs)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if workers <= 1 {
+		for i, jb := range jobs {
+			results[i] = runScenario(&spec, jb, problems)
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runScenario(&spec, jobs[i], problems)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, nil
+}
+
+// runScenario executes one grid point end to end. Failures are data, not
+// control flow: infeasible points come back Skipped, non-finite runs come
+// back Diverged, and anything else lands in Err, so one bad cell never
+// aborts a sweep.
+func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Result {
+	scn := jb.scn
+	res := Result{Scenario: scn, Seed: scn.DeriveSeed(spec.Seed)}
+	if spec.PinBehaviorSeed {
+		res.Seed = spec.Seed
+	}
+	fail := func(err error) Result {
+		switch {
+		case errors.Is(err, aggregate.ErrTooManyFaults):
+			res.Skipped = true
+		case errors.Is(err, dgd.ErrDiverged):
+			res.Diverged = true
+		case errors.Is(err, ErrSpec):
+			// Per-scenario spec errors are grid infeasibilities (an
+			// underdetermined honest system, f consuming every agent):
+			// data, like the filter tolerance refusals above.
+			res.Skipped = true
+		}
+		res.Err = err.Error()
+		return res
+	}
+	if 2*scn.F >= scn.N {
+		res.Skipped = true
+		res.Err = fmt.Sprintf("infeasible: need f < n/2, got n=%d f=%d", scn.N, scn.F)
+		return res
+	}
+	entry := problems[problemKey{problem: scn.Problem, n: scn.N, d: scn.Dim, f: scn.F}]
+	if entry.err != nil {
+		return fail(entry.err)
+	}
+	prob := entry.prob
+	if prob == nil {
+		return fail(fmt.Errorf("no cached problem for %s: %w", scn.Key(), ErrSpec))
+	}
+	agents, err := prob.agents()
+	if err != nil {
+		return fail(err)
+	}
+	if scn.Behavior != BehaviorNone {
+		behavior, err := byzantine.New(scn.Behavior, res.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		for i := 0; i < scn.F; i++ {
+			agents[i], err = dgd.NewFaulty(agents[i], behavior)
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+	filter, err := aggregate.New(scn.Filter)
+	if err != nil {
+		return fail(err)
+	}
+	start := time.Now()
+	out, err := dgd.Run(dgd.Config{
+		Agents:    agents,
+		F:         scn.F,
+		Filter:    filter,
+		Steps:     jb.steps,
+		Box:       prob.box,
+		X0:        prob.x0,
+		Rounds:    scn.Rounds,
+		TrackLoss: prob.honestSum,
+		Reference: prob.xH,
+		Workers:   spec.DGDWorkers,
+	})
+	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return fail(err)
+	}
+	res.FinalDist = out.Trace.Dist[len(out.Trace.Dist)-1]
+	res.FinalX = out.X
+	res.LossStart = out.Trace.Loss[0]
+	res.LossFinal = out.Trace.Loss[len(out.Trace.Loss)-1]
+	res.LossMin = res.LossStart
+	for _, v := range out.Trace.Loss {
+		if v < res.LossMin {
+			res.LossMin = v
+		}
+	}
+	return res
+}

@@ -1,0 +1,295 @@
+// Package sweep is the scenario-matrix engine behind the repo's empirical
+// evaluation: it expands a declarative Spec — gradient filters × Byzantine
+// behaviors × fault counts × system sizes × dimensions × step schedules —
+// into concrete scenarios, runs them concurrently on a worker pool, and
+// collects one structured Result per scenario (final distance to the honest
+// minimizer x_H, a loss-trace summary, wall time, and divergence/skip
+// flags), with deterministic JSON export via WriteJSON.
+//
+// Determinism is the design constraint: every scenario derives its random
+// seed by hashing its own key, never from worker identity or completion
+// order, so a sweep produces identical results at any worker count — byte
+// for byte once exported without timings. The paper's Section-5 grid
+// (filter × fault × f on the Appendix-J regression instance) is one small
+// Spec; the engine exists so much larger grids are one call too.
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/dgd"
+	"byzopt/internal/linreg"
+)
+
+// ErrSpec is returned (wrapped) for invalid sweep specifications.
+var ErrSpec = errors.New("sweep: invalid specification")
+
+// Problem sources understood by the engine.
+const (
+	// ProblemSynthetic generates a deterministic distributed-regression
+	// instance per (n, d): unit-scaled Gaussian design rows, responses from
+	// a fixed generator plus Gaussian observation noise. The instance
+	// depends only on (n, d, Seed, Noise), so scenarios that share a system
+	// size also share their data and stay comparable.
+	ProblemSynthetic = "synthetic"
+	// ProblemPaper uses the Appendix-J regression data of the paper
+	// (n = 6, d = 2, equation 132); other sizes are rejected.
+	ProblemPaper = "paper"
+)
+
+// BehaviorNone marks scenarios with f = 0: no Byzantine behavior applies,
+// and the expansion collapses the behavior axis to this single value.
+const BehaviorNone = "none"
+
+// Spec declares a scenario matrix. Zero values select the paper's
+// defaults, so the zero Spec is the full filter × behavior grid on the
+// Appendix-J-sized synthetic instance.
+type Spec struct {
+	// Problem selects the workload: ProblemSynthetic (default) or
+	// ProblemPaper.
+	Problem string
+	// Filters are aggregate registry names; nil means every registered
+	// filter (aggregate.Names()).
+	Filters []string
+	// Behaviors are byzantine registry names; nil means every registered
+	// behavior (byzantine.Names()).
+	Behaviors []string
+	// FValues are the fault-tolerance parameters to sweep; nil means {1}.
+	// The first f agents act Byzantine in each scenario, mirroring the
+	// paper's faulty agent 0. Values with 2f >= n yield Skipped results.
+	FValues []int
+	// NValues are the system sizes; nil means {6} (the paper's n).
+	NValues []int
+	// Dims are the optimization dimensions; nil means {2} (the paper's d).
+	Dims []int
+	// Steps are the step-size schedules; nil means the paper's diminishing
+	// 1.5/(t+1).
+	Steps []dgd.StepSchedule
+	// Rounds is the iteration count T; 0 means 500 (the paper's x_out).
+	Rounds int
+	// Seed is the base seed mixed into every scenario hash; change it to
+	// draw an independent replicate of the whole sweep.
+	Seed int64
+	// PinBehaviorSeed, when set, seeds every Byzantine behavior with Seed
+	// directly instead of the per-scenario hash. Use it to replicate a
+	// specific pinned execution (abft-bench pins the paper's Table-1
+	// "random" stream this way); leave it unset for independent randomness
+	// across grid points.
+	PinBehaviorSeed bool
+	// Noise is the synthetic observation-noise scale; 0 means 0.05.
+	Noise float64
+	// BoxRadius is the constraint-cube half-width W = [-r, r]^d; 0 means
+	// 1000 (the paper's W).
+	BoxRadius float64
+
+	// Workers sizes the scenario worker pool; <= 0 means GOMAXPROCS.
+	// Results are identical at any setting.
+	Workers int
+	// DGDWorkers is passed to dgd.Config.Workers for every run, enabling
+	// concurrent gradient collection inside each scenario. Note the zero
+	// values differ: gradient collection is opt-in, so DGDWorkers = 0
+	// keeps it sequential (negative means GOMAXPROCS), whereas Workers = 0
+	// above means a full-size pool.
+	DGDWorkers int
+}
+
+// Scenario identifies one expanded grid point. Its Key doubles as the
+// seed-derivation input, so two scenarios differing in any axis draw
+// independent randomness while reruns of the same scenario replay exactly.
+type Scenario struct {
+	Problem  string `json:"problem"`
+	Filter   string `json:"filter"`
+	Behavior string `json:"behavior"`
+	F        int    `json:"f"`
+	N        int    `json:"n"`
+	Dim      int    `json:"d"`
+	Step     string `json:"step"`
+	Rounds   int    `json:"rounds"`
+}
+
+// Key returns the stable scenario identifier used for seeding, logging,
+// and deduplication.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("problem=%s filter=%s behavior=%s f=%d n=%d d=%d step=%s rounds=%d",
+		s.Problem, s.Filter, s.Behavior, s.F, s.N, s.Dim, s.Step, s.Rounds)
+}
+
+// DeriveSeed hashes the scenario key together with the base seed. The
+// result feeds every random draw of the scenario (behavior streams), so
+// replay needs nothing but the Spec.
+func (s Scenario) DeriveSeed(base int64) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, s.Key())
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// job pairs a scenario with its (non-serializable) step schedule.
+type job struct {
+	scn   Scenario
+	steps dgd.StepSchedule
+}
+
+// normalize fills in the documented defaults in place.
+func (spec *Spec) normalize() {
+	if spec.Problem == "" {
+		spec.Problem = ProblemSynthetic
+	}
+	if spec.Filters == nil {
+		spec.Filters = aggregate.Names()
+	}
+	if spec.Behaviors == nil {
+		spec.Behaviors = byzantine.Names()
+	}
+	if spec.FValues == nil {
+		spec.FValues = []int{1}
+	}
+	if spec.NValues == nil {
+		spec.NValues = []int{linreg.N}
+	}
+	if spec.Dims == nil {
+		spec.Dims = []int{linreg.Dim}
+	}
+	if spec.Steps == nil {
+		spec.Steps = []dgd.StepSchedule{dgd.Diminishing{C: linreg.StepC, P: 1}}
+	}
+	if spec.Rounds == 0 {
+		spec.Rounds = linreg.Rounds
+	}
+	if spec.Noise == 0 {
+		spec.Noise = 0.05
+	}
+	if spec.BoxRadius == 0 {
+		spec.BoxRadius = linreg.BoxRadius
+	}
+}
+
+// validateSpec rejects unknown names and nonsensical values up front, so a
+// sweep fails fast instead of burying a typo in per-scenario errors.
+func validateSpec(spec *Spec) error {
+	if spec.Problem != ProblemSynthetic && spec.Problem != ProblemPaper {
+		return fmt.Errorf("unknown problem %q: %w", spec.Problem, ErrSpec)
+	}
+	if len(spec.Filters) == 0 {
+		return fmt.Errorf("empty filter list: %w", ErrSpec)
+	}
+	for _, name := range spec.Filters {
+		if _, err := aggregate.New(name); err != nil {
+			return fmt.Errorf("filter %q: %v: %w", name, err, ErrSpec)
+		}
+	}
+	if len(spec.Behaviors) == 0 {
+		return fmt.Errorf("empty behavior list: %w", ErrSpec)
+	}
+	for _, name := range spec.Behaviors {
+		if name == BehaviorNone {
+			continue
+		}
+		if _, err := byzantine.New(name, 0); err != nil {
+			return fmt.Errorf("behavior %q: %v: %w", name, err, ErrSpec)
+		}
+	}
+	for _, f := range spec.FValues {
+		if f < 0 {
+			return fmt.Errorf("negative f = %d: %w", f, ErrSpec)
+		}
+	}
+	for _, n := range spec.NValues {
+		if n < 1 {
+			return fmt.Errorf("n = %d must be positive: %w", n, ErrSpec)
+		}
+		if spec.Problem == ProblemPaper && n != linreg.N {
+			return fmt.Errorf("paper problem requires n = %d, got %d: %w", linreg.N, n, ErrSpec)
+		}
+	}
+	for _, d := range spec.Dims {
+		if d < 1 {
+			return fmt.Errorf("dim = %d must be positive: %w", d, ErrSpec)
+		}
+		if spec.Problem == ProblemPaper && d != linreg.Dim {
+			return fmt.Errorf("paper problem requires d = %d, got %d: %w", linreg.Dim, d, ErrSpec)
+		}
+	}
+	for i, s := range spec.Steps {
+		if s == nil {
+			return fmt.Errorf("nil step schedule %d: %w", i, ErrSpec)
+		}
+	}
+	if spec.Rounds < 1 {
+		return fmt.Errorf("rounds = %d must be positive: %w", spec.Rounds, ErrSpec)
+	}
+	if spec.Noise < 0 {
+		return fmt.Errorf("negative noise %v: %w", spec.Noise, ErrSpec)
+	}
+	if spec.BoxRadius <= 0 {
+		return fmt.Errorf("box radius %v must be positive: %w", spec.BoxRadius, ErrSpec)
+	}
+	return nil
+}
+
+// expand normalizes the spec and enumerates the grid in a fixed order
+// (filter, f, behavior, n, d, step). Scenarios with f = 0 collapse the
+// behavior axis to BehaviorNone — there is no faulty agent to act it out —
+// so the grid never contains duplicates.
+func expand(spec *Spec) ([]job, error) {
+	spec.normalize()
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	var jobs []job
+	for _, filter := range spec.Filters {
+		for _, f := range spec.FValues {
+			behaviors := spec.Behaviors
+			if f == 0 {
+				behaviors = []string{BehaviorNone}
+			}
+			for _, behavior := range behaviors {
+				for _, n := range spec.NValues {
+					for _, d := range spec.Dims {
+						for _, steps := range spec.Steps {
+							jobs = append(jobs, job{
+								scn: Scenario{
+									Problem:  spec.Problem,
+									Filter:   filter,
+									Behavior: behavior,
+									F:        f,
+									N:        n,
+									Dim:      d,
+									Step:     steps.Name(),
+									Rounds:   spec.Rounds,
+								},
+								steps: steps,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty scenario grid: %w", ErrSpec)
+	}
+	return jobs, nil
+}
+
+// Scenarios returns the expanded grid without running it, in execution
+// order — useful for sizing a sweep or sharding it externally.
+func Scenarios(spec Spec) ([]Scenario, error) {
+	jobs, err := expand(&spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Scenario, len(jobs))
+	for i, jb := range jobs {
+		out[i] = jb.scn
+	}
+	return out, nil
+}

@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/linreg"
+)
+
+// smallSpec is the shared fixture: a real multi-axis grid that still runs
+// in well under a second.
+func smallSpec() Spec {
+	return Spec{
+		Filters:   []string{"mean", "cge", "cwtm", "krum"},
+		Behaviors: []string{"gradient-reverse", "random"},
+		FValues:   []int{1, 2},
+		Rounds:    60,
+	}
+}
+
+func TestExpandDefaultsCoverFullRegistry(t *testing.T) {
+	scns, err := Scenarios(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(aggregate.Names()) * len(byzantine.Names())
+	if len(scns) != want {
+		t.Fatalf("zero spec expanded to %d scenarios, want %d", len(scns), want)
+	}
+	keys := make(map[string]bool, len(scns))
+	for _, s := range scns {
+		if keys[s.Key()] {
+			t.Errorf("duplicate scenario %s", s.Key())
+		}
+		keys[s.Key()] = true
+		if s.Rounds != linreg.Rounds || s.N != linreg.N || s.Dim != linreg.Dim {
+			t.Errorf("defaults not applied: %+v", s)
+		}
+	}
+}
+
+func TestExpandCollapsesBehaviorAxisAtFZero(t *testing.T) {
+	scns, err := Scenarios(Spec{FValues: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(aggregate.Names()); len(scns) != want {
+		t.Fatalf("f=0 grid has %d scenarios, want %d (one per filter)", len(scns), want)
+	}
+	for _, s := range scns {
+		if s.Behavior != BehaviorNone {
+			t.Errorf("f=0 scenario kept behavior %q", s.Behavior)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown filter", Spec{Filters: []string{"bogus"}}},
+		{"unknown behavior", Spec{Behaviors: []string{"bogus"}}},
+		{"unknown problem", Spec{Problem: "bogus"}},
+		{"paper wrong n", Spec{Problem: ProblemPaper, NValues: []int{8}}},
+		{"paper wrong d", Spec{Problem: ProblemPaper, Dims: []int{3}}},
+		{"negative f", Spec{FValues: []int{-1}}},
+		{"negative rounds", Spec{Rounds: -5}},
+		{"zero n", Spec{NValues: []int{0}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.spec); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: want ErrSpec, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestDeriveSeedIsStableAndDistinct(t *testing.T) {
+	a := Scenario{Problem: "synthetic", Filter: "cge", Behavior: "random", F: 1, N: 6, Dim: 2, Step: "x", Rounds: 10}
+	b := a
+	b.F = 2
+	if a.DeriveSeed(7) != a.DeriveSeed(7) {
+		t.Error("seed not stable across calls")
+	}
+	if a.DeriveSeed(7) == b.DeriveSeed(7) {
+		t.Error("distinct scenarios share a seed")
+	}
+	if a.DeriveSeed(7) == a.DeriveSeed(8) {
+		t.Error("base seed ignored")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the engine's core guarantee: the
+// same spec, run with 1 sweep worker or 8 (and with concurrent gradient
+// collection inside each run), exports byte-identical JSON.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	encode := func(spec Spec) []byte {
+		t.Helper()
+		results, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	base := smallSpec()
+	base.Workers = 1
+	want := encode(base)
+
+	parallel := smallSpec()
+	parallel.Workers = 8
+	if got := encode(parallel); !bytes.Equal(got, want) {
+		t.Error("Workers=8 JSON differs from Workers=1")
+	}
+
+	nested := smallSpec()
+	nested.Workers = 8
+	nested.DGDWorkers = 4
+	if got := encode(nested); !bytes.Equal(got, want) {
+		t.Error("DGDWorkers=4 JSON differs from sequential gradient collection")
+	}
+}
+
+func TestWriteJSONStripsTimingByDefault(t *testing.T) {
+	results := []Result{{Scenario: Scenario{Filter: "cge"}, WallMS: 12.5}}
+	var stripped, timed bytes.Buffer
+	if err := WriteJSON(&stripped, results, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&timed, results, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stripped.String(), "wall_ms") {
+		t.Error("timing leaked into deterministic export")
+	}
+	if !strings.Contains(timed.String(), "wall_ms") {
+		t.Error("includeTiming did not export wall_ms")
+	}
+	if results[0].WallMS != 12.5 {
+		t.Error("WriteJSON mutated the caller's results")
+	}
+}
+
+// TestPaperGridReproducesSection5 runs the paper's own grid corner: on the
+// Appendix-J instance, CGE under gradient-reverse must land within the
+// instance's redundancy parameter epsilon = 0.089 of x_H, while unfiltered
+// averaging must not.
+func TestPaperGridReproducesSection5(t *testing.T) {
+	results, err := Run(Spec{
+		Problem:   ProblemPaper,
+		Filters:   []string{"cge", "mean"},
+		Behaviors: []string{"gradient-reverse"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFilter := map[string]Result{}
+	for _, r := range results {
+		byFilter[r.Filter] = r
+	}
+	cge, mean := byFilter["cge"], byFilter["mean"]
+	if cge.Status() != "ok" || mean.Status() != "ok" {
+		t.Fatalf("unexpected statuses: cge=%s mean=%s", cge.Status(), mean.Status())
+	}
+	const epsilon = 0.089
+	if cge.FinalDist >= epsilon {
+		t.Errorf("cge distance %.4f, want < %.4f (paper Table 1)", cge.FinalDist, epsilon)
+	}
+	if mean.FinalDist <= epsilon {
+		t.Errorf("plain averaging distance %.4f suspiciously small under attack", mean.FinalDist)
+	}
+	if len(cge.FinalX) != linreg.Dim || cge.LossMin > cge.LossStart+1e-12 {
+		t.Errorf("malformed result: %+v", cge)
+	}
+}
+
+// TestInfeasibleScenariosAreSkippedNotFatal checks both skip routes: the
+// filter's own (n, f) condition (Bulyan needs n >= 4f+3 = 7 > 6) and the
+// engine's f < n/2 requirement.
+func TestInfeasibleScenariosAreSkippedNotFatal(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:   []string{"bulyan", "cge"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1, 3},
+		Rounds:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch {
+		case r.Filter == "bulyan" || r.F == 3:
+			if !r.Skipped || r.Err == "" {
+				t.Errorf("%s: want skipped with reason, got %+v", r.Key(), r)
+			}
+		default:
+			if r.Status() != "ok" {
+				t.Errorf("%s: want ok, got %s (%s)", r.Key(), r.Status(), r.Err)
+			}
+		}
+	}
+}
+
+// TestStressMixedOmniscientPool hammers the worker pool with a larger
+// grid of colluding omniscient adversaries at high concurrency on both
+// levels; run under -race this is the engine's data-race probe.
+func TestStressMixedOmniscientPool(t *testing.T) {
+	spec := Spec{
+		Filters:    []string{"cge", "cwtm", "multikrum", "centeredclip"},
+		Behaviors:  []string{"ipm", "alie", "random", "zero"},
+		FValues:    []int{2, 5},
+		NValues:    []int{24},
+		Dims:       []int{8},
+		Rounds:     12,
+		Workers:    8,
+		DGDWorkers: 8,
+	}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok int
+	for _, r := range results {
+		if r.Status() == "error" {
+			t.Errorf("%s: %s", r.Key(), r.Err)
+		}
+		if r.Status() == "ok" {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Error("stress sweep produced no successful scenarios")
+	}
+	// The pool must not have reordered results: grid order is fixed.
+	scns, err := Scenarios(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scns {
+		if scns[i] != results[i].Scenario {
+			t.Fatalf("result %d out of grid order: %+v vs %+v", i, results[i].Scenario, scns[i])
+		}
+	}
+}
+
+// TestResultsRoundTripJSON guards the export schema: scenario axes and
+// metrics must survive a marshal/unmarshal cycle.
+func TestResultsRoundTripJSON(t *testing.T) {
+	spec := Spec{Filters: []string{"cwtm"}, Behaviors: []string{"zero"}, Rounds: 15}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results, false); err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(back), len(results))
+	}
+	if back[0].Scenario != results[0].Scenario || back[0].FinalDist != results[0].FinalDist {
+		t.Errorf("round trip mangled result: %+v vs %+v", back[0], results[0])
+	}
+}
+
+func TestFormatTableAndSummarize(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:   []string{"cge", "bulyan"},
+		Behaviors: []string{"gradient-reverse"},
+		Rounds:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatTable(results)
+	for _, want := range []string{"FILTER", "cge", "bulyan", "skipped"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	sum := Summarize(results)
+	if !strings.Contains(sum, "2 scenarios") || !strings.Contains(sum, "1 skipped") {
+		t.Errorf("unexpected summary %q", sum)
+	}
+}
+
+// TestUnderdeterminedGridPointIsSkipped: a synthetic cell whose honest
+// system has fewer agents than dimensions is a grid infeasibility, so it
+// must land in the skipped bucket like the other tolerance refusals.
+func TestUnderdeterminedGridPointIsSkipped(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:   []string{"cge"},
+		Behaviors: []string{"zero"},
+		NValues:   []int{6},
+		Dims:      []int{10},
+		Rounds:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Skipped || results[0].Err == "" {
+		t.Fatalf("underdetermined cell should be skipped with a reason, got %+v", results[0])
+	}
+}
+
+// TestPinBehaviorSeedReplaysFixedStream: with PinBehaviorSeed the recorded
+// seed is the base seed itself, and the run differs from the hash-derived
+// one only through the behavior's random stream.
+func TestPinBehaviorSeedReplaysFixedStream(t *testing.T) {
+	spec := Spec{
+		Problem:   ProblemPaper,
+		Filters:   []string{"cge"},
+		Behaviors: []string{"random"},
+		Rounds:    30,
+	}
+	derived, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 2021
+	spec.PinBehaviorSeed = true
+	pinned, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned[0].Seed != 2021 {
+		t.Errorf("pinned seed not recorded: %d", pinned[0].Seed)
+	}
+	if pinned[0].Seed == derived[0].Seed {
+		t.Error("derived seed accidentally equals the pinned one")
+	}
+	again, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].FinalDist != pinned[0].FinalDist {
+		t.Error("pinned run is not reproducible")
+	}
+}
