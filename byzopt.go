@@ -12,17 +12,53 @@
 //     (ExhaustiveResilient);
 //
 //   - the algorithmic half of Section 4 — distributed gradient descent with
-//     pluggable gradient filters (Run), including the paper's CGE and CWTM
-//     filters plus literature baselines, Byzantine behavior models, and the
-//     Theorem 4/5/6 resilience bounds.
+//     pluggable gradient filters (RunContext), including the paper's CGE and
+//     CWTM filters plus literature baselines, Byzantine behavior models, and
+//     the Theorem 4/5/6 resilience bounds.
 //
-// A minimal fault-tolerant run:
+// # One execution interface, several substrates
+//
+// Every execution goes through the context-first Backend interface:
+//
+//	type Backend interface {
+//	        Run(ctx context.Context, cfg Config) (*Result, error)
+//	}
+//
+// InProcessBackend runs the deterministic simulation in this process;
+// ClusterBackend serves the same Config over the server/transport stack of
+// Figure 1, one in-memory connection per agent. A fault-free Config
+// produces the identical trajectory on both, so code written against one
+// substrate moves to the other unchanged. A minimal fault-tolerant run,
+// cancellable through its context:
 //
 //	filter, _ := byzopt.NewFilter("cge")
-//	res, err := byzopt.Run(byzopt.Config{
+//	res, err := byzopt.RunContext(ctx, byzopt.Config{
 //	        Agents: agents, F: 1, Filter: filter,
 //	        X0: []float64{0, 0}, Rounds: 500,
 //	})
+//
+// Run is the context-free shorthand; both execute on the in-process
+// backend. Cancellation takes effect within one round and surfaces as a
+// wrapped ctx.Err().
+//
+// # Observing rounds
+//
+// Config.Observer receives every estimate x_t together with the tracked
+// loss and distance values (NaN when the corresponding Config field is
+// unset); returning an error aborts the run. ObserverFunc adapts a plain
+// function, and TraceRecorder is the canonical observer, recording the full
+// per-round series:
+//
+//	rec := &byzopt.TraceRecorder{}
+//	res, err := byzopt.RunContext(ctx, byzopt.Config{
+//	        Agents: agents, F: 1, Filter: filter,
+//	        X0: x0, Rounds: 500, Reference: xH,
+//	        Observer: rec,
+//	})
+//	// rec.Dist[t] is ||x_t - x_H|| for every round.
+//
+// All backends honor observers, so instrumentation is portable between the
+// in-process engine and the cluster.
 //
 // # Scenario sweeps
 //
@@ -33,7 +69,7 @@
 // key, so results are identical at any worker count and a sweep replays
 // exactly from its spec:
 //
-//	results, err := byzopt.Sweep(byzopt.SweepSpec{
+//	results, err := byzopt.SweepContext(ctx, byzopt.SweepSpec{
 //	        Filters:   []string{"cge", "cwtm", "krum"},
 //	        Behaviors: []string{"gradient-reverse", "random"},
 //	        FValues:   []int{1, 2},
@@ -45,9 +81,16 @@
 // Leaving SweepSpec fields zero selects the paper's defaults (every
 // registered filter and behavior, n = 6, d = 2, 500 rounds); Problem:
 // "paper" swaps the synthetic workload for the exact Appendix-J instance.
-// Per-run gradient collection parallelizes independently via
-// Config.Workers (SweepSpec.DGDWorkers inside a sweep). The abft-sweep
-// command is this API as a CLI.
+// SweepSpec.Backend selects the substrate per sweep (nil means in-process;
+// ClusterBackend turns the sweep into a distributed-system load generator),
+// SweepSpec.ScenarioTimeout bounds each scenario (exceeding it yields a
+// "timeout" result, like divergence — data, not failure), and cancelling
+// the context of SweepContext returns the completed scenarios as partial
+// results plus a wrapped context.Canceled. SweepSpec.RecordTrace exports
+// the full per-round loss/distance series per scenario, which is how the
+// figure series are produced. Per-run gradient collection parallelizes
+// independently via Config.Workers (SweepSpec.DGDWorkers inside a sweep).
+// The abft-sweep command is this API as a CLI.
 //
 // The deeper machinery (matrix solvers, transports, the peer-to-peer
 // broadcast layer, experiment drivers) lives in internal packages; the
@@ -55,10 +98,13 @@
 package byzopt
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
+	"byzopt/internal/cluster"
 	"byzopt/internal/core"
 	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
@@ -173,8 +219,50 @@ type Diminishing = dgd.Diminishing
 // ConstantStep is the fixed schedule used by the learning experiments.
 type ConstantStep = dgd.Constant
 
-// Run executes the configured DGD simulation.
+// RoundObserver observes every estimate of a run (t = 0..Rounds) together
+// with the tracked loss and distance values; see Config.Observer.
+type RoundObserver = dgd.RoundObserver
+
+// ObserverFunc adapts a function to the RoundObserver interface.
+type ObserverFunc = dgd.ObserverFunc
+
+// TraceRecorder is a RoundObserver recording the full per-round series
+// (estimates, loss, distance) for export.
+type TraceRecorder = dgd.TraceRecorder
+
+// Run executes the configured DGD simulation on the in-process backend,
+// without cancellation (RunContext with a background context).
 func Run(cfg Config) (*Result, error) { return dgd.Run(cfg) }
+
+// RunContext executes the configured DGD simulation on the in-process
+// backend. Cancellation or deadline expiry of ctx aborts the run within one
+// round and returns a wrapped ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) { return dgd.RunContext(ctx, cfg) }
+
+// --- execution backends ---
+
+// Backend is the uniform execution interface over the repo's substrates: a
+// Backend runs one configured DGD execution to completion under a context.
+// SweepSpec.Backend accepts any implementation, so scenario grids run
+// unchanged in-process or over the cluster stack.
+type Backend = dgd.Backend
+
+// InProcessBackend returns the Backend executing runs with the
+// deterministic in-process engine — the substrate behind Run/RunContext.
+func InProcessBackend() Backend { return dgd.InProcess{} }
+
+// ClusterBackend returns a Backend executing each run over the
+// server/transport stack of the paper's Figure 1: every agent is served by
+// its own in-memory connection and a trusted server drives the synchronous
+// protocol, eliminating agents that miss the per-round deadline
+// (roundTimeout; zero selects a generous default). Fault-free runs and
+// runs whose Byzantine behaviors are not omniscient reproduce the
+// in-process trajectory exactly; omniscient behaviors degrade to their
+// non-omniscient path, since an agent behind a connection cannot observe
+// the other agents' reports.
+func ClusterBackend(roundTimeout time.Duration) Backend {
+	return &cluster.Backend{RoundTimeout: roundTimeout}
+}
 
 // --- scenario sweeps ---
 
@@ -191,8 +279,17 @@ type SweepResult = sweep.Result
 
 // Sweep expands the spec and runs every scenario concurrently with
 // deterministic per-scenario seeds; results are identical at any worker
-// count.
+// count (SweepContext with a background context).
 func Sweep(spec SweepSpec) ([]SweepResult, error) { return sweep.Run(spec) }
+
+// SweepContext runs the sweep under a context: cancellation stops the pool
+// within one scenario's duration and returns the scenarios completed so far
+// as partial results, in grid order, plus an error wrapping ctx.Err().
+// Per-scenario deadlines (SweepSpec.ScenarioTimeout) never fail the sweep —
+// an overrunning scenario is classified as a "timeout" result instead.
+func SweepContext(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
+	return sweep.RunContext(ctx, spec)
+}
 
 // SweepScenarios expands the spec without running it, in execution order.
 func SweepScenarios(spec SweepSpec) ([]SweepScenario, error) { return sweep.Scenarios(spec) }

@@ -1,9 +1,12 @@
 package byzopt
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildRegression constructs a 6-agent noisy regression through the public
@@ -63,6 +66,83 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if d := res.Trace.Dist[len(res.Trace.Dist)-1]; d > 0.05 {
 		t.Errorf("final distance = %v", d)
+	}
+}
+
+// TestPublicBackendsAgree: one Config, both public backends, identical
+// trajectories — with a TraceRecorder observer riding along.
+func TestPublicBackendsAgree(t *testing.T) {
+	build := func() Config {
+		costs, xstar := buildRegression(t)
+		agents, err := HonestAgents(costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter, err := NewFilter("cge")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Agents:    agents,
+			F:         1,
+			Filter:    filter,
+			X0:        []float64{0, 0},
+			Rounds:    80,
+			Reference: xstar,
+		}
+	}
+	ctx := context.Background()
+	run := func(b Backend) (*Result, *TraceRecorder) {
+		t.Helper()
+		cfg := build()
+		rec := &TraceRecorder{}
+		cfg.Observer = rec
+		res, err := b.Run(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec
+	}
+	inproc, inprocRec := run(InProcessBackend())
+	clust, clustRec := run(ClusterBackend(time.Second))
+	for i := range inproc.X {
+		if inproc.X[i] != clust.X[i] {
+			t.Fatalf("backends disagree on the estimate: %v vs %v", inproc.X, clust.X)
+		}
+	}
+	if len(inprocRec.Dist) != len(clustRec.Dist) {
+		t.Fatalf("observer series lengths differ: %d vs %d", len(inprocRec.Dist), len(clustRec.Dist))
+	}
+	for i := range inprocRec.Dist {
+		if inprocRec.Dist[i] != clustRec.Dist[i] {
+			t.Fatalf("observer distance series diverges at round %d", i)
+		}
+	}
+}
+
+// TestPublicRunContextCancellation: the public RunContext and SweepContext
+// surface wrapped context errors.
+func TestPublicRunContextCancellation(t *testing.T) {
+	costs, _ := buildRegression(t)
+	agents, err := HonestAgents(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewFilter("mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Config{
+		Agents: agents, F: 0, Filter: filter, X0: []float64{0, 0}, Rounds: 10,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext: want context.Canceled, got %v", err)
+	}
+	if _, err := SweepContext(ctx, SweepSpec{
+		Filters: []string{"cge"}, Behaviors: []string{"zero"}, Rounds: 10,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SweepContext: want context.Canceled, got %v", err)
 	}
 }
 

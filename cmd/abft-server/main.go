@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"byzopt/internal/aggregate"
@@ -27,13 +29,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// An interrupt cancels the protocol run between rounds instead of
+	// killing the process mid-broadcast.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "abft-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("abft-server", flag.ContinueOnError)
 	listen := fs.String("listen", ":7000", "address to listen on")
 	n := fs.Int("n", 6, "number of agents to wait for")
@@ -104,7 +110,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := srv.Run(context.Background())
+	res, err := srv.Run(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
@@ -25,13 +26,14 @@ func TestFormatVector(t *testing.T) {
 }
 
 func TestRunFlagValidation(t *testing.T) {
-	if err := run([]string{"-filter", "bogus"}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-filter", "bogus"}); err == nil {
 		t.Error("unknown filter should error")
 	}
-	if err := run([]string{"-x0", "1,2,3", "-dim", "2"}); err == nil {
+	if err := run(ctx, []string{"-x0", "1,2,3", "-dim", "2"}); err == nil {
 		t.Error("x0/dim mismatch should error")
 	}
-	if err := run([]string{"-x0", "1,zz", "-dim", "2"}); err == nil {
+	if err := run(ctx, []string{"-x0", "1,zz", "-dim", "2"}); err == nil {
 		t.Error("unparseable x0 should error")
 	}
 }

@@ -8,32 +8,44 @@
 //	abft-sweep -problem paper -filters cge,cwtm       # the paper's Section-5 corner
 //	abft-sweep -f 1,2 -n 12,24 -d 2,10 -rounds 200    # a 4-axis grid
 //	abft-sweep -workers 8 -json results.json          # 8-way pool + deterministic JSON export
+//	abft-sweep -backend cluster -timeout 30s          # serve every scenario over the cluster stack
 //
 // Scenario seeds are derived by hashing each scenario's key, so the
 // results (and the JSON, unless -timings is set) are byte-identical at
-// any -workers value.
+// any -workers value — and, for fault-free grids, on either -backend.
+// -timeout bounds each scenario; overruns are classified as "timeout"
+// results in the table and JSON rather than failing the sweep. An
+// interrupt (Ctrl-C) stops the sweep within one scenario and still prints
+// and exports the scenarios that completed, in grid order.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"byzopt/internal/cluster"
 	"byzopt/internal/dgd"
 	"byzopt/internal/linreg"
 	"byzopt/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "abft-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("abft-sweep", flag.ContinueOnError)
 	var (
 		problem    = fs.String("problem", sweep.ProblemSynthetic, "workload: synthetic or paper")
@@ -48,6 +60,8 @@ func run(args []string, out *os.File) error {
 		noise      = fs.Float64("noise", 0, "synthetic observation noise (0 = default 0.05)")
 		workers    = fs.Int("workers", 0, "scenario worker pool size (0 = GOMAXPROCS)")
 		dgdWorkers = fs.Int("dgd-workers", 0, "concurrent gradient collection per run (0 = sequential)")
+		backend    = fs.String("backend", "inprocess", "execution substrate per scenario: inprocess or cluster")
+		timeout    = fs.Duration("timeout", 0, "per-scenario deadline; overruns become \"timeout\" results (0 = unbounded)")
 		jsonPath   = fs.String("json", "", "write results JSON to this file")
 		timings    = fs.Bool("timings", false, "include wall-clock times in the JSON (breaks byte-determinism)")
 		quiet      = fs.Bool("quiet", false, "print only the summary line")
@@ -57,12 +71,21 @@ func run(args []string, out *os.File) error {
 	}
 
 	spec := sweep.Spec{
-		Problem:    *problem,
-		Rounds:     *rounds,
-		Seed:       *seed,
-		Noise:      *noise,
-		Workers:    *workers,
-		DGDWorkers: *dgdWorkers,
+		Problem:         *problem,
+		Rounds:          *rounds,
+		Seed:            *seed,
+		Noise:           *noise,
+		Workers:         *workers,
+		DGDWorkers:      *dgdWorkers,
+		ScenarioTimeout: *timeout,
+	}
+	switch *backend {
+	case "inprocess":
+		// nil Backend selects dgd.InProcess.
+	case "cluster":
+		spec.Backend = &cluster.Backend{}
+	default:
+		return fmt.Errorf("unknown -backend %q (want inprocess or cluster)", *backend)
 	}
 	if *filters != "all" {
 		spec.Filters = splitList(*filters)
@@ -96,9 +119,9 @@ func run(args []string, out *os.File) error {
 		spec.Steps = schedules
 	}
 
-	results, err := sweep.Run(spec)
-	if err != nil {
-		return err
+	results, runErr := sweep.RunContext(ctx, spec)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
 	}
 	if !*quiet {
 		fmt.Fprint(out, sweep.FormatTable(results))
@@ -111,7 +134,9 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
 	}
-	return nil
+	// A cancelled sweep still printed and exported its completed scenarios
+	// above; surface the interruption in the exit status.
+	return runErr
 }
 
 func splitList(s string) []string {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -13,7 +15,7 @@ func TestRunSmallGridWritesDeterministicJSON(t *testing.T) {
 	read := func(workers string) []byte {
 		t.Helper()
 		path := filepath.Join(dir, "out-"+workers+".json")
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-filters", "cge,cwtm", "-behaviors", "gradient-reverse,random",
 			"-f", "1,2", "-rounds", "30", "-workers", workers,
 			"-json", path, "-quiet",
@@ -41,7 +43,7 @@ func TestRunSmallGridWritesDeterministicJSON(t *testing.T) {
 }
 
 func TestRunPaperProblem(t *testing.T) {
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-problem", "paper", "-filters", "cge", "-behaviors", "gradient-reverse",
 		"-rounds", "50",
 	}, os.Stdout); err != nil {
@@ -50,18 +52,108 @@ func TestRunPaperProblem(t *testing.T) {
 }
 
 func TestRunStepSweepAndBadFlags(t *testing.T) {
-	if err := run([]string{
+	ctx := context.Background()
+	if err := run(ctx, []string{
 		"-filters", "cwtm", "-behaviors", "zero", "-rounds", "10", "-steps", "0.05", "-quiet",
 	}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-f", "x"}, os.Stdout); err == nil {
+	if err := run(ctx, []string{"-f", "x"}, os.Stdout); err == nil {
 		t.Error("bad -f should error")
 	}
-	if err := run([]string{"-filters", "bogus"}, os.Stdout); err == nil {
+	if err := run(ctx, []string{"-filters", "bogus"}, os.Stdout); err == nil {
 		t.Error("unknown filter should error")
 	}
-	if err := run([]string{"-steps", "abc"}, os.Stdout); err == nil {
+	if err := run(ctx, []string{"-steps", "abc"}, os.Stdout); err == nil {
 		t.Error("bad -steps should error")
+	}
+	if err := run(ctx, []string{"-backend", "bogus"}, os.Stdout); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+// TestRunClusterBackendMatchesInProcess: the CLI's -backend flag must not
+// change the exported JSON for a fault-free grid — the backend-parity
+// guarantee surfaced at the command level.
+func TestRunClusterBackendMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	read := func(backend string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, "out-"+backend+".json")
+		err := run(context.Background(), []string{
+			"-filters", "cge,cwtm,mean", "-f", "0", "-rounds", "40",
+			"-backend", backend, "-json", path, "-quiet",
+		}, os.Stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(read("inprocess"), read("cluster")) {
+		t.Error("fault-free JSON differs between -backend inprocess and -backend cluster")
+	}
+}
+
+// TestRunTimeoutClassifiesSlowScenario pits -timeout against a deliberately
+// slow problem (a large, long-running synthetic grid point): the scenario
+// must come back classified as "timeout" in the JSON export — like
+// divergence, data rather than a sweep failure.
+func TestRunTimeoutClassifiesSlowScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := run(context.Background(), []string{
+		// ~50 agents x 24 dims x 200k rounds is far beyond a 20ms budget,
+		// and the round loop checks the deadline every iteration.
+		"-filters", "mean", "-behaviors", "zero", "-n", "48", "-d", "24",
+		"-rounds", "200000", "-timeout", "20ms", "-json", path, "-quiet",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		TimedOut bool   `json:"timed_out"`
+		Err      string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 1 || !results[0].TimedOut {
+		t.Fatalf("want one timed-out result, got %+v", results)
+	}
+	if results[0].Err == "" {
+		t.Error("timeout result should carry a reason")
+	}
+}
+
+// TestRunCancelledSweepExportsPartialResults: a cancelled CLI run must
+// still export the scenarios completed so far and report the cancellation.
+func TestRunCancelledSweepExportsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := run(ctx, []string{
+		"-filters", "cge", "-behaviors", "zero", "-rounds", "10",
+		"-json", path, "-quiet",
+	}, os.Stdout)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal("cancelled run should still write the JSON export:", err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 0 {
+		t.Errorf("pre-cancelled run should export zero scenarios, got %d", len(results))
 	}
 }

@@ -51,6 +51,11 @@ type Config struct {
 	// TrackLoss and Reference mirror dgd.Config's instrumentation.
 	TrackLoss costfunc.Function
 	Reference []float64
+	// Observer mirrors dgd.Config.Observer: it sees every estimate x_t with
+	// the tracked loss/distance values (NaN when untracked), so
+	// instrumentation is portable between the in-process engine and the
+	// cluster.
+	Observer dgd.RoundObserver
 }
 
 // Result extends the dgd result with cluster-level accounting.
@@ -141,24 +146,14 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		live[i] = i
 	}
 	f := cfg.F
+	// slots[agent] holds the agent's reply for the current round; grads is
+	// the filter input rebuilt from it in agent-index order each round.
+	slots := make([][]float64, len(cfg.Conns))
+	grads := make([][]float64, 0, len(cfg.Conns))
 
 	res := &Result{}
 	record := func(t int) error {
-		if cfg.TrackLoss != nil {
-			v, err := cfg.TrackLoss.Eval(x)
-			if err != nil {
-				return fmt.Errorf("loss at round %d: %w", t, err)
-			}
-			res.Trace.Loss = append(res.Trace.Loss, v)
-		}
-		if cfg.Reference != nil {
-			d, err := vecmath.Dist(x, cfg.Reference)
-			if err != nil {
-				return fmt.Errorf("distance at round %d: %w", t, err)
-			}
-			res.Trace.Dist = append(res.Trace.Dist, d)
-		}
-		return nil
+		return dgd.RecordRound(t, x, cfg.TrackLoss, cfg.Reference, cfg.Observer, &res.Trace)
 	}
 
 	for t := 0; t < cfg.Rounds; t++ {
@@ -170,7 +165,11 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		}
 
 		// Broadcast the round to all live agents in parallel and collect
-		// replies until the deadline.
+		// replies until the deadline. Replies land in per-agent slots and
+		// are aggregated in agent-index order, so the filter input — and
+		// with it the whole trajectory — is independent of reply timing.
+		// That determinism is what lets a cluster run reproduce an
+		// in-process run byte for byte.
 		roundCtx, cancel := context.WithTimeout(ctx, timeout)
 		replies := make(chan roundReply, len(live))
 		for _, idx := range live {
@@ -179,13 +178,12 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 				replies <- roundReply{agent: idx, gradient: g, err: err}
 			}(idx)
 		}
-		grads := make([][]float64, 0, len(live))
 		var silent []int
 		for range live {
 			rep := <-replies
 			switch {
 			case rep.err == nil && len(rep.gradient) == len(x):
-				grads = append(grads, rep.gradient)
+				slots[rep.agent] = rep.gradient
 			default:
 				// Timeouts, transport failures, and malformed replies all
 				// mark the agent as faulty under synchrony.
@@ -193,6 +191,13 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			}
 		}
 		cancel()
+
+		if err := ctx.Err(); err != nil {
+			// The run context (not the round deadline) expired mid-round:
+			// the missing replies are a cancellation, not evidence of
+			// faulty agents.
+			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
+		}
 
 		if len(silent) > 0 {
 			if len(silent) > f {
@@ -204,9 +209,18 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			res.Eliminated = append(res.Eliminated, silent...)
 			live = removeAll(live, silent)
 		}
+		grads = grads[:0]
+		for _, idx := range live {
+			grads = append(grads, slots[idx])
+		}
 
 		dir, err := cfg.Filter.Aggregate(grads, f)
 		if err != nil {
+			if errors.Is(err, aggregate.ErrNonFinite) {
+				// Mirror dgd.Run: a NaN/Inf report is the gradient-level
+				// face of divergence, so callers need one sentinel.
+				return nil, fmt.Errorf("filter %s at round %d: %v: %w", cfg.Filter.Name(), t, err, dgd.ErrDiverged)
+			}
 			return nil, fmt.Errorf("filter %s at round %d: %w", cfg.Filter.Name(), t, err)
 		}
 		eta := steps.At(t)

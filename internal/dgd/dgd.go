@@ -13,6 +13,7 @@
 package dgd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,26 @@ type Agent interface {
 	// Gradient returns the agent's report for round t at estimate x.
 	// Implementations must not retain or mutate x.
 	Gradient(round int, x []float64) ([]float64, error)
+}
+
+// Faulty marks an Agent as Byzantine for gradient collection. The engine
+// collects reports from all non-Faulty agents first and then asks each
+// Faulty agent through FaultyGradient, handing it the honest reports of the
+// round so omniscient behaviors observe the complete honest set — the
+// strongest adversary the literature assumes. Any wrapper around a
+// Byzantine agent must implement Faulty too; otherwise the engine treats it
+// as honest, collecting it in the first phase and exposing its report to
+// omniscient adversaries as if it were truthful.
+type Faulty interface {
+	Agent
+	// FaultyGradient returns the agent's report for round t at estimate x,
+	// given the agent's own index and the honest gradients of the round in
+	// agent-index order. A nil honest slice means the caller has no
+	// visibility into the other agents' reports (the cluster backend serves
+	// each agent behind its own connection); implementations must then
+	// produce a non-omniscient report. Implementations must not retain or
+	// mutate x or honest.
+	FaultyGradient(round, agent int, x []float64, honest [][]float64) ([]float64, error)
 }
 
 // --- honest agent ---
@@ -92,13 +113,33 @@ func NewFaulty(inner Agent, behavior byzantine.Behavior) (Agent, error) {
 	return &faulty{inner: inner, behavior: behavior}, nil
 }
 
-// Gradient implements Agent (non-omniscient path).
+var _ Faulty = (*faulty)(nil)
+
+// Gradient implements Agent, the path for callers that know neither the
+// agent's index nor the honest reports; index-aware callers use
+// FaultyGradient instead.
 func (f *faulty) Gradient(round int, x []float64) ([]float64, error) {
-	g, err := f.trueGradient(round, x)
+	return f.FaultyGradient(round, 0, x, nil)
+}
+
+// FaultyGradient implements Faulty: the behavior distorts the true
+// gradient, seeing the honest set when it is omniscient and the caller has
+// it (honest != nil); otherwise it degrades to the non-omniscient report.
+func (f *faulty) FaultyGradient(round, agent int, x []float64, honest [][]float64) ([]float64, error) {
+	trueGrad, err := f.trueGradient(round, x)
 	if err != nil {
 		return nil, err
 	}
-	return f.behavior.Apply(round, 0, g)
+	var g []float64
+	if omni, ok := f.behavior.(byzantine.Omniscient); ok && honest != nil {
+		g, err = omni.ApplyOmniscient(round, agent, trueGrad, honest)
+	} else {
+		g, err = f.behavior.Apply(round, agent, trueGrad)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("behavior %s: %w", f.behavior.Name(), err)
+	}
+	return g, nil
 }
 
 func (f *faulty) trueGradient(round int, x []float64) ([]float64, error) {
@@ -174,9 +215,11 @@ type Config struct {
 	// Reference, when non-nil, tracks ||x_t - Reference|| (the paper's
 	// "distance" series, with Reference = x_H).
 	Reference []float64
-	// OnRound, when non-nil, observes every estimate x_t for t = 0..T.
-	// Returning an error aborts the run.
-	OnRound func(t int, x []float64) error
+	// Observer, when non-nil, observes every estimate x_t for t = 0..T
+	// together with the tracked loss and distance values. All Backend
+	// implementations honor it, so instrumentation written against the
+	// in-process engine works unchanged over the cluster stack.
+	Observer RoundObserver
 
 	// Workers opts into concurrent gradient collection: the number of
 	// goroutines querying agents each round. 0 and 1 keep the sequential
@@ -207,8 +250,119 @@ type Result struct {
 	Trace Trace
 }
 
-// Run executes the configured DGD simulation.
+// --- observers ---
+
+// RoundObserver observes every estimate of a run, t = 0..Rounds.
+type RoundObserver interface {
+	// ObserveRound is called once per recorded estimate x_t with the
+	// tracked loss and distance values (NaN when the corresponding Config
+	// field is nil). The estimate must not be retained or mutated.
+	// Returning an error aborts the run.
+	ObserveRound(t int, x []float64, loss, dist float64) error
+}
+
+// ObserverFunc adapts a function to the RoundObserver interface.
+type ObserverFunc func(t int, x []float64, loss, dist float64) error
+
+// ObserveRound implements RoundObserver.
+func (f ObserverFunc) ObserveRound(t int, x []float64, loss, dist float64) error {
+	return f(t, x, loss, dist)
+}
+
+// TraceRecorder is a RoundObserver recording the full per-round series —
+// estimates, loss, and distance — for export (the sweep engine attaches one
+// when Spec.RecordTrace is set). The zero value is ready to use.
+type TraceRecorder struct {
+	// OmitEstimates skips recording X. Estimate copies dominate the
+	// recorder's memory at high dimension; set it when only the loss and
+	// distance series are needed, as the sweep engine does.
+	OmitEstimates bool
+	// X[t] is a copy of the estimate x_t (nil when OmitEstimates is set).
+	X [][]float64
+	// Loss[t] and Dist[t] are the tracked values; NaN when untracked.
+	Loss []float64
+	Dist []float64
+}
+
+var _ RoundObserver = (*TraceRecorder)(nil)
+
+// ObserveRound implements RoundObserver.
+func (r *TraceRecorder) ObserveRound(t int, x []float64, loss, dist float64) error {
+	if !r.OmitEstimates {
+		r.X = append(r.X, vecmath.Clone(x))
+	}
+	r.Loss = append(r.Loss, loss)
+	r.Dist = append(r.Dist, dist)
+	return nil
+}
+
+// RecordRound is the shared per-round recording step of every Backend:
+// evaluate the tracked loss and distance at x_t, append them to trace, and
+// notify the observer (NaN stands in for untracked values). Keeping one
+// implementation is what guarantees the in-process engine and the cluster
+// server feed observers and traces identically.
+func RecordRound(t int, x []float64, trackLoss costfunc.Function, reference []float64, observer RoundObserver, trace *Trace) error {
+	loss, dist := math.NaN(), math.NaN()
+	if trackLoss != nil {
+		v, err := trackLoss.Eval(x)
+		if err != nil {
+			return fmt.Errorf("loss at round %d: %w", t, err)
+		}
+		loss = v
+		trace.Loss = append(trace.Loss, v)
+	}
+	if reference != nil {
+		d, err := vecmath.Dist(x, reference)
+		if err != nil {
+			return fmt.Errorf("distance at round %d: %w", t, err)
+		}
+		dist = d
+		trace.Dist = append(trace.Dist, d)
+	}
+	if observer != nil {
+		if err := observer.ObserveRound(t, x, loss, dist); err != nil {
+			return fmt.Errorf("observer at round %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// --- backends ---
+
+// Backend is the uniform execution interface over the repo's substrates: a
+// Backend runs one configured DGD execution to completion under a context.
+// InProcess runs the deterministic simulation in this package; the cluster
+// package's Backend serves the same Config over transport connections. The
+// sweep engine accepts any Backend, so scenario grids run unchanged on
+// either substrate.
+type Backend interface {
+	Run(ctx context.Context, cfg Config) (*Result, error)
+}
+
+// InProcess is the Backend executing runs on the in-process engine
+// (RunContext). The zero value is ready to use.
+type InProcess struct{}
+
+var _ Backend = InProcess{}
+
+// Run implements Backend.
+func (InProcess) Run(ctx context.Context, cfg Config) (*Result, error) {
+	return RunContext(ctx, cfg)
+}
+
+// Run executes the configured DGD simulation without cancellation, as
+// RunContext with a background context.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured DGD simulation. The context is checked
+// once per round, so cancellation or deadline expiry aborts the run within
+// one round's duration with a wrapped ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -234,26 +388,7 @@ func Run(cfg Config) (*Result, error) {
 		trace.Dist = make([]float64, 0, cfg.Rounds+1)
 	}
 	record := func(t int, x []float64) error {
-		if cfg.TrackLoss != nil {
-			v, err := cfg.TrackLoss.Eval(x)
-			if err != nil {
-				return fmt.Errorf("loss at round %d: %w", t, err)
-			}
-			trace.Loss = append(trace.Loss, v)
-		}
-		if cfg.Reference != nil {
-			d, err := vecmath.Dist(x, cfg.Reference)
-			if err != nil {
-				return fmt.Errorf("distance at round %d: %w", t, err)
-			}
-			trace.Dist = append(trace.Dist, d)
-		}
-		if cfg.OnRound != nil {
-			if err := cfg.OnRound(t, x); err != nil {
-				return fmt.Errorf("round callback at %d: %w", t, err)
-			}
-		}
-		return nil
+		return RecordRound(t, x, cfg.TrackLoss, cfg.Reference, cfg.Observer, &trace)
 	}
 
 	workers := cfg.Workers
@@ -263,6 +398,9 @@ func Run(cfg Config) (*Result, error) {
 
 	grads := make([][]float64, len(cfg.Agents))
 	for t := 0; t < cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
+		}
 		if err := record(t, x); err != nil {
 			return nil, err
 		}
@@ -302,16 +440,16 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // collectGradients fills grads with every agent's report for the round,
-// fanning the queries out over up to workers goroutines. Honest reports are
-// collected first (a full barrier separates the phases) so omniscient
-// Byzantine behaviors observe the complete honest set, matching the
-// strongest adversary the literature assumes. Reports land in agent-index
-// slots and the honest set is ordered by agent index, so the filter input
-// is identical at any worker count.
+// fanning the queries out over up to workers goroutines. Reports from
+// agents not marked Faulty are collected first (a full barrier separates
+// the phases) so omniscient Byzantine behaviors observe the complete honest
+// set, matching the strongest adversary the literature assumes. Reports
+// land in agent-index slots and the honest set is ordered by agent index,
+// so the filter input is identical at any worker count.
 func collectGradients(agents []Agent, t int, x []float64, grads [][]float64, workers int) error {
 	var honestIdx, faultyIdx []int
 	for i, a := range agents {
-		if _, isFaulty := a.(*faulty); isFaulty {
+		if _, isFaulty := a.(Faulty); isFaulty {
 			faultyIdx = append(faultyIdx, i)
 		} else {
 			honestIdx = append(honestIdx, i)
@@ -336,19 +474,9 @@ func collectGradients(agents []Agent, t int, x []float64, grads [][]float64, wor
 		honestGrads = append(honestGrads, grads[i])
 	}
 	return parallelFor(workers, faultyIdx, func(i int) error {
-		fa := agents[i].(*faulty)
-		trueGrad, err := fa.trueGradient(t, x)
+		g, err := agents[i].(Faulty).FaultyGradient(t, i, x, honestGrads)
 		if err != nil {
 			return fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
-		}
-		var g []float64
-		if omni, ok := fa.behavior.(byzantine.Omniscient); ok {
-			g, err = omni.ApplyOmniscient(t, i, trueGrad, honestGrads)
-		} else {
-			g, err = fa.behavior.Apply(t, i, trueGrad)
-		}
-		if err != nil {
-			return fmt.Errorf("behavior %s for agent %d at round %d: %w", fa.behavior.Name(), i, t, err)
 		}
 		if len(g) != len(x) {
 			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)

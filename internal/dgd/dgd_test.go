@@ -186,12 +186,12 @@ func TestEstimatesStayInBox(t *testing.T) {
 		Box:    box,
 		X0:     []float64{5, -5}, // outside; must be projected in
 		Rounds: 50,
-		OnRound: func(t int, x []float64) error {
+		Observer: ObserverFunc(func(t int, x []float64, loss, dist float64) error {
 			if !box.Contains(x) {
 				violations++
 			}
 			return nil
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -358,7 +358,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestOnRoundErrorAborts(t *testing.T) {
+func TestObserverErrorAborts(t *testing.T) {
 	xstar := []float64{1, 1}
 	agents, _, _ := regressionAgents(t, testRows, xstar)
 	sentinel := errors.New("abort")
@@ -368,12 +368,12 @@ func TestOnRoundErrorAborts(t *testing.T) {
 		Filter: aggregate.Mean{},
 		X0:     []float64{0, 0},
 		Rounds: 10,
-		OnRound: func(t int, x []float64) error {
+		Observer: ObserverFunc(func(t int, x []float64, loss, dist float64) error {
 			if t == 3 {
 				return sentinel
 			}
 			return nil
-		},
+		}),
 	})
 	if !errors.Is(err, sentinel) {
 		t.Errorf("want sentinel, got %v", err)

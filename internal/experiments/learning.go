@@ -135,7 +135,7 @@ func learnFigure(gen mlsim.GenConfig, cfg LearnConfig) ([]LearnSeries, error) {
 			Steps:  dgd.Constant{Eta: LearnStep},
 			X0:     x0,
 			Rounds: rounds,
-			OnRound: func(t int, x []float64) error {
+			Observer: dgd.ObserverFunc(func(t int, x []float64, _, _ float64) error {
 				if t%accEvery == 0 || t == rounds {
 					acc, err := model.Accuracy(x, test)
 					if err != nil {
@@ -150,7 +150,7 @@ func learnFigure(gen mlsim.GenConfig, cfg LearnConfig) ([]LearnSeries, error) {
 				}
 				series.Loss = append(series.Loss, loss)
 				return nil
-			},
+			}),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)

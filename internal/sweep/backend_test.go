@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"byzopt/internal/cluster"
+)
+
+// encodeSweep runs the spec and returns the deterministic JSON export.
+func encodeSweep(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBackendParityFaultFree is the cross-substrate acceptance guarantee:
+// the same fault-free spec exports byte-identical JSON whether the
+// scenarios execute in-process or over the cluster/transport stack —
+// including the full per-round traces.
+func TestBackendParityFaultFree(t *testing.T) {
+	base := Spec{
+		Filters:     []string{"mean", "cge", "cwtm", "krum"},
+		FValues:     []int{0},
+		Rounds:      50,
+		RecordTrace: true,
+	}
+	inProcess := encodeSweep(t, base)
+
+	overCluster := base
+	overCluster.Backend = &cluster.Backend{}
+	if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
+		t.Error("cluster-backed JSON differs from in-process JSON for a fault-free spec")
+	}
+}
+
+// TestBackendParityNonOmniscientFaults: index-aware serving extends the
+// cross-substrate guarantee to Byzantine grids whose behaviors are not
+// omniscient. "random" at f = 2 is the sharp case — its stream is derived
+// per (seed, round, agentID), so a backend that collapsed faulty agents
+// onto index 0 would emit perfectly correlated adversaries and a different
+// trajectory.
+func TestBackendParityNonOmniscientFaults(t *testing.T) {
+	base := Spec{
+		Filters:   []string{"cge", "cwtm", "mean"},
+		Behaviors: []string{"gradient-reverse", "random", "zero"},
+		FValues:   []int{1, 2},
+		Rounds:    40,
+	}
+	inProcess := encodeSweep(t, base)
+
+	overCluster := base
+	overCluster.Backend = &cluster.Backend{}
+	if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
+		t.Error("cluster-backed JSON differs from in-process JSON for a non-omniscient Byzantine spec")
+	}
+}
+
+// TestClusterBackendSweepParallel drives a multi-axis grid over the cluster
+// backend on a parallel worker pool — under -race this is the probe for the
+// transport/cluster stack running many concurrent servers, and it must
+// still be byte-deterministic against a sequential cluster-backed run.
+func TestClusterBackendSweepParallel(t *testing.T) {
+	base := Spec{
+		Filters:   []string{"cge", "cwtm"},
+		Behaviors: []string{"gradient-reverse", "zero"},
+		FValues:   []int{1, 2},
+		Rounds:    25,
+		Backend:   &cluster.Backend{},
+		Workers:   1,
+	}
+	sequential := encodeSweep(t, base)
+	parallel := base
+	parallel.Workers = 8
+	if got := encodeSweep(t, parallel); !bytes.Equal(got, sequential) {
+		t.Error("cluster-backed sweep JSON differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestScenarioTimeoutClassifiedLikeDivergence: a scenario exceeding
+// Spec.ScenarioTimeout is data — TimedOut with a deterministic reason —
+// while fast scenarios in the same sweep stay ok, and the sweep itself
+// succeeds.
+func TestScenarioTimeoutClassifiedLikeDivergence(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:         []string{"mean"},
+		Behaviors:       []string{"zero"},
+		NValues:         []int{48},
+		Dims:            []int{24},
+		Rounds:          1_000_000,
+		ScenarioTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	r := results[0]
+	if r.Status() != "timeout" || !r.TimedOut {
+		t.Fatalf("want timeout status, got %q (%+v)", r.Status(), r)
+	}
+	if r.Err != "scenario timed out after 20ms" {
+		t.Errorf("timeout reason not normalized: %q", r.Err)
+	}
+}
+
+func TestScenarioTimeoutOverClusterBackend(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:         []string{"mean"},
+		Behaviors:       []string{"zero"},
+		NValues:         []int{48},
+		Dims:            []int{24},
+		Rounds:          1_000_000,
+		ScenarioTimeout: 20 * time.Millisecond,
+		Backend:         &cluster.Backend{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Status() != "timeout" {
+		t.Fatalf("want one timeout result over the cluster backend, got %+v", results)
+	}
+}
+
+// TestRunContextCancelReturnsPartialResults is the cancellation contract:
+// a cancelled sweep stops within one scenario's duration and hands back the
+// scenarios completed so far plus a context.Canceled-wrapped error, on both
+// backends.
+func TestRunContextCancelReturnsPartialResults(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		backend func() Spec
+	}{
+		{"inprocess", func() Spec { return Spec{} }},
+		{"cluster", func() Spec { return Spec{Backend: &cluster.Backend{}} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.backend()
+			// A grid big and slow enough that cancellation lands mid-sweep.
+			spec.Filters = []string{"cge", "cwtm", "mean", "krum"}
+			spec.Behaviors = []string{"gradient-reverse", "zero", "random"}
+			spec.FValues = []int{1, 2}
+			spec.NValues = []int{30}
+			spec.Dims = []int{10}
+			spec.Rounds = 3000
+			spec.Workers = 2
+
+			total, err := Scenarios(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			time.AfterFunc(100*time.Millisecond, cancel)
+			start := time.Now()
+			partial, err := RunContext(ctx, spec)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if len(partial) >= len(total) {
+				t.Fatalf("cancellation returned %d of %d scenarios — sweep ran to completion", len(partial), len(total))
+			}
+			// "Within one scenario's duration": generous bound, far below
+			// the uncancelled sweep's runtime.
+			if elapsed > 30*time.Second {
+				t.Errorf("cancelled sweep took %v", elapsed)
+			}
+			for _, r := range partial {
+				if r.Status() == "error" {
+					t.Errorf("partial result %s has error %q", r.Key(), r.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestRunContextNilAndBackgroundEquivalent: Run is RunContext with a
+// background context.
+func TestRunContextNilAndBackgroundEquivalent(t *testing.T) {
+	spec := Spec{Filters: []string{"cge"}, Behaviors: []string{"zero"}, Rounds: 15}
+	direct, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := RunContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(viaCtx) || direct[0].FinalDist != viaCtx[0].FinalDist {
+		t.Error("Run and RunContext(Background) disagree")
+	}
+}
+
+// TestRecordTraceExportsSeries: RecordTrace populates the per-round series
+// with Rounds+1 points consistent with the summary fields.
+func TestRecordTraceExportsSeries(t *testing.T) {
+	const rounds = 30
+	results, err := Run(Spec{
+		Filters:     []string{"cge"},
+		Behaviors:   []string{"gradient-reverse"},
+		Rounds:      rounds,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status() != "ok" {
+		t.Fatalf("unexpected status %s: %s", r.Status(), r.Err)
+	}
+	if len(r.TraceLoss) != rounds+1 || len(r.TraceDist) != rounds+1 {
+		t.Fatalf("trace lengths %d/%d, want %d", len(r.TraceLoss), len(r.TraceDist), rounds+1)
+	}
+	if r.TraceDist[rounds] != r.FinalDist {
+		t.Errorf("trace end %v vs FinalDist %v", r.TraceDist[rounds], r.FinalDist)
+	}
+	if r.TraceLoss[0] != r.LossStart || r.TraceLoss[rounds] != r.LossFinal {
+		t.Errorf("trace loss endpoints %v/%v vs summary %v/%v",
+			r.TraceLoss[0], r.TraceLoss[rounds], r.LossStart, r.LossFinal)
+	}
+}

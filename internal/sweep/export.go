@@ -70,6 +70,6 @@ func Summarize(results []Result) string {
 	for i := range results {
 		counts[results[i].Status()]++
 	}
-	return fmt.Sprintf("%d scenarios: %d ok, %d skipped, %d diverged, %d error",
-		len(results), counts["ok"], counts["skipped"], counts["diverged"], counts["error"])
+	return fmt.Sprintf("%d scenarios: %d ok, %d skipped, %d diverged, %d timeout, %d error",
+		len(results), counts["ok"], counts["skipped"], counts["diverged"], counts["timeout"], counts["error"])
 }

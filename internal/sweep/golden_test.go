@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/baseline.json from the current engine output")
+
+// baselineSpec is the checked-in regression sweep: a real multi-axis grid
+// (including f = 0 cells and a skipped infeasible filter) that runs in
+// well under a second. Timings are stripped on export, so the JSON is a
+// pure function of this spec and the engine.
+func baselineSpec() Spec {
+	return Spec{
+		Filters:   []string{"mean", "cge", "cwtm", "krum", "bulyan"},
+		Behaviors: []string{"gradient-reverse", "zero"},
+		FValues:   []int{0, 1},
+		Rounds:    40,
+		Seed:      7,
+	}
+}
+
+// TestGoldenBaselineSweep re-runs the baseline spec and byte-compares the
+// deterministic export against testdata/baseline.json — a sweep is a golden
+// test once timings are stripped. Any intentional engine change that moves
+// the numbers must regenerate the file with
+//
+//	go test ./internal/sweep -run TestGoldenBaselineSweep -update
+//
+// and justify the diff in review.
+func TestGoldenBaselineSweep(t *testing.T) {
+	results, err := Run(baselineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "baseline.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sweep output drifted from %s (%d vs %d bytes); if intentional, regenerate with -update",
+			path, buf.Len(), len(want))
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,8 +14,8 @@ import (
 )
 
 // Result is one scenario's outcome. Exactly one of the success fields
-// (FinalDist et al.) or the status flags (Skipped, Diverged, Err) is
-// meaningful; Status summarizes which.
+// (FinalDist et al.) or the status flags (Skipped, Diverged, TimedOut, Err)
+// is meaningful; Status summarizes which.
 type Result struct {
 	Scenario
 	// Seed is the scenario seed derived from the key (recorded so a single
@@ -29,26 +30,37 @@ type Result struct {
 	LossStart float64 `json:"loss_start"`
 	LossFinal float64 `json:"loss_final"`
 	LossMin   float64 `json:"loss_min"`
+	// TraceLoss and TraceDist are the full per-round series Q_H(x_t) and
+	// ||x_t - x_H|| for t = 0..T, recorded only when Spec.RecordTrace is
+	// set — the series the figure drivers plot.
+	TraceLoss []float64 `json:"trace_loss,omitempty"`
+	TraceDist []float64 `json:"trace_dist,omitempty"`
 	// Diverged reports that the estimate (or a gradient) left the finite
 	// floats — the engine's dgd.ErrDiverged.
 	Diverged bool `json:"diverged,omitempty"`
 	// Skipped reports an infeasible grid point: the filter's (n, f)
 	// tolerance condition failed, or f >= n/2.
 	Skipped bool `json:"skipped,omitempty"`
-	// Err is the error string for skipped/diverged/failed scenarios.
+	// TimedOut reports that the scenario exceeded Spec.ScenarioTimeout;
+	// like Diverged it is data, not a sweep failure.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Err is the error string for skipped/diverged/timeout/failed
+	// scenarios.
 	Err string `json:"error,omitempty"`
 	// WallMS is the scenario's wall-clock milliseconds. It is the one
 	// nondeterministic field, and WriteJSON strips it by default.
 	WallMS float64 `json:"wall_ms,omitempty"`
 }
 
-// Status returns "ok", "skipped", "diverged", or "error".
+// Status returns "ok", "skipped", "diverged", "timeout", or "error".
 func (r *Result) Status() string {
 	switch {
 	case r.Skipped:
 		return "skipped"
 	case r.Diverged:
 		return "diverged"
+	case r.TimedOut:
+		return "timeout"
 	case r.Err != "":
 		return "error"
 	default:
@@ -91,14 +103,34 @@ func buildProblems(spec *Spec, jobs []job) map[problemKey]problemEntry {
 	return cache
 }
 
-// Run expands the spec and executes every scenario on a pool of
-// spec.Workers goroutines. Results come back in grid order regardless of
-// completion order, and every value except WallMS is a pure function of
-// the Spec — the same spec yields the same results at any worker count.
+// Run expands the spec and executes every scenario, as RunContext with a
+// background context.
 func Run(spec Spec) ([]Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext expands the spec and executes every scenario on a pool of
+// spec.Workers goroutines, each through spec.Backend. Results come back in
+// grid order regardless of completion order, and every value except WallMS
+// is a pure function of the Spec — the same spec yields the same results at
+// any worker count, on either backend.
+//
+// Cancelling the context stops the sweep within one scenario's duration:
+// already-completed scenarios are returned as partial results, in grid
+// order, together with an error wrapping ctx.Err(). Spec.ScenarioTimeout,
+// by contrast, never fails the sweep — a scenario that exceeds it comes
+// back as a Result with status "timeout".
+func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs, err := expand(&spec)
 	if err != nil {
 		return nil, err
+	}
+	backend := spec.Backend
+	if backend == nil {
+		backend = dgd.InProcess{}
 	}
 	problems := buildProblems(&spec, jobs)
 	workers := spec.Workers
@@ -109,42 +141,71 @@ func Run(spec Spec) ([]Result, error) {
 		workers = len(jobs)
 	}
 	results := make([]Result, len(jobs))
+	done := make([]bool, len(jobs))
 	if workers <= 1 {
 		for i, jb := range jobs {
-			results[i] = runScenario(&spec, jb, problems)
-		}
-		return results, nil
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = runScenario(&spec, jobs[i], problems)
+			if ctx.Err() != nil {
+				break
 			}
-		}()
+			res, err := runScenario(ctx, &spec, backend, jb, problems)
+			if err != nil {
+				break // cancelled mid-scenario; the loop guard reports it
+			}
+			results[i], done[i] = res, true
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					res, err := runScenario(ctx, &spec, backend, jobs[i], problems)
+					if err != nil {
+						continue // cancelled; the dispatcher is stopping too
+					}
+					results[i], done[i] = res, true
+				}
+			}()
+		}
+	dispatch:
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(next)
+		wg.Wait()
 	}
-	for i := range jobs {
-		next <- i
+	if err := ctx.Err(); err != nil {
+		partial := results[:0]
+		for i := range results {
+			if done[i] {
+				partial = append(partial, results[i])
+			}
+		}
+		return partial, fmt.Errorf("sweep: cancelled after %d of %d scenarios: %w", len(partial), len(jobs), err)
 	}
-	close(next)
-	wg.Wait()
 	return results, nil
 }
 
-// runScenario executes one grid point end to end. Failures are data, not
-// control flow: infeasible points come back Skipped, non-finite runs come
-// back Diverged, and anything else lands in Err, so one bad cell never
-// aborts a sweep.
-func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Result {
+// runScenario executes one grid point end to end through the backend.
+// Failures are data, not control flow: infeasible points come back Skipped,
+// non-finite runs come back Diverged, scenarios exceeding
+// spec.ScenarioTimeout come back TimedOut, and anything else lands in Err,
+// so one bad cell never aborts a sweep. The single exception is
+// cancellation of the sweep's own context, which is returned as an error so
+// the pool can stop.
+func runScenario(ctx context.Context, spec *Spec, backend dgd.Backend, jb job, problems map[problemKey]problemEntry) (Result, error) {
 	scn := jb.scn
 	res := Result{Scenario: scn, Seed: scn.DeriveSeed(spec.Seed)}
 	if spec.PinBehaviorSeed {
 		res.Seed = spec.Seed
 	}
-	fail := func(err error) Result {
+	fail := func(err error) (Result, error) {
 		switch {
 		case errors.Is(err, aggregate.ErrTooManyFaults):
 			res.Skipped = true
@@ -157,12 +218,12 @@ func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Resul
 			res.Skipped = true
 		}
 		res.Err = err.Error()
-		return res
+		return res, nil
 	}
 	if 2*scn.F >= scn.N {
 		res.Skipped = true
 		res.Err = fmt.Sprintf("infeasible: need f < n/2, got n=%d f=%d", scn.N, scn.F)
-		return res
+		return res, nil
 	}
 	entry := problems[problemKey{problem: scn.Problem, n: scn.N, d: scn.Dim, f: scn.F}]
 	if entry.err != nil {
@@ -192,8 +253,22 @@ func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Resul
 	if err != nil {
 		return fail(err)
 	}
+	scnCtx := ctx
+	if spec.ScenarioTimeout > 0 {
+		var cancel context.CancelFunc
+		scnCtx, cancel = context.WithTimeout(ctx, spec.ScenarioTimeout)
+		defer cancel()
+	}
+	var recorder *dgd.TraceRecorder
+	var observer dgd.RoundObserver
+	if spec.RecordTrace {
+		// Only the loss/distance series are exported; estimate copies
+		// would dominate the recorder's memory at high dimension.
+		recorder = &dgd.TraceRecorder{OmitEstimates: true}
+		observer = recorder
+	}
 	start := time.Now()
-	out, err := dgd.Run(dgd.Config{
+	out, err := backend.Run(scnCtx, dgd.Config{
 		Agents:    agents,
 		F:         scn.F,
 		Filter:    filter,
@@ -203,10 +278,28 @@ func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Resul
 		Rounds:    scn.Rounds,
 		TrackLoss: prob.honestSum,
 		Reference: prob.xH,
+		Observer:  observer,
 		Workers:   spec.DGDWorkers,
 	})
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctx.Err() != nil {
+				// The sweep's own context ended: this scenario was
+				// interrupted, not too slow.
+				return res, ctx.Err()
+			}
+			if spec.ScenarioTimeout > 0 && scnCtx.Err() != nil {
+				// The per-scenario deadline expired. The error text is
+				// normalized so timeout results stay deterministic (the
+				// interrupted round varies run to run).
+				res.TimedOut = true
+				res.Err = fmt.Sprintf("scenario timed out after %s", spec.ScenarioTimeout)
+				return res, nil
+			}
+			// A context error from inside the backend with both our
+			// contexts healthy: ordinary failure data, not a timeout.
+		}
 		return fail(err)
 	}
 	res.FinalDist = out.Trace.Dist[len(out.Trace.Dist)-1]
@@ -219,5 +312,9 @@ func runScenario(spec *Spec, jb job, problems map[problemKey]problemEntry) Resul
 			res.LossMin = v
 		}
 	}
-	return res
+	if recorder != nil {
+		res.TraceLoss = recorder.Loss
+		res.TraceDist = recorder.Dist
+	}
+	return res, nil
 }

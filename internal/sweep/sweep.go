@@ -3,15 +3,27 @@
 // behaviors × fault counts × system sizes × dimensions × step schedules —
 // into concrete scenarios, runs them concurrently on a worker pool, and
 // collects one structured Result per scenario (final distance to the honest
-// minimizer x_H, a loss-trace summary, wall time, and divergence/skip
-// flags), with deterministic JSON export via WriteJSON.
+// minimizer x_H, a loss-trace summary, wall time, and
+// divergence/skip/timeout flags), with deterministic JSON export via
+// WriteJSON.
+//
+// Every scenario executes through a dgd.Backend (Spec.Backend): the
+// in-process engine by default, or the transport-backed cluster stack,
+// which makes the sweep a distributed-system load generator. RunContext
+// threads a context through the pool — cancellation stops the sweep within
+// one scenario and returns the completed scenarios (in grid order — under a
+// parallel pool not necessarily a contiguous prefix) as partial results, while
+// Spec.ScenarioTimeout bounds individual scenarios without failing the
+// sweep. Spec.RecordTrace exports the full per-round loss/distance series
+// of every run, the path the figure drivers use.
 //
 // Determinism is the design constraint: every scenario derives its random
 // seed by hashing its own key, never from worker identity or completion
 // order, so a sweep produces identical results at any worker count — byte
-// for byte once exported without timings. The paper's Section-5 grid
-// (filter × fault × f on the Appendix-J regression instance) is one small
-// Spec; the engine exists so much larger grids are one call too.
+// for byte once exported without timings, on either backend for fault-free
+// grids. The paper's Section-5 grid (filter × fault × f on the Appendix-J
+// regression instance) is one small Spec; the engine exists so much larger
+// grids are one call too.
 package sweep
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"time"
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
@@ -97,6 +110,24 @@ type Spec struct {
 	// keeps it sequential (negative means GOMAXPROCS), whereas Workers = 0
 	// above means a full-size pool.
 	DGDWorkers int
+
+	// Backend executes each scenario's run; nil means the in-process
+	// engine (dgd.InProcess). Handing a cluster.Backend here runs every
+	// scenario over the transport/cluster stack instead, turning the sweep
+	// into a distributed-system load generator; grids whose behaviors are
+	// not omniscient (and all fault-free grids) produce byte-identical
+	// exports on either substrate.
+	Backend dgd.Backend
+	// ScenarioTimeout bounds each scenario's wall-clock duration; zero
+	// means unbounded. A scenario exceeding it is classified as data
+	// (Result.TimedOut, status "timeout") rather than aborting the sweep,
+	// mirroring the divergence classification.
+	ScenarioTimeout time.Duration
+	// RecordTrace attaches a dgd.TraceRecorder observer to every run and
+	// exports the full per-round loss/distance series in each Result — the
+	// figure-series production path. Traces grow with Rounds, so leave it
+	// unset for large summary-only grids.
+	RecordTrace bool
 }
 
 // Scenario identifies one expanded grid point. Its Key doubles as the
@@ -231,6 +262,9 @@ func validateSpec(spec *Spec) error {
 	}
 	if spec.BoxRadius <= 0 {
 		return fmt.Errorf("box radius %v must be positive: %w", spec.BoxRadius, ErrSpec)
+	}
+	if spec.ScenarioTimeout < 0 {
+		return fmt.Errorf("negative scenario timeout %v: %w", spec.ScenarioTimeout, ErrSpec)
 	}
 	return nil
 }
