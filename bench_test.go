@@ -46,11 +46,11 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
-// BenchmarkFigure2 regenerates the full Figure-2 series (t = 0..1500) and
-// reports the final distances per series and fault.
+// BenchmarkFigure2 regenerates the full Figure-2 series (t = 0..1500, via
+// the sweep engine) and reports the final distances per series and fault.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, _, err := experiments.Figure2(1500)
+		figs, _, err := experiments.RegressionFigure(1500, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the zoomed Figure-3 prefix (t = 0..80).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, _, err := experiments.Figure3(80)
+		figs, _, err := experiments.RegressionFigure(80, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -62,12 +62,12 @@
 //
 // # Scenario sweeps
 //
-// The paper's evaluation is a grid — filters × Byzantine behaviors × fault
-// counts — and the sweep engine runs such grids as one call, expanding a
-// declarative spec into scenarios and executing them concurrently on a
-// worker pool. Every scenario derives its random seed by hashing its own
-// key, so results are identical at any worker count and a sweep replays
-// exactly from its spec:
+// The paper's evaluation is a grid — a workload × filters × Byzantine
+// behaviors × fault counts — and the sweep engine runs such grids as one
+// call, expanding a declarative spec into scenarios and executing them
+// concurrently on a worker pool. Every scenario derives its random seed by
+// hashing its own key, so results are identical at any worker count and a
+// sweep replays exactly from its spec:
 //
 //	results, err := byzopt.SweepContext(ctx, byzopt.SweepSpec{
 //	        Filters:   []string{"cge", "cwtm", "krum"},
@@ -79,8 +79,7 @@
 //	// byzopt.WriteSweepJSON(os.Stdout, results, false) exports them.
 //
 // Leaving SweepSpec fields zero selects the paper's defaults (every
-// registered filter and behavior, n = 6, d = 2, 500 rounds); Problem:
-// "paper" swaps the synthetic workload for the exact Appendix-J instance.
+// registered filter and behavior, n = 6, d = 2, 500 rounds).
 // SweepSpec.Backend selects the substrate per sweep (nil means in-process;
 // ClusterBackend turns the sweep into a distributed-system load generator),
 // SweepSpec.ScenarioTimeout bounds each scenario (exceeding it yields a
@@ -91,6 +90,32 @@
 // figure series are produced. Per-run gradient collection parallelizes
 // independently via Config.Workers (SweepSpec.DGDWorkers inside a sweep).
 // The abft-sweep command is this API as a CLI.
+//
+// # Pluggable problems
+//
+// Workloads are first-class: SweepSpec.Problem names an entry in the
+// problem registry, which ships every workload of the paper's evaluation —
+// "paper" (the exact Appendix-J regression instance), "synthetic"
+// (deterministic regression at any size), the "learning" family (Appendix-K
+// minibatch D-SGD on softmax or MLP models, with per-round test accuracy as
+// a task metric), "sensing" (Section-2.4 state estimation), and
+// "robustmean" (Section-2.3 robust mean estimation). A Problem materializes
+// per-agent costs, the reference point x_H, the honest loss, the initial
+// point, and optional metrics for every grid point; implement the interface
+// and RegisterProblem to sweep any workload you can express, or hand a
+// one-off implementation to SweepSpec.ProblemDef without naming it (see
+// examples/customproblem):
+//
+//	byzopt.RegisterProblem(myProblem{})             // name-keyed, CLI-reachable
+//	results, err := byzopt.Sweep(byzopt.SweepSpec{Problem: "my-problem"})
+//
+// SweepSpec.Baselines adds the papers' fault-free baseline — the f would-be
+// Byzantine agents omitted entirely — as a grid axis, which is how the
+// fault-free curves of Figures 2-5 are produced. SweepSpec.Shard slices the
+// expanded grid deterministically for multi-process runs, and MergeSweepJSON
+// recombines shard exports into the byte-identical full export (abft-sweep
+// -shard / -merge at the CLI). All of abft-bench's tables and figures run
+// through these Specs.
 //
 // The deeper machinery (matrix solvers, transports, the peer-to-peer
 // broadcast layer, experiment drivers) lives in internal packages; the
@@ -294,6 +319,56 @@ func SweepContext(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
 // SweepScenarios expands the spec without running it, in execution order.
 func SweepScenarios(spec SweepSpec) ([]SweepScenario, error) { return sweep.Scenarios(spec) }
 
+// SweepShard selects a contiguous slice of a sweep's expanded grid
+// (SweepSpec.Shard), the unit of multi-process sharding.
+type SweepShard = sweep.Shard
+
+// MergeSweepResults recombines shard results into the full-grid list; see
+// MergeSweepJSON for the file-level face.
+func MergeSweepResults(shards ...[]SweepResult) ([]SweepResult, error) {
+	return sweep.MergeResults(shards...)
+}
+
+// MergeSweepJSON reads shard JSON exports and recombines them into the
+// full-grid result list — exporting it with WriteSweepJSON reproduces the
+// unsharded run's bytes exactly.
+func MergeSweepJSON(paths ...string) ([]SweepResult, error) {
+	return sweep.MergeJSONFiles(paths...)
+}
+
+// --- the problem registry ---
+
+// Problem is a pluggable sweep workload: it materializes per-agent costs,
+// the reference point x_H, the honest aggregate loss, the initial point,
+// and optional task metrics for every scenario that names it. Register
+// implementations with RegisterProblem (or hand one to SweepSpec.ProblemDef
+// for a one-off).
+type Problem = sweep.Problem
+
+// Workload is one materialized problem instance; Problem.Build returns it.
+type Workload = sweep.Workload
+
+// Metric is an optional per-round task metric a Workload can expose (e.g.
+// test accuracy), recorded alongside the loss and distance series.
+type Metric = sweep.Metric
+
+// LearningProblem is the Appendix-K distributed-learning workload
+// (registered as "learning", "learning-b", and "learning-mlp"); configure
+// and register your own instance for different presets, models, batch
+// sizes, or accuracy cadences.
+type LearningProblem = sweep.LearningProblem
+
+// RegisterProblem adds a problem to the sweep registry under its Name();
+// duplicate and empty names are rejected.
+func RegisterProblem(p Problem) error { return sweep.Register(p) }
+
+// ProblemNames lists the registered problem names in sorted order — the
+// values SweepSpec.Problem (and abft-sweep -problem) accept.
+func ProblemNames() []string { return sweep.ProblemNames() }
+
+// LookupProblem returns the problem registered under the given name.
+func LookupProblem(name string) (Problem, error) { return sweep.LookupProblem(name) }
+
 // WriteSweepJSON exports sweep results as indented JSON; wall-clock
 // timings are stripped unless includeTiming is set, making the output a
 // pure function of the spec.
@@ -303,13 +378,14 @@ func WriteSweepJSON(w io.Writer, results []SweepResult, includeTiming bool) erro
 
 // --- resilience theory (Section 3) ---
 
-// Problem exposes a multi-agent instance whose subset aggregates can be
-// minimized exactly, the structure the Section-3 theory quantifies over.
-type Problem = core.Problem
+// SubsetProblem exposes a multi-agent instance whose subset aggregates can
+// be minimized exactly, the structure the Section-3 theory quantifies over.
+// (Sweep workloads are the separate Problem interface above.)
+type SubsetProblem = core.Problem
 
-// RegressionProblem builds a Problem from regression data (one row and
-// response per agent).
-func RegressionProblem(rows [][]float64, b []float64) (Problem, error) {
+// RegressionProblem builds a SubsetProblem from regression data (one row
+// and response per agent).
+func RegressionProblem(rows [][]float64, b []float64) (SubsetProblem, error) {
 	a, err := matrix.FromRows(rows)
 	if err != nil {
 		return nil, err
@@ -322,7 +398,7 @@ type RedundancyReport = core.RedundancyReport
 
 // MeasureRedundancy computes the tight redundancy parameter ε of
 // Definition 3 by subset enumeration (Appendix J.2 procedure).
-func MeasureRedundancy(p Problem, f int) (*RedundancyReport, error) {
+func MeasureRedundancy(p SubsetProblem, f int) (*RedundancyReport, error) {
 	return core.MeasureRedundancy(p, f, core.AtLeastSize)
 }
 
@@ -331,7 +407,7 @@ type ResilienceReport = core.ResilienceReport
 
 // MeasureResilience evaluates the worst-case distance from x to any
 // (n-f)-subset aggregate minimizer of the given honest agents.
-func MeasureResilience(p Problem, f int, honest []int, x []float64) (*ResilienceReport, error) {
+func MeasureResilience(p SubsetProblem, f int, honest []int, x []float64) (*ResilienceReport, error) {
 	return core.MeasureResilience(p, f, honest, x)
 }
 
@@ -340,7 +416,7 @@ type ExhaustiveResult = core.ExhaustiveResult
 
 // ExhaustiveResilient runs the exhaustive (f, 2ε)-resilient algorithm from
 // the proof of Theorem 2.
-func ExhaustiveResilient(p Problem, f int) (*ExhaustiveResult, error) {
+func ExhaustiveResilient(p SubsetProblem, f int) (*ExhaustiveResult, error) {
 	return core.ExhaustiveResilient(p, f)
 }
 

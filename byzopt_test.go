@@ -273,3 +273,75 @@ func TestPublicSweepAPI(t *testing.T) {
 		t.Errorf("JSON export missing scenario axes:\n%s", buf.String())
 	}
 }
+
+// TestPublicProblemRegistry exercises the sweep-workload registry through
+// the public API: the built-in names are listed, lookups resolve, a
+// learning sweep runs with its accuracy metric, and a user problem
+// registered at runtime is sweepable by name.
+func TestPublicProblemRegistry(t *testing.T) {
+	names := ProblemNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"paper", "synthetic", "learning", "learning-b", "learning-mlp", "sensing", "robustmean"} {
+		if !have[want] {
+			t.Fatalf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if _, err := LookupProblem("learning"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupProblem("definitely-not-registered"); err == nil {
+		t.Error("unknown problem lookup should fail")
+	}
+
+	results, err := Sweep(SweepSpec{
+		Problem:   "learning",
+		Filters:   []string{"cwtm"},
+		Behaviors: []string{"label-flip"},
+		FValues:   []int{3},
+		NValues:   []int{10},
+		Dims:      []int{20},
+		Steps:     []StepSchedule{ConstantStep{Eta: 0.01}},
+		Rounds:    3,
+		Baselines: []bool{false, true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected faulted + baseline scenarios, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Status() != "ok" {
+			t.Fatalf("%s: %s", r.Key(), r.Err)
+		}
+		if r.MetricName != "test_accuracy" || r.MetricFinal <= 0 {
+			t.Errorf("%s: metric not recorded (%q, %v)", r.Key(), r.MetricName, r.MetricFinal)
+		}
+	}
+
+	custom := &LearningProblem{ProblemName: "public-api-learning", Preset: "b", AccuracyEvery: 5}
+	if err := RegisterProblem(custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterProblem(custom); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	again, err := Sweep(SweepSpec{
+		Problem: "public-api-learning",
+		Filters: []string{"cge-avg"},
+		FValues: []int{0},
+		NValues: []int{10},
+		Dims:    []int{20},
+		Steps:   []StepSchedule{ConstantStep{Eta: 0.01}},
+		Rounds:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 || again[0].Status() != "ok" || again[0].Problem != "public-api-learning" {
+		t.Fatalf("registered problem did not sweep: %+v", again)
+	}
+}

@@ -1,14 +1,16 @@
-// Command abft-bench regenerates the paper's tables and figures. Grid-
-// shaped experiments (Table 1, the full filter × fault grid, and the
-// figsweep figure series) run on the concurrent sweep engine; the legacy
-// figure experiments replay the paper's exact sequential drivers.
+// Command abft-bench regenerates the paper's tables and figures, every one
+// of them on the concurrent sweep engine: Table 1 and the full filter ×
+// fault grid are summary sweeps, Figures 2-3 are RecordTrace sweeps over
+// the paper instance plus the fault-free Baseline-axis scenario, and
+// Figures 4-5 are learning-problem sweeps (per-round test accuracy rides in
+// the trace). The retired sequential drivers survive only as test-only
+// parity references.
 //
 // Usage:
 //
 //	abft-bench -exp table1
 //	abft-bench -exp grid -workers 8 -json grid.json
-//	abft-bench -exp figsweep -rounds 1500 -csv fig2 -workers 8
-//	abft-bench -exp fig2 -rounds 1500 -csv fig2
+//	abft-bench -exp fig2 -rounds 1500 -csv fig2 -workers 8
 //	abft-bench -exp fig4 -rounds 1000 -csv fig4
 //	abft-bench -exp appj
 //	abft-bench -exp all
@@ -36,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("abft-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, grid, figsweep, fig2, fig3, fig4, fig5, svm, appj, all")
+	exp := fs.String("exp", "all", "experiment: table1, grid, fig2, fig3, fig4, fig5, svm, appj, all")
 	rounds := fs.Int("rounds", 0, "override iteration count (0 = paper default)")
 	csvPrefix := fs.String("csv", "", "write full series to CSV files with this prefix")
 	workers := fs.Int("workers", 0, "sweep worker pool for grid experiments (0 = GOMAXPROCS)")
@@ -51,20 +53,18 @@ func run(args []string) error {
 			return runTable1(*rounds, *workers)
 		case "grid":
 			return runGrid(*rounds, *workers, *jsonPath)
-		case "figsweep":
-			return runFigSweep(*rounds, *workers, *csvPrefix)
 		case "fig2":
 			r := *rounds
 			if r == 0 {
 				r = 1500
 			}
-			return runFigure(name, r, *csvPrefix)
+			return runFigure(name, r, *workers, *csvPrefix)
 		case "fig3":
 			r := *rounds
 			if r == 0 {
 				r = 80
 			}
-			return runFigure(name, r, *csvPrefix)
+			return runFigure(name, r, *workers, *csvPrefix)
 		case "fig4", "fig5":
 			return runLearn(name, *rounds, *csvPrefix)
 		case "svm":
@@ -77,7 +77,7 @@ func run(args []string) error {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"appj", "table1", "grid", "figsweep", "fig2", "fig3", "fig4", "fig5", "svm"} {
+		for _, name := range []string{"appj", "table1", "grid", "fig2", "fig3", "fig4", "fig5", "svm"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -162,77 +162,15 @@ func runGrid(rounds, workers int, jsonPath string) error {
 	return nil
 }
 
-// figSweepSpec is the Figure-2 filter panel as one sweep: the cwtm, cge,
-// and plain-gd (mean) variants under both Section-5 faults on the paper
-// instance, with the behavior stream pinned to the harness's fixed
-// "random" execution and full per-round traces recorded.
-func figSweepSpec(rounds, workers int) sweep.Spec {
-	return sweep.Spec{
-		Problem:         sweep.ProblemPaper,
-		Filters:         []string{"cwtm", "cge", "mean"},
-		Behaviors:       experiments.FaultNames,
-		Rounds:          rounds,
-		Seed:            experiments.RandomFaultSeed,
-		PinBehaviorSeed: true,
-		Workers:         workers,
-		RecordTrace:     true,
-	}
-}
-
-// runFigSweep produces the Figure-2/3 filter series on the sweep engine:
-// one RecordTrace sweep yields the full loss/distance series per scenario,
-// written as t,loss,dist CSVs. The fault-free baseline of the legacy fig2
-// driver omits the faulty agent entirely and therefore is not a grid point;
-// it remains with -exp fig2.
-func runFigSweep(rounds, workers int, csvPrefix string) error {
-	if rounds == 0 {
-		rounds = 1500
-	}
-	results, err := sweep.Run(figSweepSpec(rounds, workers))
+// runFigure produces Figures 2-3 via the two sweep Specs of
+// experiments.FigureSpecs (grid panel + Baseline-axis fault-free run),
+// parity-pinned to the retired sequential driver by the experiments tests.
+func runFigure(name string, rounds, workers int, csvPrefix string) error {
+	figs, inst, err := experiments.RegressionFigure(rounds, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("figsweep: per-round series via the sweep engine, t = 0..%d\n", rounds)
-	for _, r := range results {
-		if r.Status() != "ok" {
-			return fmt.Errorf("scenario %s: %s", r.Key(), r.Err)
-		}
-		fmt.Printf("%-6s under %-16s: dist %0.4f -> %0.4f, loss %0.4f -> %0.4f\n",
-			r.Filter, r.Behavior,
-			r.TraceDist[0], r.TraceDist[len(r.TraceDist)-1],
-			r.TraceLoss[0], r.TraceLoss[len(r.TraceLoss)-1])
-		if csvPrefix != "" {
-			path := fmt.Sprintf("%s-figsweep-%s-%s.csv", csvPrefix, r.Behavior, r.Filter)
-			if err := writeCSV(path, func(f *os.File) error {
-				return writeTraceCSV(f, r)
-			}); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
-	}
-	return nil
-}
-
-// writeTraceCSV writes one scenario's recorded series as t,loss,dist rows.
-func writeTraceCSV(f *os.File, r sweep.Result) error {
-	if _, err := fmt.Fprintln(f, "t,loss,dist"); err != nil {
-		return err
-	}
-	for t := range r.TraceLoss {
-		if _, err := fmt.Fprintf(f, "%d,%g,%g\n", t, r.TraceLoss[t], r.TraceDist[t]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runFigure(name string, rounds int, csvPrefix string) error {
-	figs, inst, err := experiments.Figure2(rounds)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: loss and distance series, t = 0..%d (x_H = (%.4f, %.4f))\n",
+	fmt.Printf("%s: loss and distance series via the sweep engine, t = 0..%d (x_H = (%.4f, %.4f))\n",
 		name, rounds, inst.XH[0], inst.XH[1])
 	for _, fd := range figs {
 		fmt.Print(experiments.SummarizeFigure(fd))

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"byzopt/internal/experiments"
-	"byzopt/internal/sweep"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -68,80 +67,6 @@ func TestTable1SweepMatchesExperiments(t *testing.T) {
 				t.Errorf("%s/%s: x_out[%d] %v vs experiments %v", got[i].Filter, got[i].Fault, k, got[i].XOut[k], want[i].XOut[k])
 			}
 		}
-	}
-}
-
-func TestRunFigSweepWritesCSV(t *testing.T) {
-	dir := t.TempDir()
-	prefix := filepath.Join(dir, "out")
-	if err := run([]string{"-exp", "figsweep", "-rounds", "10", "-workers", "4", "-csv", prefix}); err != nil {
-		t.Fatal(err)
-	}
-	for _, fault := range []string{"gradient-reverse", "random"} {
-		for _, filter := range []string{"cwtm", "cge", "mean"} {
-			path := prefix + "-figsweep-" + fault + "-" + filter + ".csv"
-			data, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing CSV %s: %v", path, err)
-			}
-			if len(data) == 0 {
-				t.Errorf("empty CSV %s", path)
-			}
-		}
-	}
-}
-
-// TestFigSweepMatchesFigureDriver pins the figure-series port onto the
-// sweep engine: the per-round series a RecordTrace sweep exports must match
-// the legacy sequential Figure-2 driver point for point, for every filter
-// variant and fault the two share.
-func TestFigSweepMatchesFigureDriver(t *testing.T) {
-	const rounds = 40
-	results, err := sweep.Run(figSweepSpec(rounds, 4))
-	if err != nil {
-		t.Fatal(err)
-	}
-	bySeries := map[[2]string]sweep.Result{}
-	for _, r := range results {
-		if r.Status() != "ok" {
-			t.Fatalf("scenario %s: %s", r.Key(), r.Err)
-		}
-		bySeries[[2]string{r.Behavior, r.Filter}] = r
-	}
-	figs, _, err := experiments.Figure2(rounds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The legacy driver's series names map onto filter registry names;
-	// "fault-free" omits the faulty agent and has no grid-point equivalent.
-	filterFor := map[string]string{"cwtm": "cwtm", "cge": "cge", "plain-gd": "mean"}
-	const tol = 1e-9
-	compared := 0
-	for _, fd := range figs {
-		for _, s := range fd.Series {
-			filter, ok := filterFor[s.Name]
-			if !ok {
-				continue
-			}
-			r, ok := bySeries[[2]string{fd.Fault, filter}]
-			if !ok {
-				t.Fatalf("sweep produced no scenario for %s/%s", fd.Fault, filter)
-			}
-			if len(r.TraceLoss) != len(s.Loss) || len(r.TraceDist) != len(s.Dist) {
-				t.Fatalf("%s/%s: series lengths %d/%d vs driver %d/%d",
-					fd.Fault, filter, len(r.TraceLoss), len(r.TraceDist), len(s.Loss), len(s.Dist))
-			}
-			for i := range s.Loss {
-				if math.Abs(r.TraceLoss[i]-s.Loss[i]) > tol || math.Abs(r.TraceDist[i]-s.Dist[i]) > tol {
-					t.Fatalf("%s/%s diverges from the figure driver at t=%d: loss %v vs %v, dist %v vs %v",
-						fd.Fault, filter, i, r.TraceLoss[i], s.Loss[i], r.TraceDist[i], s.Dist[i])
-				}
-			}
-			compared++
-		}
-	}
-	if compared != 6 {
-		t.Errorf("compared %d series, want 6 (3 filters x 2 faults)", compared)
 	}
 }
 

@@ -1,18 +1,28 @@
-// Command abft-sweep runs a scenario-matrix sweep — gradient filters ×
-// Byzantine behaviors × fault counts × system sizes — concurrently and
-// prints one result row per scenario, optionally exporting JSON.
+// Command abft-sweep runs a scenario-matrix sweep — a registered problem ×
+// gradient filters × Byzantine behaviors × fault counts × system sizes —
+// concurrently and prints one result row per scenario, optionally exporting
+// JSON.
 //
 // Usage:
 //
 //	abft-sweep                                        # full registry grid, paper-sized synthetic instance
 //	abft-sweep -problem paper -filters cge,cwtm       # the paper's Section-5 corner
+//	abft-sweep -problem learning -n 10 -d 20 -f 3     # Appendix-K learning workload
 //	abft-sweep -f 1,2 -n 12,24 -d 2,10 -rounds 200    # a 4-axis grid
+//	abft-sweep -baseline -f 1                         # add the fault-free omit-an-agent baseline axis
 //	abft-sweep -workers 8 -json results.json          # 8-way pool + deterministic JSON export
 //	abft-sweep -backend cluster -timeout 30s          # serve every scenario over the cluster stack
+//	abft-sweep -shard 0/4 -json shard0.json           # run one deterministic quarter of the grid
+//	abft-sweep -merge -json full.json s0.json s1.json # recombine shard exports byte-identically
+//	abft-sweep -progress                              # live done/total reporting on stderr
 //
-// Scenario seeds are derived by hashing each scenario's key, so the
-// results (and the JSON, unless -timings is set) are byte-identical at
-// any -workers value — and, for fault-free grids, on either -backend.
+// -problem accepts any name in the problem registry (see byzopt.Problem /
+// RegisterProblem). Scenario seeds are derived by hashing each scenario's
+// key, so the results (and the JSON, unless -timings is set) are
+// byte-identical at any -workers value — and, for fault-free grids, on
+// either -backend. Sharding slices the expanded grid by index range;
+// because every result records its grid index, -merge reassembles shard
+// exports into exactly the bytes an unsharded run would have written.
 // -timeout bounds each scenario; overruns are classified as "timeout"
 // results in the table and JSON rather than failing the sweep. An
 // interrupt (Ctrl-C) stops the sweep within one scenario and still prints
@@ -48,7 +58,8 @@ func main() {
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("abft-sweep", flag.ContinueOnError)
 	var (
-		problem    = fs.String("problem", sweep.ProblemSynthetic, "workload: synthetic or paper")
+		problem = fs.String("problem", sweep.ProblemSynthetic,
+			"workload from the problem registry: "+strings.Join(sweep.ProblemNames(), ", "))
 		filters    = fs.String("filters", "all", "comma-separated filter names, or all")
 		behaviors  = fs.String("behaviors", "all", "comma-separated behavior names, or all")
 		fvals      = fs.String("f", "1", "comma-separated fault-tolerance values")
@@ -60,14 +71,21 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		noise      = fs.Float64("noise", 0, "synthetic observation noise (0 = default 0.05)")
 		workers    = fs.Int("workers", 0, "scenario worker pool size (0 = GOMAXPROCS)")
 		dgdWorkers = fs.Int("dgd-workers", 0, "concurrent gradient collection per run (0 = sequential)")
+		baseline   = fs.Bool("baseline", false, "add the fault-free omit-the-faulty-agents baseline as a grid axis")
 		backend    = fs.String("backend", "inprocess", "execution substrate per scenario: inprocess or cluster")
 		timeout    = fs.Duration("timeout", 0, "per-scenario deadline; overruns become \"timeout\" results (0 = unbounded)")
 		jsonPath   = fs.String("json", "", "write results JSON to this file")
 		timings    = fs.Bool("timings", false, "include wall-clock times in the JSON (breaks byte-determinism)")
 		quiet      = fs.Bool("quiet", false, "print only the summary line")
+		progress   = fs.Bool("progress", false, "report per-scenario completion progress on stderr")
+		shard      = fs.String("shard", "", "run only shard i/m of the grid, e.g. -shard 0/4")
+		merge      = fs.Bool("merge", false, "merge shard JSON exports (positional args) instead of sweeping")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		return runMerge(fs.Args(), *jsonPath, *timings, *quiet, out)
 	}
 
 	spec := sweep.Spec{
@@ -78,6 +96,21 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Workers:         *workers,
 		DGDWorkers:      *dgdWorkers,
 		ScenarioTimeout: *timeout,
+	}
+	if *baseline {
+		spec.Baselines = []bool{false, true}
+	}
+	if *progress {
+		spec.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "abft-sweep: %d/%d scenarios done\n", done, total)
+		}
+	}
+	if *shard != "" {
+		sh, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		spec.Shard = sh
 	}
 	switch *backend {
 	case "inprocess":
@@ -137,6 +170,50 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	// A cancelled sweep still printed and exported its completed scenarios
 	// above; surface the interruption in the exit status.
 	return runErr
+}
+
+// runMerge recombines shard JSON exports into the full-grid export: with
+// -json it writes the merged file (byte-identical to an unsharded run of
+// the same spec), otherwise it prints the merged table.
+func runMerge(paths []string, jsonPath string, timings, quiet bool, out *os.File) error {
+	if len(paths) == 0 {
+		return errors.New("-merge needs shard JSON files as arguments")
+	}
+	results, err := sweep.MergeJSONFiles(paths...)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprint(out, sweep.FormatTable(results))
+	}
+	fmt.Fprintln(out, sweep.Summarize(results))
+	if jsonPath != "" {
+		if err := sweep.WriteJSONFile(jsonPath, results, timings); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merged %d shards into %s\n", len(paths), jsonPath)
+	}
+	return nil
+}
+
+// parseShard parses "i/m" into a sweep.Shard.
+func parseShard(s string) (*sweep.Shard, error) {
+	idx := strings.IndexByte(s, '/')
+	if idx < 0 {
+		return nil, fmt.Errorf("-shard %q: want i/m, e.g. 0/4", s)
+	}
+	i, err := strconv.Atoi(s[:idx])
+	if err != nil {
+		return nil, fmt.Errorf("-shard %q: %w", s, err)
+	}
+	m, err := strconv.Atoi(s[idx+1:])
+	if err != nil {
+		return nil, fmt.Errorf("-shard %q: %w", s, err)
+	}
+	if m < 1 || i < 0 || i >= m {
+		return nil, fmt.Errorf("-shard %q: need 0 <= i < m", s)
+	}
+	return &sweep.Shard{Index: i, Count: m}, nil
 }
 
 func splitList(s string) []string {

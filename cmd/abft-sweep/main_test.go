@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,6 +70,110 @@ func TestRunStepSweepAndBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-backend", "bogus"}, os.Stdout); err == nil {
 		t.Error("unknown backend should error")
+	}
+}
+
+// TestRunLearningProblem: -problem accepts any registered name; the
+// learning workload must run end to end and export its accuracy metric.
+func TestRunLearningProblem(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learn.json")
+	err := run(context.Background(), []string{
+		"-problem", "learning", "-filters", "cwtm,cge-avg", "-behaviors", "label-flip,gradient-reverse",
+		"-f", "3", "-n", "10", "-d", "20", "-rounds", "4", "-baseline", "-quiet", "-json", path,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Problem  string  `json:"problem"`
+		Baseline bool    `json:"baseline"`
+		Metric   string  `json:"metric"`
+		Final    float64 `json:"metric_final"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	// 2 filters x 2 behaviors + 2 baseline cells.
+	if len(results) != 6 {
+		t.Fatalf("%d results, want 6", len(results))
+	}
+	var baselines int
+	for _, r := range results {
+		if r.Problem != "learning" || r.Metric != "test_accuracy" || r.Final <= 0 {
+			t.Errorf("unexpected result %+v", r)
+		}
+		if r.Baseline {
+			baselines++
+		}
+	}
+	if baselines != 2 {
+		t.Errorf("%d baseline cells, want 2", baselines)
+	}
+}
+
+// TestShardMergeRoundTripsByteIdentically is the CLI acceptance guarantee:
+// running the same spec as -shard slices and recombining the exports with
+// -merge reproduces the unsharded JSON byte for byte, even with the shard
+// files supplied out of order.
+func TestShardMergeRoundTripsByteIdentically(t *testing.T) {
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		base := []string{
+			"-problem", "learning", "-filters", "cwtm,cge-avg",
+			"-behaviors", "label-flip,gradient-reverse", "-f", "3", "-n", "10",
+			"-d", "20", "-rounds", "3", "-baseline", "-quiet",
+		}
+		return append(base, extra...)
+	}
+	full := filepath.Join(dir, "full.json")
+	if err := run(context.Background(), args("-json", full), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	shardPaths := make([]string, 3)
+	for i := range shardPaths {
+		shardPaths[i] = filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		if err := run(context.Background(),
+			args("-shard", fmt.Sprintf("%d/3", i), "-json", shardPaths[i]), os.Stdout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if err := run(context.Background(), []string{
+		"-merge", "-quiet", "-json", merged,
+		shardPaths[2], shardPaths[0], shardPaths[1], // scrambled on purpose
+	}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("merged shard export differs from the unsharded export")
+	}
+}
+
+func TestShardAndMergeBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-shard", "2"}, os.Stdout); err == nil {
+		t.Error("malformed -shard should error")
+	}
+	if err := run(ctx, []string{"-shard", "3/2"}, os.Stdout); err == nil {
+		t.Error("out-of-range -shard should error")
+	}
+	if err := run(ctx, []string{"-merge"}, os.Stdout); err == nil {
+		t.Error("-merge without files should error")
+	}
+	if err := run(ctx, []string{"-merge", filepath.Join(t.TempDir(), "missing.json")}, os.Stdout); err == nil {
+		t.Error("-merge with a missing file should error")
 	}
 }
 

@@ -391,14 +391,18 @@ func (bl Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
 
 // --- geometric median ---
 
-// weiszfeldMaxIter bounds the Weiszfeld fixed-point iteration.
-const weiszfeldMaxIter = 200
-
 // GeoMedian approximates the geometric median (the point minimizing the sum
-// of Euclidean distances to the gradients) by Weiszfeld iteration.
+// of Euclidean distances to the gradients) by Weiszfeld iteration. Each
+// iteration's O(n·d) work is batched across the filter worker pool —
+// distances striped over points, the weighted accumulation striped over
+// coordinates — with bitwise-identical results at any worker count.
 type GeoMedian struct {
 	// Tol is the convergence tolerance; zero means 1e-10.
 	Tol float64
+	// Workers bounds the per-iteration goroutines: 0 picks GOMAXPROCS for
+	// jobs large enough to amortize the fan-out (sequential otherwise),
+	// negative always means GOMAXPROCS.
+	Workers int
 }
 
 var _ Filter = GeoMedian{}
@@ -415,7 +419,7 @@ func (g GeoMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
 	if n <= 2*f {
 		return nil, fmt.Errorf("geometric median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	return weiszfeld(grads, g.Tol)
+	return weiszfeld(grads, g.Tol, g.Workers)
 }
 
 // GeoMedianOfMeans partitions the gradients into Groups buckets, averages
@@ -426,6 +430,8 @@ type GeoMedianOfMeans struct {
 	Groups int
 	// Tol is the Weiszfeld tolerance; zero means 1e-10.
 	Tol float64
+	// Workers is the Weiszfeld worker pool; see GeoMedian.Workers.
+	Workers int
 }
 
 var _ Filter = GeoMedianOfMeans{}
@@ -459,45 +465,7 @@ func (g GeoMedianOfMeans) Aggregate(grads [][]float64, f int) ([]float64, error)
 		}
 		means = append(means, m)
 	}
-	return weiszfeld(means, g.Tol)
-}
-
-// weiszfeld runs the Weiszfeld fixed-point iteration for the geometric
-// median of the given points.
-func weiszfeld(points [][]float64, tol float64) ([]float64, error) {
-	if tol <= 0 {
-		tol = 1e-10
-	}
-	y, err := vecmath.Mean(points)
-	if err != nil {
-		return nil, err
-	}
-	const eps = 1e-12 // distance floor, avoids division blow-up at a point
-	for iter := 0; iter < weiszfeldMaxIter; iter++ {
-		num := vecmath.Zeros(len(y))
-		var den float64
-		for _, p := range points {
-			dist, err := vecmath.Dist(p, y)
-			if err != nil {
-				return nil, err
-			}
-			w := 1 / math.Max(dist, eps)
-			if err := vecmath.AxpyInPlace(num, w, p); err != nil {
-				return nil, err
-			}
-			den += w
-		}
-		vecmath.ScaleInPlace(1/den, num)
-		moved, err := vecmath.Dist(num, y)
-		if err != nil {
-			return nil, err
-		}
-		y = num
-		if moved < tol {
-			break
-		}
-	}
-	return y, nil
+	return weiszfeld(means, g.Tol, g.Workers)
 }
 
 // --- registry ---

@@ -15,20 +15,28 @@ const pairwiseParallelWork = 1 << 17
 // job is large enough to amortize the fan-out (1 otherwise), negative
 // always means GOMAXPROCS, and a positive value is taken as given.
 func resolvePairwiseWorkers(workers, n, d int) int {
+	w := resolveWorkers(workers, n*n*d, pairwiseParallelWork)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// resolveWorkers is the shared Workers-field policy of the parallel
+// kernels: 0 (auto) fans out only when the job exceeds the given work
+// threshold, negative always means GOMAXPROCS, positive is taken as given.
+func resolveWorkers(workers, work, threshold int) int {
 	switch {
 	case workers < 0:
-		workers = runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0)
 	case workers == 0:
-		if n*n*d < pairwiseParallelWork {
+		if work < threshold {
 			return 1
 		}
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
+		return runtime.GOMAXPROCS(0)
 	}
 	return workers
 }

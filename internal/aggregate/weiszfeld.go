@@ -1,0 +1,136 @@
+package aggregate
+
+import (
+	"math"
+	"sync"
+
+	"byzopt/internal/vecmath"
+)
+
+// weiszfeldMaxIter bounds the Weiszfeld fixed-point iteration.
+const weiszfeldMaxIter = 200
+
+// weiszfeldParallelWork is the n·d work size above which each Weiszfeld
+// iteration is computed concurrently when a filter's Workers field is 0
+// (auto); the iteration fans out up to weiszfeldMaxIter times, so the
+// threshold sits below the pairwise kernel's.
+const weiszfeldParallelWork = 1 << 14
+
+// resolveWeiszfeldWorkers maps a filter's Workers field to a goroutine
+// count for an n-point, d-dimensional Weiszfeld job, mirroring
+// resolvePairwiseWorkers: 0 picks GOMAXPROCS once the per-iteration work is
+// large enough to amortize the fan-out (1 otherwise), negative always means
+// GOMAXPROCS, positive is taken as given. Each phase independently caps the
+// count at its own stripe count (points for distances, coordinates for the
+// accumulation — see weiszfeldStripe), so tall-skinny and short-wide inputs
+// both keep their dominant phase parallel.
+func resolveWeiszfeldWorkers(workers, n, d int) int {
+	w := resolveWorkers(workers, n*d, weiszfeldParallelWork)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// weiszfeld runs the Weiszfeld fixed-point iteration for the geometric
+// median of the given points, batching each iteration's work across the
+// worker pool: point distances are striped across points (each distance
+// computed whole by one worker) and the weighted accumulation is striped
+// across coordinates (each coordinate accumulated in full point order by
+// one worker). Both stripings preserve the sequential operation order per
+// output value, so the result is bitwise identical at any worker count —
+// the same guarantee the pairwise-distance kernel gives the Krum family.
+func weiszfeld(points [][]float64, tol float64, workers int) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	y, err := vecmath.Mean(points)
+	if err != nil {
+		return nil, err
+	}
+	n, d := len(points), len(y)
+	workers = resolveWeiszfeldWorkers(workers, n, d)
+	const eps = 1e-12 // distance floor, avoids division blow-up at a point
+	weights := make([]float64, n)
+	for iter := 0; iter < weiszfeldMaxIter; iter++ {
+		// Phase 1: per-point distances to the current iterate. Each entry
+		// is computed entirely by one worker, exactly as the sequential
+		// loop would.
+		if err := weiszfeldStripe(workers, n, func(i int) error {
+			dist, err := vecmath.Dist(points[i], y)
+			if err != nil {
+				return err
+			}
+			weights[i] = 1 / math.Max(dist, eps)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var den float64
+		for _, w := range weights {
+			den += w
+		}
+		// Phase 2: the weighted sum num[j] = sum_i weights[i]·points[i][j],
+		// striped across coordinates with the inner loop in ascending point
+		// order — the same association order as the sequential Axpy loop.
+		num := make([]float64, d)
+		if err := weiszfeldStripe(workers, d, func(j int) error {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += weights[i] * points[i][j]
+			}
+			num[j] = s
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		vecmath.ScaleInPlace(1/den, num)
+		moved, err := vecmath.Dist(num, y)
+		if err != nil {
+			return nil, err
+		}
+		y = num
+		if moved < tol {
+			break
+		}
+	}
+	return y, nil
+}
+
+// weiszfeldStripe runs fn(i) for i in [0, count), striped across the worker
+// pool (worker w takes i = w, w+workers, ...), with the pool capped at the
+// stripe count. With one worker it degrades to the plain sequential loop.
+func weiszfeldStripe(workers, count int, fn func(i int) error) error {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 || count <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < count; i += workers {
+				if err := fn(i); err != nil {
+					errs[start] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

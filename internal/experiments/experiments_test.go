@@ -42,7 +42,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	figs, inst, err := Figure2(300)
+	figs, inst, err := RegressionFigure(300, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,8 +76,8 @@ func TestFigure2Shape(t *testing.T) {
 	}
 }
 
-func TestFigure3IsPrefixOfFigure2(t *testing.T) {
-	f3, _, err := Figure3(80)
+func TestFigure3IsShortHorizonFigure2(t *testing.T) {
+	f3, _, err := RegressionFigure(80, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +88,7 @@ func TestFigure3IsPrefixOfFigure2(t *testing.T) {
 			}
 		}
 	}
-	if _, _, err := Figure3(0); !errors.Is(err, ErrArgs) {
-		t.Errorf("zoom 0: %v", err)
-	}
-	if _, _, err := Figure2(0); !errors.Is(err, ErrArgs) {
+	if _, _, err := RegressionFigure(0, 1); !errors.Is(err, ErrArgs) {
 		t.Errorf("rounds 0: %v", err)
 	}
 }

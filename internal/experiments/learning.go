@@ -3,11 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"byzopt/internal/aggregate"
-	"byzopt/internal/byzantine"
 	"byzopt/internal/dgd"
-	"byzopt/internal/mlsim"
-	"byzopt/internal/vecmath"
+	"byzopt/internal/sweep"
 )
 
 // Appendix-K experiment constants.
@@ -22,14 +19,12 @@ const (
 	LearnStep = 0.01
 	// LearnRounds is the plotted horizon (1000 iterations).
 	LearnRounds = 1000
+	// LearnFeatureDim is the synthetic datasets' feature dimension (the
+	// Dims axis of the learning sweeps).
+	LearnFeatureDim = 20
 	// learnSeed pins dataset generation and minibatch sampling.
 	learnSeed = 7
 )
-
-// faultyLearnAgents are the agents designated Byzantine; the paper selects
-// f = 3 of 10 at random with a fixed seed — we pin the last three, which is
-// equivalent up to relabeling because shards are i.i.d.
-var faultyLearnAgents = []int{7, 8, 9}
 
 // LearnSeries is one curve pair of Figures 4-5.
 type LearnSeries struct {
@@ -62,139 +57,115 @@ type LearnConfig struct {
 // Figure4 reproduces Figure 4 on dataset A (the MNIST stand-in; see
 // DESIGN.md section 4 for the substitution argument).
 func Figure4(cfg LearnConfig) ([]LearnSeries, error) {
-	return learnFigure(mlsim.PresetA(learnSeed), cfg)
+	return learnFigure("a", cfg)
 }
 
 // Figure5 reproduces Figure 5 on dataset B (the Fashion-MNIST stand-in).
 func Figure5(cfg LearnConfig) ([]LearnSeries, error) {
-	return learnFigure(mlsim.PresetB(learnSeed), cfg)
+	return learnFigure("b", cfg)
 }
 
-// learnFigure runs the five Appendix-K variants on one dataset.
-func learnFigure(gen mlsim.GenConfig, cfg LearnConfig) ([]LearnSeries, error) {
+// LearnSpecs builds the two sweep Specs behind Figures 4-5: grid covers
+// CWTM and averaged CGE against the label-flip and gradient-reverse faults
+// at n = 10, f = 3, and baseline is the fault-free run omitting the three
+// would-be Byzantine shards (the paper's fault-free curve). Both record the
+// per-round loss and test-accuracy traces. The returned problem carries the
+// dataset preset and model configuration; it is handed to both Specs as
+// ProblemDef, so no registry entry is consulted.
+func LearnSpecs(preset string, cfg LearnConfig) (grid, baseline sweep.Spec, err error) {
 	rounds := cfg.Rounds
 	if rounds == 0 {
 		rounds = LearnRounds
 	}
 	if rounds < 1 {
-		return nil, fmt.Errorf("rounds = %d: %w", rounds, ErrArgs)
+		return grid, baseline, fmt.Errorf("rounds = %d: %w", rounds, ErrArgs)
 	}
-	accEvery := cfg.AccuracyEvery
-	if accEvery == 0 {
-		accEvery = 10
+	if cfg.AccuracyEvery < 0 {
+		return grid, baseline, fmt.Errorf("accuracy interval = %d: %w", cfg.AccuracyEvery, ErrArgs)
 	}
-	if accEvery < 1 {
-		return nil, fmt.Errorf("accuracy interval = %d: %w", accEvery, ErrArgs)
+	name := "learning"
+	if preset != "a" {
+		name = "learning-" + preset
 	}
+	if cfg.UseMLP {
+		name += "-mlp"
+	}
+	prob := &sweep.LearningProblem{
+		ProblemName:   name,
+		Preset:        preset,
+		UseMLP:        cfg.UseMLP,
+		Hidden:        cfg.Hidden,
+		Batch:         LearnBatch,
+		AccuracyEvery: cfg.AccuracyEvery,
+		DataSeed:      learnSeed,
+	}
+	grid = sweep.Spec{
+		ProblemDef:  prob,
+		Filters:     []string{"cwtm", "cge-avg"},
+		Behaviors:   []string{sweep.BehaviorLabelFlip, "gradient-reverse"},
+		FValues:     []int{LearnFaults},
+		NValues:     []int{LearnAgents},
+		Dims:        []int{LearnFeatureDim},
+		Steps:       []dgd.StepSchedule{dgd.Constant{Eta: LearnStep}},
+		Rounds:      rounds,
+		RecordTrace: true,
+	}
+	baseline = grid
+	baseline.Filters = []string{"mean"}
+	baseline.Behaviors = nil
+	baseline.Baselines = []bool{true}
+	return grid, baseline, nil
+}
 
-	train, test, err := mlsim.Generate(gen)
+// learnFigure runs the five Appendix-K variants on one dataset as two
+// sweeps and reassembles the legacy series layout; the per-round values
+// reproduce the pre-refactor sequential driver exactly (a parity the tests
+// pin).
+func learnFigure(preset string, cfg LearnConfig) ([]LearnSeries, error) {
+	gridSpec, baselineSpec, err := LearnSpecs(preset, cfg)
 	if err != nil {
 		return nil, err
 	}
-	var model mlsim.Model = mlsim.Softmax{Classes: gen.Classes, Dim: gen.Dim, Reg: 1e-4}
-	x0 := vecmath.Zeros(model.ParamDim())
-	if cfg.UseMLP {
-		hidden := cfg.Hidden
-		if hidden == 0 {
-			hidden = 16
+	grid, err := sweep.Run(gridSpec)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := sweep.Run(baselineSpec)
+	if err != nil {
+		return nil, err
+	}
+	series := func(r sweep.Result, name string) (LearnSeries, error) {
+		if r.Status() != "ok" {
+			return LearnSeries{}, fmt.Errorf("scenario %s: %s: %w", r.Key(), r.Err, ErrArgs)
 		}
-		mlp := mlsim.MLP{Classes: gen.Classes, Dim: gen.Dim, Hidden: hidden, Reg: 1e-4}
-		model = mlp
-		x0, err = mlp.InitParams(learnSeed)
+		return LearnSeries{Name: name, Loss: r.TraceLoss, Accuracy: r.TraceMetric}, nil
+	}
+	if len(baseline) != 1 {
+		return nil, fmt.Errorf("baseline sweep produced %d scenarios, want 1: %w", len(baseline), ErrArgs)
+	}
+	out := make([]LearnSeries, 0, 5)
+	ff, err := series(baseline[0], "fault-free")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ff)
+	shortFault := map[string]string{sweep.BehaviorLabelFlip: "lf", "gradient-reverse": "gr"}
+	shortFilter := map[string]string{"cwtm": "cwtm", "cge-avg": "cge"}
+	want := []string{"cwtm-lf", "cwtm-gr", "cge-lf", "cge-gr"}
+	byName := map[string]LearnSeries{}
+	for _, r := range grid {
+		s, err := series(r, shortFilter[r.Filter]+"-"+shortFault[r.Behavior])
 		if err != nil {
 			return nil, err
 		}
+		byName[s.Name] = s
 	}
-
-	type variant struct {
-		name   string
-		filter aggregate.Filter
-		fault  string // "", "lf", or "gr"
-		f      int
-	}
-	variants := []variant{
-		{name: "fault-free", filter: aggregate.Mean{}, fault: "", f: 0},
-		{name: "cwtm-lf", filter: aggregate.CWTM{}, fault: "lf", f: LearnFaults},
-		{name: "cwtm-gr", filter: aggregate.CWTM{}, fault: "gr", f: LearnFaults},
-		{name: "cge-lf", filter: aggregate.CGE{Averaged: true}, fault: "lf", f: LearnFaults},
-		{name: "cge-gr", filter: aggregate.CGE{Averaged: true}, fault: "gr", f: LearnFaults},
-	}
-
-	var out []LearnSeries
-	for _, v := range variants {
-		agents, err := learnAgents(model, train, v.fault)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+	for _, name := range want {
+		s, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("grid sweep produced no %s series: %w", name, ErrArgs)
 		}
-		series := LearnSeries{Name: v.name}
-		lastAcc := 0.0
-		res, err := dgd.Run(dgd.Config{
-			Agents: agents,
-			F:      v.f,
-			Filter: v.filter,
-			Steps:  dgd.Constant{Eta: LearnStep},
-			X0:     x0,
-			Rounds: rounds,
-			Observer: dgd.ObserverFunc(func(t int, x []float64, _, _ float64) error {
-				if t%accEvery == 0 || t == rounds {
-					acc, err := model.Accuracy(x, test)
-					if err != nil {
-						return err
-					}
-					lastAcc = acc
-				}
-				series.Accuracy = append(series.Accuracy, lastAcc)
-				loss, err := model.Loss(x, train)
-				if err != nil {
-					return err
-				}
-				series.Loss = append(series.Loss, loss)
-				return nil
-			}),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
-		}
-		_ = res
-		out = append(out, series)
+		out = append(out, s)
 	}
 	return out, nil
-}
-
-// learnAgents builds the 10 D-SGD agents for one variant. fault selects the
-// Byzantine mode of the designated faulty agents: "" omits them entirely
-// (the paper's fault-free baseline), "lf" flips their shard labels, "gr"
-// wraps them with gradient reversal.
-func learnAgents(model mlsim.Model, train *mlsim.Dataset, fault string) ([]dgd.Agent, error) {
-	shards, err := mlsim.Shard(train, LearnAgents)
-	if err != nil {
-		return nil, err
-	}
-	isFaulty := make(map[int]bool, len(faultyLearnAgents))
-	for _, i := range faultyLearnAgents {
-		isFaulty[i] = true
-	}
-	var agents []dgd.Agent
-	for i, shard := range shards {
-		if fault == "" && isFaulty[i] {
-			continue // fault-free baseline: would-be faulty agents sit out
-		}
-		if fault == "lf" && isFaulty[i] {
-			mlsim.FlipLabels(shard)
-		}
-		var agent dgd.Agent = &mlsim.SGDAgent{
-			Model: model,
-			Data:  shard,
-			Batch: LearnBatch,
-			Seed:  learnSeed + int64(i)*1009,
-		}
-		if fault == "gr" && isFaulty[i] {
-			agent, err = dgd.NewFaulty(agent, byzantine.GradientReverse{})
-			if err != nil {
-				return nil, err
-			}
-		}
-		agents = append(agents, agent)
-	}
-	return agents, nil
 }

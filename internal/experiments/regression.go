@@ -4,12 +4,15 @@
 //
 // Experiment index (see DESIGN.md for the full mapping):
 //
-//	Table1    — regression outputs x_out and dist(x_H, x_out)
-//	Figure2   — loss and distance series, t = 0..1500
-//	Figure3   — the same series, zoomed to t = 0..80
-//	Figure4   — learning loss/accuracy on dataset A (MNIST stand-in)
-//	Figure5   — learning loss/accuracy on dataset B (Fashion stand-in)
-//	AppendixJ — the instance constants ε, x_H, µ, γ and theorem bounds
+//	Table1           — regression outputs x_out and dist(x_H, x_out)
+//	RegressionFigure — Figure 2/3 loss and distance series via sweep Specs
+//	Figure4          — learning loss/accuracy on dataset A (MNIST stand-in)
+//	Figure5          — learning loss/accuracy on dataset B (Fashion stand-in)
+//	AppendixJ        — the instance constants ε, x_H, µ, γ and theorem bounds
+//
+// The table and figure experiments all execute on the sweep engine
+// (internal/sweep); this package builds the Specs and reassembles results
+// into the paper's layouts.
 package experiments
 
 import (
@@ -20,7 +23,6 @@ import (
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
 	"byzopt/internal/core"
-	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
 	"byzopt/internal/linreg"
 )
@@ -119,116 +121,6 @@ func Table1() ([]Table1Row, *linreg.Instance, error) {
 		}
 	}
 	return rows, inst, nil
-}
-
-// Series is one labeled pair of loss/distance curves.
-type Series struct {
-	// Name identifies the algorithm variant (fault-free, cwtm, cge, plain-gd).
-	Name string
-	// Loss[t] is the honest aggregate cost at x_t.
-	Loss []float64
-	// Dist[t] is ||x_t - x_H||.
-	Dist []float64
-}
-
-// FigureData is the full content of one column of Figure 2/3: all series
-// under one fault type.
-type FigureData struct {
-	// Fault is the Byzantine behavior applied to agent 0.
-	Fault string
-	// Series holds the four curves in paper order: fault-free, cwtm, cge,
-	// plain-gd.
-	Series []Series
-}
-
-// Figure2 reproduces Figure 2 (and, as a prefix, Figure 3): the loss
-// sum_{i in H} Q_i(x_t) and distance ||x_t - x_H|| series for t = 0..rounds
-// under both fault types, for the fault-free baseline, CWTM, CGE, and
-// unfiltered averaging. The paper plots rounds = 1500.
-func Figure2(rounds int) ([]FigureData, *linreg.Instance, error) {
-	if rounds < 1 {
-		return nil, nil, fmt.Errorf("rounds = %d: %w", rounds, ErrArgs)
-	}
-	inst, err := linreg.Paper()
-	if err != nil {
-		return nil, nil, err
-	}
-	honestSum, err := inst.HonestSum()
-	if err != nil {
-		return nil, nil, err
-	}
-
-	type variant struct {
-		name      string
-		filter    aggregate.Filter
-		f         int
-		faultFree bool
-	}
-	variants := []variant{
-		{name: "fault-free", filter: aggregate.Mean{}, f: 0, faultFree: true},
-		{name: "cwtm", filter: aggregate.CWTM{}, f: linreg.F},
-		{name: "cge", filter: aggregate.CGE{}, f: linreg.F},
-		{name: "plain-gd", filter: aggregate.Mean{}, f: linreg.F},
-	}
-
-	var out []FigureData
-	for _, fault := range FaultNames {
-		fd := FigureData{Fault: fault}
-		for _, v := range variants {
-			var agents []dgd.Agent
-			if v.faultFree {
-				// The faulty agent is omitted entirely (paper: "the faulty
-				// agent is omitted"), leaving the 5 honest agents.
-				costs, err := inst.Costs()
-				if err != nil {
-					return nil, nil, err
-				}
-				honest := make([]costfunc.Differentiable, 0, linreg.N-1)
-				for _, i := range linreg.HonestAgents() {
-					honest = append(honest, costs[i])
-				}
-				agents, err = dgd.HonestAgents(honest)
-				if err != nil {
-					return nil, nil, err
-				}
-			} else {
-				agents, err = regressionAgents(inst, fault)
-				if err != nil {
-					return nil, nil, err
-				}
-			}
-			res, err := dgd.Run(dgd.Config{
-				Agents:    agents,
-				F:         v.f,
-				Filter:    v.filter,
-				Steps:     dgd.Diminishing{C: linreg.StepC, P: 1},
-				Box:       inst.Box,
-				X0:        inst.X0,
-				Rounds:    rounds,
-				TrackLoss: honestSum,
-				Reference: inst.XH,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("figure2 %s/%s: %w", v.name, fault, err)
-			}
-			fd.Series = append(fd.Series, Series{Name: v.name, Loss: res.Trace.Loss, Dist: res.Trace.Dist})
-		}
-		out = append(out, fd)
-	}
-	return out, inst, nil
-}
-
-// Figure3 reproduces Figure 3: the first `zoom` iterations of the Figure-2
-// series (the paper magnifies t = 0..80).
-func Figure3(zoom int) ([]FigureData, *linreg.Instance, error) {
-	if zoom < 1 {
-		return nil, nil, fmt.Errorf("zoom = %d: %w", zoom, ErrArgs)
-	}
-	full, inst, err := Figure2(zoom)
-	if err != nil {
-		return nil, nil, err
-	}
-	return full, inst, nil
 }
 
 // AppendixJReport collects the derived constants of Appendix J alongside

@@ -133,6 +133,20 @@ func PresetB(seed int64) GenConfig {
 	return GenConfig{Classes: 10, Dim: 20, Train: 4000, Test: 1000, Separation: 2.4, Noise: 1.1, Seed: seed}
 }
 
+// Preset returns the named dataset preset: "a" is the MNIST stand-in
+// (PresetA), "b" the Fashion-MNIST stand-in (PresetB). It is the string
+// face the sweep problem registry selects presets through.
+func Preset(name string, seed int64) (GenConfig, error) {
+	switch name {
+	case "a":
+		return PresetA(seed), nil
+	case "b":
+		return PresetB(seed), nil
+	default:
+		return GenConfig{}, fmt.Errorf("unknown dataset preset %q (want a or b): %w", name, ErrArgs)
+	}
+}
+
 // Shard splits a dataset into n near-equal contiguous shards (the dataset
 // is already shuffled at generation). It returns one Dataset per agent;
 // shards share the backing point slices but a shard's FlipLabels never

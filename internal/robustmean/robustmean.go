@@ -18,6 +18,7 @@ package robustmean
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/core"
@@ -163,6 +164,37 @@ func ViaDGD(points [][]float64, f int, filter aggregate.Filter, rounds int) ([]f
 		return nil, fmt.Errorf("robustmean: %w", err)
 	}
 	return res.X, nil
+}
+
+// Cloud draws a deterministic Gaussian point cloud around the all-ones mean:
+// point i is (1, ..., 1) + spread·N(0, I). The same (n, d, spread, seed)
+// always yields the same cloud, so sweep grid points over robust mean
+// estimation replay exactly.
+func Cloud(n, d int, spread float64, seed int64) ([][]float64, error) {
+	if n < 1 || d < 1 {
+		return nil, fmt.Errorf("n=%d d=%d must be positive: %w", n, d, ErrArgs)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("negative spread %v: %w", spread, ErrArgs)
+	}
+	r := rand.New(rand.NewSource(seed))
+	points := make([][]float64, n)
+	for i := range points {
+		p := vecmath.Ones(d)
+		for j := range p {
+			p[j] += spread * r.NormFloat64()
+		}
+		points[i] = p
+	}
+	return points, nil
+}
+
+// PointCost builds agent i's cost ||x - p||² as a quadratic form
+// (P = 2I, q = -2p, c = p·p), the per-agent cost of the Section-2.3
+// reduction — exported so the sweep problem registry can build robust-mean
+// agents without re-deriving the form.
+func PointCost(p []float64) (costfunc.Differentiable, error) {
+	return pointCost(p)
 }
 
 // pointCost builds ||x - p||² as a quadratic form: P = 2I, q = -2p, c = p.p.

@@ -15,6 +15,7 @@ package sensing
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/core"
@@ -76,6 +77,64 @@ func (s *System) N() int { return len(s.sensors) }
 
 // Dim implements core.Problem: the state dimension.
 func (s *System) Dim() int { return s.dim }
+
+// Synthetic generates a deterministic n-sensor system observing a dim-state:
+// each sensor holds `rows` Gaussian measurement rows, and measurements are
+// y_i = C_i x* + noise·N(0, 1) with ground truth x* = (1, ..., 1). The same
+// (n, dim, rows, noise, seed) always yields the same system, which is what
+// lets the sweep engine treat sensing instances as replayable grid points.
+func Synthetic(n, dim, rows int, noise float64, seed int64) (*System, error) {
+	if n < 1 || dim < 1 || rows < 1 {
+		return nil, fmt.Errorf("n=%d dim=%d rows=%d must be positive: %w", n, dim, rows, ErrArgs)
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("negative noise %v: %w", noise, ErrArgs)
+	}
+	r := rand.New(rand.NewSource(seed))
+	xstar := vecmath.Ones(dim)
+	sensors := make([]Sensor, n)
+	for i := range sensors {
+		data := make([]float64, rows*dim)
+		for j := range data {
+			data[j] = r.NormFloat64()
+		}
+		c, err := matrix.New(rows, dim, data)
+		if err != nil {
+			return nil, err
+		}
+		y := make([]float64, rows)
+		for k := 0; k < rows; k++ {
+			dot, err := vecmath.Dot(c.Row(k), xstar)
+			if err != nil {
+				return nil, err
+			}
+			y[k] = dot + noise*r.NormFloat64()
+		}
+		sensors[i] = Sensor{C: c, Y: y}
+	}
+	return NewSystem(sensors)
+}
+
+// Costs returns the per-sensor induced costs Q_i(x) = ||y_i - C_i x||², the
+// agent costs of the paper's Section-2.4 reduction.
+func (s *System) Costs() ([]costfunc.Differentiable, error) {
+	out := make([]costfunc.Differentiable, len(s.sensors))
+	for i, sen := range s.sensors {
+		c, err := costfunc.NewLeastSquares(sen.C, sen.Y)
+		if err != nil {
+			return nil, fmt.Errorf("sensor %d cost: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Stacked returns the stacked observation matrix and measurement vector of
+// the subset, the exported face of the internal stacking used for subset
+// estimates and aggregate costs.
+func (s *System) Stacked(idx []int) (*matrix.Matrix, []float64, error) {
+	return s.stack(idx)
+}
 
 // stack builds the stacked observation matrix and measurement vector of a
 // sensor subset.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"byzopt/internal/cluster"
+	"byzopt/internal/dgd"
 )
 
 // encodeSweep runs the spec and returns the deterministic JSON export.
@@ -63,6 +64,59 @@ func TestBackendParityNonOmniscientFaults(t *testing.T) {
 	overCluster.Backend = &cluster.Backend{}
 	if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
 		t.Error("cluster-backed JSON differs from in-process JSON for a non-omniscient Byzantine spec")
+	}
+}
+
+// TestBackendParityPerProblemKind extends the cross-substrate guarantee to
+// every problem family the registry ships: for each kind, a grid mixing
+// fault-free baseline cells with non-omniscient Byzantine cells (including
+// the learning problems' data-level label-flip fault and the index-aware
+// "random" stream) must export byte-identical JSON in-process and over the
+// cluster/transport stack.
+func TestBackendParityPerProblemKind(t *testing.T) {
+	specs := map[string]Spec{
+		ProblemLearning: {
+			Problem:     ProblemLearning,
+			Filters:     []string{"cwtm", "cge-avg"},
+			Behaviors:   []string{BehaviorLabelFlip, "gradient-reverse", "random"},
+			FValues:     []int{3},
+			NValues:     []int{10},
+			Dims:        []int{20},
+			Steps:       []dgd.StepSchedule{dgd.Constant{Eta: 0.01}},
+			Rounds:      6,
+			Baselines:   []bool{false, true},
+			RecordTrace: true,
+		},
+		ProblemSensing: {
+			Problem:   ProblemSensing,
+			Filters:   []string{"cge", "cwtm"},
+			Behaviors: []string{"gradient-reverse", "random"},
+			FValues:   []int{1},
+			NValues:   []int{8},
+			Dims:      []int{4},
+			Rounds:    30,
+			Baselines: []bool{false, true},
+		},
+		ProblemRobustMean: {
+			Problem:   ProblemRobustMean,
+			Filters:   []string{"cge", "cwmedian"},
+			Behaviors: []string{"random", "zero"},
+			FValues:   []int{2},
+			NValues:   []int{12},
+			Dims:      []int{3},
+			Rounds:    40,
+			Baselines: []bool{false, true},
+		},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			inProcess := encodeSweep(t, spec)
+			overCluster := spec
+			overCluster.Backend = &cluster.Backend{}
+			if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
+				t.Errorf("%s: cluster-backed JSON differs from in-process JSON", name)
+			}
+		})
 	}
 }
 

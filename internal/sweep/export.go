@@ -41,6 +41,88 @@ func WriteJSONFile(path string, results []Result, includeTiming bool) error {
 	return f.Close()
 }
 
+// ReadJSONFile reads a WriteJSON export back, the input side of shard
+// merging.
+func ReadJSONFile(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// MergeResults recombines shard results into the full-grid result list:
+// results are reordered by GridIndex and must cover the full grid size every
+// result records (GridTotal) exactly once, with pairwise-distinct scenario
+// keys — so missing shards (including trailing ones) are an error, never a
+// silently truncated "full" export. Because every Result is a pure function
+// of the Spec and its grid position, merging the shards of a Spec and
+// exporting with WriteJSON reproduces the unsharded export byte for byte,
+// regardless of how the grid was split or in which order the shards are
+// supplied.
+func MergeResults(shards ...[]Result) ([]Result, error) {
+	var supplied, total int
+	for _, shard := range shards {
+		supplied += len(shard)
+		for i := range shard {
+			if t := shard[i].GridTotal; t > total {
+				total = t
+			}
+		}
+	}
+	if supplied == 0 {
+		return nil, fmt.Errorf("merge: no results: %w", ErrSpec)
+	}
+	if supplied != total {
+		return nil, fmt.Errorf("merge: %d results for a grid of %d scenarios (missing or extra shard?): %w",
+			supplied, total, ErrSpec)
+	}
+	merged := make([]Result, total)
+	seen := make([]bool, total)
+	keys := make(map[string]int, total)
+	for _, shard := range shards {
+		for i := range shard {
+			r := shard[i]
+			if r.GridTotal != total {
+				return nil, fmt.Errorf("merge: shards disagree on grid size (%d vs %d at %s): %w",
+					r.GridTotal, total, r.Key(), ErrSpec)
+			}
+			if r.GridIndex < 0 || r.GridIndex >= total {
+				return nil, fmt.Errorf("merge: grid index %d outside 0..%d: %w",
+					r.GridIndex, total-1, ErrSpec)
+			}
+			if seen[r.GridIndex] {
+				return nil, fmt.Errorf("merge: duplicate grid index %d (%s): %w", r.GridIndex, r.Key(), ErrSpec)
+			}
+			if prev, dup := keys[r.Key()]; dup {
+				return nil, fmt.Errorf("merge: scenario %s appears at grid indices %d and %d: %w",
+					r.Key(), prev, r.GridIndex, ErrSpec)
+			}
+			keys[r.Key()] = r.GridIndex
+			merged[r.GridIndex] = r
+			seen[r.GridIndex] = true
+		}
+	}
+	return merged, nil
+}
+
+// MergeJSONFiles reads shard exports and merges them; see MergeResults.
+func MergeJSONFiles(paths ...string) ([]Result, error) {
+	shards := make([][]Result, 0, len(paths))
+	for _, path := range paths {
+		results, err := ReadJSONFile(path)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, results)
+	}
+	return MergeResults(shards...)
+}
+
 // FormatTable renders the results as an aligned text table, one scenario
 // per row, with skipped/diverged/error rows showing their status instead
 // of metrics.
@@ -50,15 +132,19 @@ func FormatTable(results []Result) string {
 		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", "WALL_MS", "STATUS")
 	for i := range results {
 		r := &results[i]
+		behavior := r.Behavior
+		if r.Baseline {
+			behavior = "(baseline)"
+		}
 		status := r.Status()
 		if status == "ok" {
 			fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f %9.1f %s\n",
-				r.Filter, r.Behavior, r.F, r.N, r.Dim, r.Step,
+				r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
 				r.FinalDist, r.LossFinal, r.WallMS, status)
 			continue
 		}
 		fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10s %12s %9.1f %s (%s)\n",
-			r.Filter, r.Behavior, r.F, r.N, r.Dim, r.Step,
+			r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
 			"-", "-", r.WallMS, status, r.Err)
 	}
 	return b.String()

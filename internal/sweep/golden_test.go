@@ -6,21 +6,44 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"byzopt/internal/dgd"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/baseline.json from the current engine output")
 
 // baselineSpec is the checked-in regression sweep: a real multi-axis grid
-// (including f = 0 cells and a skipped infeasible filter) that runs in
-// well under a second. Timings are stripped on export, so the JSON is a
-// pure function of this spec and the engine.
+// (including f = 0 cells, fault-free Baseline-axis cells, and a skipped
+// infeasible filter) that runs in well under a second. Timings are stripped
+// on export, so the JSON is a pure function of this spec and the engine.
 func baselineSpec() Spec {
 	return Spec{
 		Filters:   []string{"mean", "cge", "cwtm", "krum", "bulyan"},
 		Behaviors: []string{"gradient-reverse", "zero"},
 		FValues:   []int{0, 1},
+		Baselines: []bool{false, true},
 		Rounds:    40,
 		Seed:      7,
+	}
+}
+
+// learningBaselineSpec is the checked-in learning-problem sweep: an
+// Appendix-K-shaped grid (label-flip and gradient-reverse faults plus the
+// fault-free baseline cell) with per-round loss and accuracy traces, small
+// enough for CI but covering the metric path end to end.
+func learningBaselineSpec() Spec {
+	return Spec{
+		Problem:     ProblemLearning,
+		Filters:     []string{"cwtm", "cge-avg"},
+		Behaviors:   []string{BehaviorLabelFlip, "gradient-reverse"},
+		FValues:     []int{3},
+		NValues:     []int{10},
+		Dims:        []int{20},
+		Steps:       []dgd.StepSchedule{dgd.Constant{Eta: 0.01}},
+		Rounds:      8,
+		Baselines:   []bool{false, true},
+		Seed:        7,
+		RecordTrace: true,
 	}
 }
 
@@ -33,7 +56,19 @@ func baselineSpec() Spec {
 //
 // and justify the diff in review.
 func TestGoldenBaselineSweep(t *testing.T) {
-	results, err := Run(baselineSpec())
+	checkGolden(t, baselineSpec(), "baseline.json")
+}
+
+// TestGoldenLearningSweep is the learning-problem counterpart, covering the
+// problem registry, the Baseline axis, and the accuracy-trace export in one
+// checked-in file.
+func TestGoldenLearningSweep(t *testing.T) {
+	checkGolden(t, learningBaselineSpec(), "baseline_learning.json")
+}
+
+func checkGolden(t *testing.T, spec Spec, file string) {
+	t.Helper()
+	results, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +76,7 @@ func TestGoldenBaselineSweep(t *testing.T) {
 	if err := WriteJSON(&buf, results, false); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "baseline.json")
+	path := filepath.Join("testdata", file)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)

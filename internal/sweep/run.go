@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +19,12 @@ import (
 // is meaningful; Status summarizes which.
 type Result struct {
 	Scenario
+	// GridIndex is the scenario's position in the full expanded grid and
+	// GridTotal the full grid's size — both stable under sharding, which is
+	// what lets MergeResults reassemble shard exports into the
+	// byte-identical full export and detect missing shards.
+	GridIndex int `json:"grid_index"`
+	GridTotal int `json:"grid_total"`
 	// Seed is the scenario seed derived from the key (recorded so a single
 	// scenario can be replayed without the Spec).
 	Seed int64 `json:"seed"`
@@ -30,11 +37,17 @@ type Result struct {
 	LossStart float64 `json:"loss_start"`
 	LossFinal float64 `json:"loss_final"`
 	LossMin   float64 `json:"loss_min"`
+	// MetricName and MetricFinal report the problem's optional task metric
+	// (e.g. "test_accuracy") at the final estimate.
+	MetricName  string  `json:"metric,omitempty"`
+	MetricFinal float64 `json:"metric_final,omitempty"`
 	// TraceLoss and TraceDist are the full per-round series Q_H(x_t) and
 	// ||x_t - x_H|| for t = 0..T, recorded only when Spec.RecordTrace is
-	// set — the series the figure drivers plot.
-	TraceLoss []float64 `json:"trace_loss,omitempty"`
-	TraceDist []float64 `json:"trace_dist,omitempty"`
+	// set — the series the figure drivers plot. TraceMetric is the matching
+	// task-metric series for problems that expose one.
+	TraceLoss   []float64 `json:"trace_loss,omitempty"`
+	TraceDist   []float64 `json:"trace_dist,omitempty"`
+	TraceMetric []float64 `json:"trace_metric,omitempty"`
 	// Diverged reports that the estimate (or a gradient) left the finite
 	// floats — the engine's dgd.ErrDiverged.
 	Diverged bool `json:"diverged,omitempty"`
@@ -68,37 +81,31 @@ func (r *Result) Status() string {
 	}
 }
 
-// problemKey identifies the axes a scenario's workload can depend on;
-// scenarios sharing a key share one problem instance.
-type problemKey struct {
-	problem string
-	n, d, f int
+// workloadEntry caches one materialized workload (or its build failure)
+// under the problem's own cache key.
+type workloadEntry struct {
+	wl  *Workload
+	err error
 }
 
-// problemEntry caches one materialized workload (or its build failure).
-type problemEntry struct {
-	prob *problem
-	err  error
-}
-
-// buildProblems materializes every distinct workload of the grid once,
-// before the worker pool starts: a full-registry sweep reuses one
-// instance across all filter × behavior cells of a system size instead
-// of regenerating data and re-solving x_H per scenario. The entries are
-// read-only afterwards, so workers share them without synchronization.
-func buildProblems(spec *Spec, jobs []job) map[problemKey]problemEntry {
-	cache := make(map[problemKey]problemEntry)
+// buildWorkloads materializes every distinct workload of the grid once,
+// before the worker pool starts: a full-registry sweep reuses one instance
+// across all filter × behavior cells that map to the same problem cache key
+// instead of regenerating data and re-solving x_H per scenario. The entries
+// are read-only afterwards, so workers share them without synchronization.
+func buildWorkloads(spec *Spec, prob Problem, jobs []job) map[string]workloadEntry {
+	cache := make(map[string]workloadEntry)
 	for _, jb := range jobs {
 		scn := jb.scn
 		if 2*scn.F >= scn.N {
-			continue // skipped before the problem is ever needed
+			continue // skipped before the workload is ever needed
 		}
-		key := problemKey{problem: scn.Problem, n: scn.N, d: scn.Dim, f: scn.F}
+		key := prob.Key(spec, scn)
 		if _, ok := cache[key]; ok {
 			continue
 		}
-		prob, err := buildProblem(spec, scn)
-		cache[key] = problemEntry{prob: prob, err: err}
+		wl, err := prob.Build(spec, scn)
+		cache[key] = workloadEntry{wl: wl, err: err}
 	}
 	return cache
 }
@@ -128,11 +135,15 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prob, err := resolveProblem(&spec)
+	if err != nil {
+		return nil, err
+	}
 	backend := spec.Backend
 	if backend == nil {
 		backend = dgd.InProcess{}
 	}
-	problems := buildProblems(&spec, jobs)
+	workloads := buildWorkloads(&spec, prob, jobs)
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -142,16 +153,28 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 	}
 	results := make([]Result, len(jobs))
 	done := make([]bool, len(jobs))
+	var progressMu sync.Mutex
+	completed := 0
+	reportProgress := func() {
+		if spec.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		spec.Progress(completed, len(jobs))
+		progressMu.Unlock()
+	}
 	if workers <= 1 {
 		for i, jb := range jobs {
 			if ctx.Err() != nil {
 				break
 			}
-			res, err := runScenario(ctx, &spec, backend, jb, problems)
+			res, err := runScenario(ctx, &spec, prob, backend, jb, workloads)
 			if err != nil {
 				break // cancelled mid-scenario; the loop guard reports it
 			}
 			results[i], done[i] = res, true
+			reportProgress()
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -161,16 +184,22 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					res, err := runScenario(ctx, &spec, backend, jobs[i], problems)
+					res, err := runScenario(ctx, &spec, prob, backend, jobs[i], workloads)
 					if err != nil {
 						continue // cancelled; the dispatcher is stopping too
 					}
 					results[i], done[i] = res, true
+					reportProgress()
 				}
 			}()
 		}
+		// Longest-job-first dispatch: heterogeneous grids (cheap regression
+		// cells next to expensive learning cells) would otherwise tail-stall
+		// on one worker grinding the biggest scenario last. Results land in
+		// grid-order slots either way, so the schedule never shows in the
+		// output.
 	dispatch:
-		for i := range jobs {
+		for _, i := range longestFirst(jobs) {
 			select {
 			case next <- i:
 			case <-ctx.Done():
@@ -192,6 +221,59 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 	return results, nil
 }
 
+// longestFirst returns the positions of jobs in descending order of
+// estimated cost steps·n·d (stable: equal-cost jobs keep grid order).
+// Infeasible cells (2f >= n) return immediately at run time, so their
+// position in the schedule is irrelevant.
+func longestFirst(jobs []job) []int {
+	order := make([]int, len(jobs))
+	cost := make([]int64, len(jobs))
+	for i, jb := range jobs {
+		order[i] = i
+		cost[i] = int64(jb.scn.Rounds) * int64(jb.scn.N) * int64(jb.scn.Dim)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	return order
+}
+
+// metricRecorder observes a run and records the problem's task metric,
+// evaluating it on the Metric's cadence and carrying the last value forward
+// in between so the series aligns with the loss series round for round.
+type metricRecorder struct {
+	metric *Metric
+	rounds int
+	last   float64
+	series []float64
+}
+
+func (m *metricRecorder) ObserveRound(t int, x []float64, loss, dist float64) error {
+	every := m.metric.Every
+	if every < 1 {
+		every = 1
+	}
+	if t%every == 0 || t == m.rounds {
+		v, err := m.metric.Eval(x)
+		if err != nil {
+			return fmt.Errorf("metric %s: %w", m.metric.Name, err)
+		}
+		m.last = v
+	}
+	m.series = append(m.series, m.last)
+	return nil
+}
+
+// multiObserver fans one run's rounds out to several observers.
+type multiObserver []dgd.RoundObserver
+
+func (m multiObserver) ObserveRound(t int, x []float64, loss, dist float64) error {
+	for _, o := range m {
+		if err := o.ObserveRound(t, x, loss, dist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runScenario executes one grid point end to end through the backend.
 // Failures are data, not control flow: infeasible points come back Skipped,
 // non-finite runs come back Diverged, scenarios exceeding
@@ -199,9 +281,9 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 // so one bad cell never aborts a sweep. The single exception is
 // cancellation of the sweep's own context, which is returned as an error so
 // the pool can stop.
-func runScenario(ctx context.Context, spec *Spec, backend dgd.Backend, jb job, problems map[problemKey]problemEntry) (Result, error) {
+func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Backend, jb job, workloads map[string]workloadEntry) (Result, error) {
 	scn := jb.scn
-	res := Result{Scenario: scn, Seed: scn.DeriveSeed(spec.Seed)}
+	res := Result{Scenario: scn, GridIndex: jb.idx, GridTotal: jb.total, Seed: scn.DeriveSeed(spec.Seed)}
 	if spec.PinBehaviorSeed {
 		res.Seed = spec.Seed
 	}
@@ -225,19 +307,29 @@ func runScenario(ctx context.Context, spec *Spec, backend dgd.Backend, jb job, p
 		res.Err = fmt.Sprintf("infeasible: need f < n/2, got n=%d f=%d", scn.N, scn.F)
 		return res, nil
 	}
-	entry := problems[problemKey{problem: scn.Problem, n: scn.N, d: scn.Dim, f: scn.F}]
+	entry := workloads[prob.Key(spec, scn)]
 	if entry.err != nil {
 		return fail(entry.err)
 	}
-	prob := entry.prob
-	if prob == nil {
-		return fail(fmt.Errorf("no cached problem for %s: %w", scn.Key(), ErrSpec))
+	wl := entry.wl
+	if wl == nil {
+		return fail(fmt.Errorf("no cached workload for %s: %w", scn.Key(), ErrSpec))
 	}
-	agents, err := prob.agents()
+	agents, err := wl.NewAgents()
 	if err != nil {
 		return fail(err)
 	}
-	if scn.Behavior != BehaviorNone {
+	runF := scn.F
+	switch {
+	case scn.Baseline:
+		// The papers' fault-free baseline: the would-be Byzantine agents
+		// are omitted entirely and the honest remainder runs with f = 0.
+		if scn.F >= len(agents) {
+			return fail(fmt.Errorf("baseline omits all %d agents: %w", len(agents), ErrSpec))
+		}
+		agents = agents[scn.F:]
+		runF = 0
+	case scn.Behavior != BehaviorNone && !wl.FaultsApplied:
 		behavior, err := byzantine.New(scn.Behavior, res.Seed)
 		if err != nil {
 			return fail(err)
@@ -259,25 +351,34 @@ func runScenario(ctx context.Context, spec *Spec, backend dgd.Backend, jb job, p
 		scnCtx, cancel = context.WithTimeout(ctx, spec.ScenarioTimeout)
 		defer cancel()
 	}
+	var observers multiObserver
 	var recorder *dgd.TraceRecorder
-	var observer dgd.RoundObserver
 	if spec.RecordTrace {
 		// Only the loss/distance series are exported; estimate copies
 		// would dominate the recorder's memory at high dimension.
 		recorder = &dgd.TraceRecorder{OmitEstimates: true}
-		observer = recorder
+		observers = append(observers, recorder)
+	}
+	var metrics *metricRecorder
+	if wl.Metric != nil {
+		metrics = &metricRecorder{metric: wl.Metric, rounds: scn.Rounds}
+		observers = append(observers, metrics)
+	}
+	var observer dgd.RoundObserver
+	if len(observers) > 0 {
+		observer = observers
 	}
 	start := time.Now()
 	out, err := backend.Run(scnCtx, dgd.Config{
 		Agents:    agents,
-		F:         scn.F,
+		F:         runF,
 		Filter:    filter,
 		Steps:     jb.steps,
-		Box:       prob.box,
-		X0:        prob.x0,
+		Box:       wl.Box,
+		X0:        wl.X0,
 		Rounds:    scn.Rounds,
-		TrackLoss: prob.honestSum,
-		Reference: prob.xH,
+		TrackLoss: wl.HonestLoss,
+		Reference: wl.XH,
 		Observer:  observer,
 		Workers:   spec.DGDWorkers,
 	})
@@ -302,19 +403,38 @@ func runScenario(ctx context.Context, spec *Spec, backend dgd.Backend, jb job, p
 		}
 		return fail(err)
 	}
-	res.FinalDist = out.Trace.Dist[len(out.Trace.Dist)-1]
 	res.FinalX = out.X
-	res.LossStart = out.Trace.Loss[0]
-	res.LossFinal = out.Trace.Loss[len(out.Trace.Loss)-1]
-	res.LossMin = res.LossStart
-	for _, v := range out.Trace.Loss {
-		if v < res.LossMin {
-			res.LossMin = v
+	if len(out.Trace.Dist) > 0 {
+		res.FinalDist = out.Trace.Dist[len(out.Trace.Dist)-1]
+	}
+	if len(out.Trace.Loss) > 0 {
+		res.LossStart = out.Trace.Loss[0]
+		res.LossFinal = out.Trace.Loss[len(out.Trace.Loss)-1]
+		res.LossMin = res.LossStart
+		for _, v := range out.Trace.Loss {
+			if v < res.LossMin {
+				res.LossMin = v
+			}
+		}
+	}
+	if metrics != nil {
+		res.MetricName = wl.Metric.Name
+		if len(metrics.series) > 0 {
+			res.MetricFinal = metrics.series[len(metrics.series)-1]
+		}
+		if spec.RecordTrace {
+			res.TraceMetric = metrics.series
 		}
 	}
 	if recorder != nil {
-		res.TraceLoss = recorder.Loss
-		res.TraceDist = recorder.Dist
+		// Untracked series record as NaN, which JSON cannot carry; export
+		// only the series the workload actually tracks.
+		if wl.HonestLoss != nil {
+			res.TraceLoss = recorder.Loss
+		}
+		if wl.XH != nil {
+			res.TraceDist = recorder.Dist
+		}
 	}
 	return res, nil
 }

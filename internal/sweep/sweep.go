@@ -1,11 +1,20 @@
 // Package sweep is the scenario-matrix engine behind the repo's empirical
-// evaluation: it expands a declarative Spec — gradient filters × Byzantine
-// behaviors × fault counts × system sizes × dimensions × step schedules —
-// into concrete scenarios, runs them concurrently on a worker pool, and
-// collects one structured Result per scenario (final distance to the honest
-// minimizer x_H, a loss-trace summary, wall time, and
+// evaluation: it expands a declarative Spec — a registered Problem ×
+// gradient filters × Byzantine behaviors × fault counts × system sizes ×
+// dimensions × step schedules × the fault-free baseline axis — into
+// concrete scenarios, runs them concurrently on a worker pool, and collects
+// one structured Result per scenario (final distance to the reference point
+// x_H, a loss-trace summary, optional task metrics, wall time, and
 // divergence/skip/timeout flags), with deterministic JSON export via
 // WriteJSON.
+//
+// Workloads are pluggable: the Problem interface materializes per-agent
+// costs, the reference point, the honest loss, and optional metrics for any
+// scenario, and the name-keyed registry (Register/LookupProblem) ships with
+// the paper's regression instances, the Appendix-K learning workloads,
+// distributed sensing, and robust mean estimation. Spec.Baselines adds the
+// papers' fault-free omit-the-faulty-agents baseline as a grid axis, which
+// is what lets every table and figure of the evaluation run as a sweep.
 //
 // Every scenario executes through a dgd.Backend (Spec.Backend): the
 // in-process engine by default, or the transport-backed cluster stack,
@@ -43,7 +52,8 @@ import (
 // ErrSpec is returned (wrapped) for invalid sweep specifications.
 var ErrSpec = errors.New("sweep: invalid specification")
 
-// Problem sources understood by the engine.
+// The regression problem names (see problems.go for the rest of the
+// built-in registry).
 const (
 	// ProblemSynthetic generates a deterministic distributed-regression
 	// instance per (n, d): unit-scaled Gaussian design rows, responses from
@@ -64,9 +74,15 @@ const BehaviorNone = "none"
 // defaults, so the zero Spec is the full filter × behavior grid on the
 // Appendix-J-sized synthetic instance.
 type Spec struct {
-	// Problem selects the workload: ProblemSynthetic (default) or
-	// ProblemPaper.
+	// Problem names the workload in the problem registry:
+	// ProblemSynthetic (default), ProblemPaper, the learning family,
+	// ProblemSensing, ProblemRobustMean, or anything added via Register.
 	Problem string
+	// ProblemDef, when non-nil, supplies the workload directly, bypassing
+	// the registry — the hook for one-off Problem configurations that are
+	// not worth a global name. Scenario.Problem then records
+	// ProblemDef.Name().
+	ProblemDef Problem
 	// Filters are aggregate registry names; nil means every registered
 	// filter (aggregate.Names()).
 	Filters []string
@@ -77,6 +93,13 @@ type Spec struct {
 	// The first f agents act Byzantine in each scenario, mirroring the
 	// paper's faulty agent 0. Values with 2f >= n yield Skipped results.
 	FValues []int
+	// Baselines adds the papers' fault-free baseline as a grid axis; nil
+	// means {false}. A baseline scenario omits the f would-be Byzantine
+	// agents entirely and runs the remaining honest agents with f = 0 —
+	// "the faulty agent is omitted" of Figures 2-5 — so its behavior axis
+	// collapses to BehaviorNone. Baseline cells at f = 0 are dropped as
+	// duplicates of the ordinary f = 0 cells.
+	Baselines []bool
 	// NValues are the system sizes; nil means {6} (the paper's n).
 	NValues []int
 	// Dims are the optimization dimensions; nil means {2} (the paper's d).
@@ -124,10 +147,30 @@ type Spec struct {
 	// mirroring the divergence classification.
 	ScenarioTimeout time.Duration
 	// RecordTrace attaches a dgd.TraceRecorder observer to every run and
-	// exports the full per-round loss/distance series in each Result — the
-	// figure-series production path. Traces grow with Rounds, so leave it
-	// unset for large summary-only grids.
+	// exports the full per-round loss/distance series (and the problem's
+	// task metric, if any) in each Result — the figure-series production
+	// path. Traces grow with Rounds, so leave it unset for large
+	// summary-only grids.
 	RecordTrace bool
+
+	// Progress, when non-nil, is called after each scenario completes with
+	// the number done and the grid total. Calls are serialized by the
+	// engine, so the callback needs no locking; completion order is
+	// nondeterministic under a parallel pool.
+	Progress func(done, total int)
+	// Shard, when non-nil, restricts the run to a deterministic contiguous
+	// slice of the expanded grid — shard Index of Count — so one Spec can be
+	// split across processes or machines and the exported shards merged back
+	// (MergeResults) into the byte-identical full export.
+	Shard *Shard
+}
+
+// Shard selects a contiguous index-range slice of the expanded scenario
+// grid: shard Index of Count (0 <= Index < Count). Slicing happens after
+// grid expansion, so every shard of the same Spec sees the same global
+// ordering and GridIndex values.
+type Shard struct {
+	Index, Count int
 }
 
 // Scenario identifies one expanded grid point. Its Key doubles as the
@@ -142,13 +185,22 @@ type Scenario struct {
 	Dim      int    `json:"d"`
 	Step     string `json:"step"`
 	Rounds   int    `json:"rounds"`
+	// Baseline marks the fault-free variant: the F would-be Byzantine
+	// agents are omitted entirely and the run executes with f = 0.
+	Baseline bool `json:"baseline,omitempty"`
 }
 
 // Key returns the stable scenario identifier used for seeding, logging,
 // and deduplication.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("problem=%s filter=%s behavior=%s f=%d n=%d d=%d step=%s rounds=%d",
+	key := fmt.Sprintf("problem=%s filter=%s behavior=%s f=%d n=%d d=%d step=%s rounds=%d",
 		s.Problem, s.Filter, s.Behavior, s.F, s.N, s.Dim, s.Step, s.Rounds)
+	if s.Baseline {
+		// Appended only when set so pre-baseline scenario keys (and the
+		// seeds derived from them) stay stable.
+		key += " baseline=true"
+	}
+	return key
 }
 
 // DeriveSeed hashes the scenario key together with the base seed. The
@@ -163,16 +215,26 @@ func (s Scenario) DeriveSeed(base int64) int64 {
 	return int64(h.Sum64())
 }
 
-// job pairs a scenario with its (non-serializable) step schedule.
+// job pairs a scenario with its (non-serializable) step schedule and its
+// position in (and the size of) the full expanded grid, both stable across
+// sharding.
 type job struct {
 	scn   Scenario
 	steps dgd.StepSchedule
+	idx   int
+	total int
 }
 
 // normalize fills in the documented defaults in place.
 func (spec *Spec) normalize() {
+	if spec.ProblemDef != nil {
+		spec.Problem = spec.ProblemDef.Name()
+	}
 	if spec.Problem == "" {
 		spec.Problem = ProblemSynthetic
+	}
+	if spec.Baselines == nil {
+		spec.Baselines = []bool{false}
 	}
 	if spec.Filters == nil {
 		spec.Filters = aggregate.Names()
@@ -203,11 +265,24 @@ func (spec *Spec) normalize() {
 	}
 }
 
+// resolveProblem returns the spec's workload: ProblemDef when set,
+// otherwise the registry entry under spec.Problem. Callers must have
+// normalized the spec.
+func resolveProblem(spec *Spec) (Problem, error) {
+	if spec.ProblemDef != nil {
+		return spec.ProblemDef, nil
+	}
+	return LookupProblem(spec.Problem)
+}
+
 // validateSpec rejects unknown names and nonsensical values up front, so a
-// sweep fails fast instead of burying a typo in per-scenario errors.
+// sweep fails fast instead of burying a typo in per-scenario errors. The
+// problem validates the axes it consumes (sizes, dimensions, behaviors)
+// itself.
 func validateSpec(spec *Spec) error {
-	if spec.Problem != ProblemSynthetic && spec.Problem != ProblemPaper {
-		return fmt.Errorf("unknown problem %q: %w", spec.Problem, ErrSpec)
+	prob, err := resolveProblem(spec)
+	if err != nil {
+		return err
 	}
 	if len(spec.Filters) == 0 {
 		return fmt.Errorf("empty filter list: %w", ErrSpec)
@@ -217,16 +292,12 @@ func validateSpec(spec *Spec) error {
 			return fmt.Errorf("filter %q: %v: %w", name, err, ErrSpec)
 		}
 	}
-	if len(spec.Behaviors) == 0 {
-		return fmt.Errorf("empty behavior list: %w", ErrSpec)
+	var extras []string
+	if declarer, ok := prob.(BehaviorDeclarer); ok {
+		extras = declarer.ExtraBehaviors()
 	}
-	for _, name := range spec.Behaviors {
-		if name == BehaviorNone {
-			continue
-		}
-		if _, err := byzantine.New(name, 0); err != nil {
-			return fmt.Errorf("behavior %q: %v: %w", name, err, ErrSpec)
-		}
+	if err := ValidateBehaviors(spec.Behaviors, extras...); err != nil {
+		return err
 	}
 	for _, f := range spec.FValues {
 		if f < 0 {
@@ -237,16 +308,18 @@ func validateSpec(spec *Spec) error {
 		if n < 1 {
 			return fmt.Errorf("n = %d must be positive: %w", n, ErrSpec)
 		}
-		if spec.Problem == ProblemPaper && n != linreg.N {
-			return fmt.Errorf("paper problem requires n = %d, got %d: %w", linreg.N, n, ErrSpec)
-		}
 	}
 	for _, d := range spec.Dims {
 		if d < 1 {
 			return fmt.Errorf("dim = %d must be positive: %w", d, ErrSpec)
 		}
-		if spec.Problem == ProblemPaper && d != linreg.Dim {
-			return fmt.Errorf("paper problem requires d = %d, got %d: %w", linreg.Dim, d, ErrSpec)
+	}
+	if err := prob.Validate(spec); err != nil {
+		return err
+	}
+	if spec.Shard != nil {
+		if spec.Shard.Count < 1 || spec.Shard.Index < 0 || spec.Shard.Index >= spec.Shard.Count {
+			return fmt.Errorf("shard %d/%d out of range: %w", spec.Shard.Index, spec.Shard.Count, ErrSpec)
 		}
 	}
 	for i, s := range spec.Steps {
@@ -270,9 +343,12 @@ func validateSpec(spec *Spec) error {
 }
 
 // expand normalizes the spec and enumerates the grid in a fixed order
-// (filter, f, behavior, n, d, step). Scenarios with f = 0 collapse the
-// behavior axis to BehaviorNone — there is no faulty agent to act it out —
-// so the grid never contains duplicates.
+// (filter, f, baseline, behavior, n, d, step). Scenarios with f = 0 — and
+// baseline scenarios, whose would-be Byzantine agents are omitted — collapse
+// the behavior axis to BehaviorNone, and baseline cells at f = 0 are dropped
+// as duplicates, so the grid never contains the same scenario twice. When
+// spec.Shard is set, the enumerated grid is sliced to the shard's contiguous
+// index range after expansion; job indices always refer to the full grid.
 func expand(spec *Spec) ([]job, error) {
 	spec.normalize()
 	if err := validateSpec(spec); err != nil {
@@ -281,27 +357,34 @@ func expand(spec *Spec) ([]job, error) {
 	var jobs []job
 	for _, filter := range spec.Filters {
 		for _, f := range spec.FValues {
-			behaviors := spec.Behaviors
-			if f == 0 {
-				behaviors = []string{BehaviorNone}
-			}
-			for _, behavior := range behaviors {
-				for _, n := range spec.NValues {
-					for _, d := range spec.Dims {
-						for _, steps := range spec.Steps {
-							jobs = append(jobs, job{
-								scn: Scenario{
-									Problem:  spec.Problem,
-									Filter:   filter,
-									Behavior: behavior,
-									F:        f,
-									N:        n,
-									Dim:      d,
-									Step:     steps.Name(),
-									Rounds:   spec.Rounds,
-								},
-								steps: steps,
-							})
+			for _, baseline := range spec.Baselines {
+				if baseline && f == 0 {
+					continue // identical to the ordinary f = 0 cell
+				}
+				behaviors := spec.Behaviors
+				if f == 0 || baseline {
+					behaviors = []string{BehaviorNone}
+				}
+				for _, behavior := range behaviors {
+					for _, n := range spec.NValues {
+						for _, d := range spec.Dims {
+							for _, steps := range spec.Steps {
+								jobs = append(jobs, job{
+									scn: Scenario{
+										Problem:  spec.Problem,
+										Filter:   filter,
+										Behavior: behavior,
+										F:        f,
+										N:        n,
+										Dim:      d,
+										Step:     steps.Name(),
+										Rounds:   spec.Rounds,
+										Baseline: baseline,
+									},
+									steps: steps,
+									idx:   len(jobs),
+								})
+							}
 						}
 					}
 				}
@@ -311,11 +394,20 @@ func expand(spec *Spec) ([]job, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("empty scenario grid: %w", ErrSpec)
 	}
+	for i := range jobs {
+		jobs[i].total = len(jobs)
+	}
+	if sh := spec.Shard; sh != nil {
+		lo := sh.Index * len(jobs) / sh.Count
+		hi := (sh.Index + 1) * len(jobs) / sh.Count
+		jobs = jobs[lo:hi]
+	}
 	return jobs, nil
 }
 
-// Scenarios returns the expanded grid without running it, in execution
-// order — useful for sizing a sweep or sharding it externally.
+// Scenarios returns the expanded grid without running it, in grid order
+// (respecting spec.Shard) — useful for sizing a sweep before committing to
+// it.
 func Scenarios(spec Spec) ([]Scenario, error) {
 	jobs, err := expand(&spec)
 	if err != nil {
