@@ -257,6 +257,69 @@ func BenchmarkKrumScores(b *testing.B) {
 	}
 }
 
+// BenchmarkForEachSubset compares the sequential subset enumerator with the
+// chunked parallel one (core.ForEachSubsetParallel) on a CPU-bound visit —
+// the shape of the redundancy measurement's inner loop — at one worker and
+// at GOMAXPROCS. Per-worker accumulators merged in worker order keep the
+// reported checksum bitwise-identical across the column.
+func BenchmarkForEachSubset(b *testing.B) {
+	const n, k = 22, 11
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 + float64(i)/n
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("n=%d/k=%d/workers=%d", n, k, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sums := make([]float64, workers)
+				err := core.ForEachSubsetParallel(n, k, workers, func(w int, idx []int) error {
+					s := 1.0
+					for _, j := range idx {
+						s = s*weights[j] + float64(j)
+					}
+					sums[w] += s
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total float64
+				for _, s := range sums {
+					total += s
+				}
+				b.ReportMetric(total, "checksum")
+			}
+		})
+	}
+}
+
+// BenchmarkP2PSweep drives a small Byzantine grid — the broadcast-only
+// equivocation axis included — over the peer-to-peer backend at one worker
+// and at GOMAXPROCS, measuring the sweep engine against the EIG substrate.
+func BenchmarkP2PSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := byzopt.Sweep(byzopt.SweepSpec{
+					Problem:   "paper",
+					Filters:   []string{"cge", "cwtm", "mean"},
+					Behaviors: []string{"gradient-reverse", "equivocate"},
+					FValues:   []int{1},
+					Rounds:    120,
+					Workers:   workers,
+					Backend:   byzopt.P2PBackend(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 6 {
+					b.Fatalf("expected 6 scenarios, got %d", len(results))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweepEngine runs the acceptance sweep — 8 filters × 4 behaviors
 // × 2 f-values = 64 scenarios on the paper's regression benchmark — at one
 // worker and at GOMAXPROCS, so the speedup is a reported baseline.

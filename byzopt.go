@@ -26,10 +26,11 @@
 //
 // InProcessBackend runs the deterministic simulation in this process;
 // ClusterBackend serves the same Config over the server/transport stack of
-// Figure 1, one in-memory connection per agent. A fault-free Config
-// produces the identical trajectory on both, so code written against one
-// substrate moves to the other unchanged. A minimal fault-tolerant run,
-// cancellable through its context:
+// Figure 1 (left), one in-memory connection per agent; and P2PBackend runs
+// it fully decentralized over Byzantine broadcast (Figure 1, right; n > 3f).
+// A fault-free Config produces the identical trajectory on all three, so
+// code written against one substrate moves to the others unchanged. A
+// minimal fault-tolerant run, cancellable through its context:
 //
 //	filter, _ := byzopt.NewFilter("cge")
 //	res, err := byzopt.RunContext(ctx, byzopt.Config{
@@ -117,9 +118,10 @@
 // -shard / -merge at the CLI). All of abft-bench's tables and figures run
 // through these Specs.
 //
-// The deeper machinery (matrix solvers, transports, the peer-to-peer
-// broadcast layer, experiment drivers) lives in internal packages; the
-// runnable programs under examples/ and cmd/ show them in action.
+// The deeper machinery (matrix solvers, transports, the EIG broadcast
+// protocol behind P2PBackend, experiment drivers) lives in internal
+// packages; the runnable programs under examples/ and cmd/ show them in
+// action.
 package byzopt
 
 import (
@@ -134,6 +136,7 @@ import (
 	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
 	"byzopt/internal/matrix"
+	"byzopt/internal/p2p"
 	"byzopt/internal/sweep"
 	"byzopt/internal/vecmath"
 )
@@ -171,7 +174,10 @@ type Behavior = byzantine.Behavior
 func NewBehavior(name string, seed int64) (Behavior, error) { return byzantine.New(name, seed) }
 
 // BehaviorNames lists the built-in behaviors (gradient-reverse, random,
-// zero, ipm, alie).
+// zero, ipm, alie, equivocate). "equivocate" reverses its gradient like
+// gradient-reverse and additionally lies while relaying other peers'
+// broadcasts — a distinction only P2PBackend realizes; on the other
+// substrates it behaves exactly like gradient-reverse.
 func BehaviorNames() []string { return byzantine.Names() }
 
 // --- costs ---
@@ -289,6 +295,21 @@ func ClusterBackend(roundTimeout time.Duration) Backend {
 	return &cluster.Backend{RoundTimeout: roundTimeout}
 }
 
+// P2PBackend returns the Backend executing each run over the fully
+// decentralized peer-to-peer substrate of the paper's Figure 1 (right):
+// every agent becomes a peer on a complete network, each round every
+// report goes through an EIG Byzantine broadcast, and every honest peer
+// applies the gradient filter locally to the agreed-upon report set — the
+// Section-1.4 simulation of the server-based algorithm, requiring n > 3f
+// (configurations violating the bound are rejected with a wrapped
+// inadmissibility sentinel that sweeps classify as skipped cells).
+// Fault-free runs and runs whose Byzantine agents do not equivocate in the
+// broadcast layer — omniscient behaviors included — reproduce the
+// in-process trajectory exactly; the "equivocate" behavior additionally
+// lies while relaying other peers' broadcasts, the one adversary only this
+// substrate can express.
+func P2PBackend() Backend { return p2p.Backend{} }
+
 // --- scenario sweeps ---
 
 // SweepSpec declares a scenario matrix: filters × behaviors × f × n ×
@@ -397,9 +418,19 @@ func RegressionProblem(rows [][]float64, b []float64) (SubsetProblem, error) {
 type RedundancyReport = core.RedundancyReport
 
 // MeasureRedundancy computes the tight redundancy parameter ε of
-// Definition 3 by subset enumeration (Appendix J.2 procedure).
+// Definition 3 by subset enumeration (Appendix J.2 procedure),
+// sequentially.
 func MeasureRedundancy(p SubsetProblem, f int) (*RedundancyReport, error) {
 	return core.MeasureRedundancy(p, f, core.AtLeastSize)
+}
+
+// MeasureRedundancyWorkers is MeasureRedundancy with the subset enumeration
+// chunked across up to workers goroutines (0 auto-sizes, negative means
+// GOMAXPROCS); the report is bitwise-identical at any worker count. With
+// workers != 1 the problem's MinimizeSubset must be safe for concurrent
+// use, which every problem constructor in this library satisfies.
+func MeasureRedundancyWorkers(p SubsetProblem, f, workers int) (*RedundancyReport, error) {
+	return core.MeasureRedundancyWorkers(p, f, core.AtLeastSize, workers)
 }
 
 // ResilienceReport quantifies a candidate output against Definition 2.

@@ -69,7 +69,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
-// TestPublicBackendsAgree: one Config, both public backends, identical
+// TestPublicBackendsAgree: one Config, all three public backends, identical
 // trajectories — with a TraceRecorder observer riding along.
 func TestPublicBackendsAgree(t *testing.T) {
 	build := func() Config {
@@ -104,18 +104,23 @@ func TestPublicBackendsAgree(t *testing.T) {
 		return res, rec
 	}
 	inproc, inprocRec := run(InProcessBackend())
-	clust, clustRec := run(ClusterBackend(time.Second))
-	for i := range inproc.X {
-		if inproc.X[i] != clust.X[i] {
-			t.Fatalf("backends disagree on the estimate: %v vs %v", inproc.X, clust.X)
+	for name, backend := range map[string]Backend{
+		"cluster": ClusterBackend(time.Second),
+		"p2p":     P2PBackend(),
+	} {
+		other, otherRec := run(backend)
+		for i := range inproc.X {
+			if inproc.X[i] != other.X[i] {
+				t.Fatalf("%s backend disagrees on the estimate: %v vs %v", name, inproc.X, other.X)
+			}
 		}
-	}
-	if len(inprocRec.Dist) != len(clustRec.Dist) {
-		t.Fatalf("observer series lengths differ: %d vs %d", len(inprocRec.Dist), len(clustRec.Dist))
-	}
-	for i := range inprocRec.Dist {
-		if inprocRec.Dist[i] != clustRec.Dist[i] {
-			t.Fatalf("observer distance series diverges at round %d", i)
+		if len(inprocRec.Dist) != len(otherRec.Dist) {
+			t.Fatalf("%s observer series lengths differ: %d vs %d", name, len(inprocRec.Dist), len(otherRec.Dist))
+		}
+		for i := range inprocRec.Dist {
+			if inprocRec.Dist[i] != otherRec.Dist[i] {
+				t.Fatalf("%s observer distance series diverges at round %d", name, i)
+			}
 		}
 	}
 }

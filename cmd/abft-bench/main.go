@@ -17,6 +17,12 @@
 //
 // With -csv PREFIX the full series are written to PREFIX-<fault>.csv (or
 // PREFIX.csv for the learning figures); summaries always go to stdout.
+//
+// The sweeps here run on the in-process engine; abft-sweep exposes the same
+// grids over every substrate (-backend inprocess, cluster, or p2p), and the
+// `go test -bench` harness at the repo root carries the seq-vs-par and
+// substrate benchmarks (BenchmarkP2PSweep, BenchmarkForEachSubset, ...)
+// whose trajectory CI records as the BENCH artifact.
 package main
 
 import (

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawSample = `goos: linux
+goarch: amd64
+pkg: byzopt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCollectGradients/n=10/d=10/workers=1-8         	      12	  95812345 ns/op	    1024 B/op	      17 allocs/op
+BenchmarkP2PSweep/workers=1-8                           	       1	  34031337 ns/op	19072496 B/op	  660840 allocs/op
+BenchmarkAblationFilters/cge-8                          	       5	   2000000 ns/op	         0.0123 final_dist	     512 B/op	       9 allocs/op
+PASS
+ok  	byzopt	1.234s
+`
+
+func TestConvertRawBenchOutput(t *testing.T) {
+	doc, err := Convert(strings.NewReader(rawSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkCollectGradients/n=10/d=10/workers=1-8" ||
+		first.Iterations != 12 || first.NsPerOp != 95812345 {
+		t.Errorf("first benchmark mis-parsed: %+v", first)
+	}
+	if first.BytesPerOp == nil || *first.BytesPerOp != 1024 ||
+		first.AllocsPerOp == nil || *first.AllocsPerOp != 17 {
+		t.Errorf("benchmem metrics mis-parsed: %+v", first)
+	}
+	ablation := doc.Benchmarks[2]
+	if ablation.Metrics["final_dist"] != 0.0123 {
+		t.Errorf("custom metric lost: %+v", ablation)
+	}
+}
+
+func TestConvertTest2JSONStream(t *testing.T) {
+	stream := `{"Action":"start","Package":"byzopt"}
+{"Action":"output","Package":"byzopt","Output":"goos: linux\n"}
+{"Action":"output","Package":"byzopt","Output":"BenchmarkForEachSubset/n=22/k=11/workers=1-8         \t       1\t   9880549 ns/op\t     176 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"byzopt","Output":"PASS\n"}
+{"Action":"pass","Package":"byzopt"}
+`
+	doc, err := Convert(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkForEachSubset/n=22/k=11/workers=1-8" || b.NsPerOp != 9880549 {
+		t.Errorf("mis-parsed: %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Errorf("allocs lost: %+v", b)
+	}
+}
+
+func TestConvertRejectsEmptyInput(t *testing.T) {
+	if _, err := Convert(strings.NewReader("PASS\nok byzopt 0.1s\n")); err == nil {
+		t.Error("want an error for input without benchmark results")
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"Benchmark 1", // too few fields
+		"BenchmarkNoNs-8 	 5 	 12 widgets/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted noise line %q", line)
+		}
+	}
+}

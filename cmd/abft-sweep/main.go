@@ -12,6 +12,7 @@
 //	abft-sweep -baseline -f 1                         # add the fault-free omit-an-agent baseline axis
 //	abft-sweep -workers 8 -json results.json          # 8-way pool + deterministic JSON export
 //	abft-sweep -backend cluster -timeout 30s          # serve every scenario over the cluster stack
+//	abft-sweep -backend p2p -behaviors equivocate     # decentralized Byzantine-broadcast substrate
 //	abft-sweep -shard 0/4 -json shard0.json           # run one deterministic quarter of the grid
 //	abft-sweep -merge -json full.json s0.json s1.json # recombine shard exports byte-identically
 //	abft-sweep -progress                              # live done/total reporting on stderr
@@ -20,7 +21,12 @@
 // RegisterProblem). Scenario seeds are derived by hashing each scenario's
 // key, so the results (and the JSON, unless -timings is set) are
 // byte-identical at any -workers value — and, for fault-free grids, on
-// either -backend. Sharding slices the expanded grid by index range;
+// every -backend. -backend p2p executes each scenario over the
+// Byzantine-broadcast peer-to-peer substrate (n > 3f; cells violating the
+// bound come back "skipped"), where the "equivocate" behavior additionally
+// lies while relaying other peers' broadcasts — the one adversary the
+// server-based substrates cannot express. Sharding slices the expanded grid
+// by index range;
 // because every result records its grid index, -merge reassembles shard
 // exports into exactly the bytes an unsharded run would have written.
 // -timeout bounds each scenario; overruns are classified as "timeout"
@@ -43,6 +49,7 @@ import (
 	"byzopt/internal/cluster"
 	"byzopt/internal/dgd"
 	"byzopt/internal/linreg"
+	"byzopt/internal/p2p"
 	"byzopt/internal/sweep"
 )
 
@@ -72,7 +79,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		workers    = fs.Int("workers", 0, "scenario worker pool size (0 = GOMAXPROCS)")
 		dgdWorkers = fs.Int("dgd-workers", 0, "concurrent gradient collection per run (0 = sequential)")
 		baseline   = fs.Bool("baseline", false, "add the fault-free omit-the-faulty-agents baseline as a grid axis")
-		backend    = fs.String("backend", "inprocess", "execution substrate per scenario: inprocess or cluster")
+		backend    = fs.String("backend", "inprocess", "execution substrate per scenario: inprocess, cluster, or p2p")
 		timeout    = fs.Duration("timeout", 0, "per-scenario deadline; overruns become \"timeout\" results (0 = unbounded)")
 		jsonPath   = fs.String("json", "", "write results JSON to this file")
 		timings    = fs.Bool("timings", false, "include wall-clock times in the JSON (breaks byte-determinism)")
@@ -117,8 +124,10 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		// nil Backend selects dgd.InProcess.
 	case "cluster":
 		spec.Backend = &cluster.Backend{}
+	case "p2p":
+		spec.Backend = p2p.Backend{}
 	default:
-		return fmt.Errorf("unknown -backend %q (want inprocess or cluster)", *backend)
+		return fmt.Errorf("unknown -backend %q (want inprocess, cluster, or p2p)", *backend)
 	}
 	if *filters != "all" {
 		spec.Filters = splitList(*filters)

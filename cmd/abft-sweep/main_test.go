@@ -179,7 +179,8 @@ func TestShardAndMergeBadFlags(t *testing.T) {
 
 // TestRunClusterBackendMatchesInProcess: the CLI's -backend flag must not
 // change the exported JSON for a fault-free grid — the backend-parity
-// guarantee surfaced at the command level.
+// guarantee surfaced at the command level, for every substrate the flag
+// accepts.
 func TestRunClusterBackendMatchesInProcess(t *testing.T) {
 	dir := t.TempDir()
 	read := func(backend string) []byte {
@@ -198,8 +199,11 @@ func TestRunClusterBackendMatchesInProcess(t *testing.T) {
 		}
 		return data
 	}
-	if !bytes.Equal(read("inprocess"), read("cluster")) {
-		t.Error("fault-free JSON differs between -backend inprocess and -backend cluster")
+	inprocess := read("inprocess")
+	for _, backend := range []string{"cluster", "p2p"} {
+		if !bytes.Equal(inprocess, read(backend)) {
+			t.Errorf("fault-free JSON differs between -backend inprocess and -backend %s", backend)
+		}
 	}
 }
 

@@ -306,9 +306,66 @@ func (d *Delayed) Apply(round, agentID int, trueGrad []float64) ([]float64, erro
 	return d.Inner.Apply(round, agentID, trueGrad)
 }
 
+// --- broadcast equivocation (peer-to-peer substrate) ---
+
+// Equivocate is the adversary of the peer-to-peer architecture: at the
+// gradient level it reverses its true gradient (exactly GradientReverse),
+// and it additionally implements the p2p substrate's broadcast-distorter
+// contract — Relay pseudo-randomly garbles the values it forwards while
+// relaying other peers' broadcasts, the equivocation attack Byzantine
+// broadcast exists to defeat. Server-based substrates have no relay step, so
+// there the behavior degrades to plain gradient reversal; only the p2p
+// backend can express the equivocation half (it detects Relay through the
+// dgd.Faulty wrapper's Behavior accessor).
+type Equivocate struct {
+	seed int64
+}
+
+var _ Behavior = (*Equivocate)(nil)
+
+// NewEquivocate builds the behavior; the seed drives the relay garbling.
+func NewEquivocate(seed int64) *Equivocate { return &Equivocate{seed: seed} }
+
+// Name implements Behavior.
+func (*Equivocate) Name() string { return "equivocate" }
+
+// Apply implements Behavior: gradient reversal, the strongest lie the
+// behavior can tell about its own cost.
+func (*Equivocate) Apply(round, agentID int, trueGrad []float64) ([]float64, error) {
+	return vecmath.Neg(trueGrad), nil
+}
+
+// Relay implements the p2p package's Distorter contract structurally (this
+// package sits below p2p, so the interface is satisfied by shape, not by
+// name): given the EIG tree path and the recipient, it deterministically
+// chooses between the truth, the protocol default, garbage, and per-recipient
+// splits — the same mixed strategy the p2p property tests use to search for
+// agreement violations.
+func (e *Equivocate) Relay(path []int, recipient int, honest string) string {
+	h := e.seed
+	for _, p := range path {
+		h = h*31 + int64(p) + 7
+	}
+	h = h*31 + int64(recipient)
+	// h & 3, not h % 4: sweep-derived seeds are negative about half the
+	// time, and a negative remainder would collapse the strategy to two of
+	// its four cases.
+	switch h & 3 {
+	case 0:
+		return honest // sometimes telling the truth is the best lie
+	case 1:
+		return "" // the protocol's default value ⊥
+	case 2:
+		return "garbage-" + fmt.Sprint(h&0xff)
+	default:
+		return "split-" + fmt.Sprint(recipient%3)
+	}
+}
+
 // New constructs a behavior from a registry name. Recognized names:
 // gradient-reverse, random (sigma 200, the paper's Section-5 value), zero,
-// ipm, alie.
+// ipm, alie, equivocate (gradient reversal plus broadcast-layer
+// equivocation, realized only by the p2p substrate).
 func New(name string, seed int64) (Behavior, error) {
 	switch name {
 	case "gradient-reverse":
@@ -321,6 +378,8 @@ func New(name string, seed int64) (Behavior, error) {
 		return InnerProductManipulation{Epsilon: 0.5}, nil
 	case "alie":
 		return ALittleIsEnough{Z: 1.5}, nil
+	case "equivocate":
+		return NewEquivocate(seed), nil
 	default:
 		return nil, fmt.Errorf("byzantine: unknown behavior %q: %w", name, ErrBadConfig)
 	}
@@ -328,5 +387,5 @@ func New(name string, seed int64) (Behavior, error) {
 
 // Names lists the registry names accepted by New, in stable order.
 func Names() []string {
-	return []string{"gradient-reverse", "random", "zero", "ipm", "alie"}
+	return []string{"gradient-reverse", "random", "zero", "ipm", "alie", "equivocate"}
 }

@@ -128,7 +128,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	}
 	steps := cfg.Steps
 	if steps == nil {
-		steps = dgd.Diminishing{C: 1.5, P: 1}
+		steps = dgd.DefaultSteps()
 	}
 
 	x := vecmath.Clone(cfg.X0)

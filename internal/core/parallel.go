@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// subsetParallelWork is the subset count above which ForEachSubsetParallel
+// fans out when the workers knob is 0 (auto); below it goroutine startup
+// costs more than it saves. The visits this package parallelizes are
+// subset minimizations — matrix solves, microseconds apiece — so the
+// threshold is small.
+const subsetParallelWork = 32
+
+// ResolveSubsetWorkers maps a Workers-style knob to a goroutine count for
+// an enumeration of total subsets, following the shared policy of the
+// repo's parallel kernels: 0 (auto) fans out only when the enumeration is
+// large enough to amortize the startup, negative always means GOMAXPROCS,
+// and a positive value is taken as given. The result is clamped to total.
+func ResolveSubsetWorkers(workers int, total int64) int {
+	w := workers
+	switch {
+	case w < 0:
+		w = runtime.GOMAXPROCS(0)
+	case w == 0:
+		if total < subsetParallelWork {
+			w = 1
+		} else {
+			w = runtime.GOMAXPROCS(0)
+		}
+	}
+	if int64(w) > total {
+		w = int(total)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SubsetAtRank returns the k-subset of {0, ..., n-1} at the given position
+// of ForEachSubset's lexicographic order (the combinatorial number system):
+// SubsetAtRank(n, k, 0) is {0, ..., k-1} and SubsetAtRank(n, k, C(n,k)-1)
+// is {n-k, ..., n-1}. It is the chunk-seeking primitive behind
+// ForEachSubsetParallel.
+func SubsetAtRank(n, k int, rank int64) ([]int, error) {
+	total, err := Binomial(n, k)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= total {
+		return nil, fmt.Errorf("subset rank %d out of [0, %d): %w", rank, total, ErrArgs)
+	}
+	idx := make([]int, k)
+	cur := 0
+	for i := 0; i < k; i++ {
+		for {
+			// Subsets whose element i is cur continue with any (k-i-1)-subset
+			// of the n-cur-1 larger values; skip whole blocks until the rank
+			// falls inside one. The counts only shrink from Binomial(n, k),
+			// so they cannot overflow.
+			block, err := Binomial(n-cur-1, k-i-1)
+			if err != nil {
+				return nil, err
+			}
+			if rank < block {
+				break
+			}
+			rank -= block
+			cur++
+		}
+		idx[i] = cur
+		cur++
+	}
+	return idx, nil
+}
+
+// ForEachSubsetParallel enumerates every k-subset of {0, ..., n-1} on up to
+// workers goroutines, splitting the lexicographic sequence into one
+// contiguous chunk per worker (chunk boundaries depend only on (n, k,
+// workers), never on timing). visit is called with the worker index and the
+// subset; the slice is reused between calls on the same worker, so visit
+// must copy it to retain it, and visit must be safe for concurrent calls
+// from distinct workers when workers > 1.
+//
+// Determinism is the contract: within a worker, subsets arrive in
+// lexicographic order, and the chunks themselves are ordered by worker
+// index, so per-worker reductions merged in worker order reproduce the
+// sequential reduction exactly — bitwise, at any worker count (max, min,
+// and first-strict-improvement arguments all commute with contiguous
+// chunking). The workers knob follows ResolveSubsetWorkers; with one worker
+// the call degenerates to ForEachSubset with worker index 0.
+//
+// A non-nil error from visit stops that worker's chunk; the other chunks
+// still run to completion (visit errors are fatal-and-rare by convention),
+// and when several workers fail the error from the smallest worker index
+// wins, so failures are reported deterministically regardless of
+// scheduling.
+func ForEachSubsetParallel(n, k, workers int, visit func(worker int, idx []int) error) error {
+	if n < 0 || k < 0 || k > n {
+		return fmt.Errorf("subsets of size %d from %d elements: %w", k, n, ErrArgs)
+	}
+	total, err := Binomial(n, k)
+	if err != nil {
+		// The enumeration is astronomically large (C(n, k) overflows int64);
+		// chunking is meaningless at that scale, and a sequential run is the
+		// only faithful fallback.
+		workers = 1
+	} else {
+		workers = ResolveSubsetWorkers(workers, total)
+	}
+	if workers <= 1 {
+		return ForEachSubset(n, k, func(idx []int) error { return visit(0, idx) })
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * total / int64(workers)
+		hi := int64(w+1) * total / int64(workers)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			idx, err := SubsetAtRank(n, k, lo)
+			if err == nil {
+				for r := lo; r < hi; r++ {
+					if err = visit(w, idx); err != nil {
+						break
+					}
+					advanceSubset(idx, n)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstIdx == -1 || w < firstIdx {
+					firstIdx, firstErr = w, err
+				}
+				mu.Unlock()
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// advanceSubset steps idx to the next k-subset of {0, ..., n-1} in
+// lexicographic order, the same advance rule ForEachSubset uses. Advancing
+// past the last subset leaves idx unspecified; callers bound their
+// iteration count instead.
+func advanceSubset(idx []int, n int) {
+	k := len(idx)
+	i := k - 1
+	for i >= 0 && idx[i] == n-k+i {
+		i--
+	}
+	if i < 0 {
+		return
+	}
+	idx[i]++
+	for j := i + 1; j < k; j++ {
+		idx[j] = idx[j-1] + 1
+	}
+}

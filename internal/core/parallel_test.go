@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"byzopt/internal/matrix"
+)
+
+// collectSequential enumerates the k-subsets of {0..n-1} in order.
+func collectSequential(t *testing.T, n, k int) [][]int {
+	t.Helper()
+	var out [][]int
+	err := ForEachSubset(n, k, func(idx []int) error {
+		out = append(out, append(make([]int, 0, len(idx)), idx...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSubsetAtRank(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{5, 2}, {6, 3}, {7, 7}, {4, 0}, {9, 1}} {
+		seq := collectSequential(t, tc.n, tc.k)
+		for r, want := range seq {
+			got, err := SubsetAtRank(tc.n, tc.k, int64(r))
+			if err != nil {
+				t.Fatalf("SubsetAtRank(%d, %d, %d): %v", tc.n, tc.k, r, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("SubsetAtRank(%d, %d, %d) = %v, want %v", tc.n, tc.k, r, got, want)
+			}
+		}
+		if _, err := SubsetAtRank(tc.n, tc.k, int64(len(seq))); !errors.Is(err, ErrArgs) {
+			t.Errorf("rank past the end: %v", err)
+		}
+		if _, err := SubsetAtRank(tc.n, tc.k, -1); !errors.Is(err, ErrArgs) {
+			t.Errorf("negative rank: %v", err)
+		}
+	}
+}
+
+// TestForEachSubsetParallelMatchesSequential is the chunking contract:
+// per-worker streams concatenated in worker order reproduce the sequential
+// lexicographic enumeration exactly, at any worker count — including more
+// workers than subsets.
+func TestForEachSubsetParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{6, 3}, {8, 4}, {9, 2}, {5, 5}, {5, 0}, {10, 7}} {
+		seq := collectSequential(t, tc.n, tc.k)
+		for _, workers := range []int{1, 2, 3, 5, 8, 1000} {
+			perWorker := make([][][]int, workers)
+			err := ForEachSubsetParallel(tc.n, tc.k, workers, func(w int, idx []int) error {
+				perWorker[w] = append(perWorker[w], append(make([]int, 0, len(idx)), idx...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d k=%d workers=%d: %v", tc.n, tc.k, workers, err)
+			}
+			var merged [][]int
+			for _, chunk := range perWorker {
+				merged = append(merged, chunk...)
+			}
+			if !reflect.DeepEqual(merged, seq) {
+				t.Fatalf("n=%d k=%d workers=%d: merged enumeration differs from sequential", tc.n, tc.k, workers)
+			}
+		}
+	}
+}
+
+func TestForEachSubsetParallelErrorDeterministic(t *testing.T) {
+	// Every worker fails immediately; the smallest worker index must win
+	// regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEachSubsetParallel(12, 6, 4, func(w int, idx []int) error {
+			return fmt.Errorf("worker %d failed", w)
+		})
+		if err == nil || err.Error() != "worker 0 failed" {
+			t.Fatalf("trial %d: got %v, want worker 0's error", trial, err)
+		}
+	}
+	if err := ForEachSubsetParallel(3, 5, 2, func(int, []int) error { return nil }); !errors.Is(err, ErrArgs) {
+		t.Errorf("k > n: %v", err)
+	}
+}
+
+func TestResolveSubsetWorkers(t *testing.T) {
+	if w := ResolveSubsetWorkers(0, subsetParallelWork-1); w != 1 {
+		t.Errorf("auto below threshold = %d, want 1", w)
+	}
+	if w := ResolveSubsetWorkers(0, subsetParallelWork); w < 1 {
+		t.Errorf("auto above threshold = %d", w)
+	}
+	if w := ResolveSubsetWorkers(7, 3); w != 3 {
+		t.Errorf("clamp to total: %d, want 3", w)
+	}
+	if w := ResolveSubsetWorkers(-1, 1000); w < 1 {
+		t.Errorf("negative = %d", w)
+	}
+}
+
+// TestMeasureRedundancyWorkersBitwiseParity: the whole report — epsilon,
+// the worst pair, the pair count — must be bitwise-identical at any worker
+// count, the guarantee that lets the heavy measurement fan out by default.
+func TestMeasureRedundancyWorkersBitwiseParity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n, d, f = 9, 3, 2
+	rows := make([][]float64, n)
+	resp := make([]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		resp[i] = rows[i][0] + rows[i][1] - rows[i][2] + 0.01*r.NormFloat64()
+	}
+	a, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewLeastSquaresProblem(a, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MeasureRedundancy(prob, f, AtLeastSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Pairs == 0 || want.Epsilon <= 0 {
+		t.Fatalf("degenerate sequential report: %+v", want)
+	}
+	for _, workers := range []int{2, 3, 5, 8, -1} {
+		got, err := MeasureRedundancyWorkers(prob, f, AtLeastSize, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Epsilon != want.Epsilon || got.Pairs != want.Pairs ||
+			!reflect.DeepEqual(got.WorstOuter, want.WorstOuter) ||
+			!reflect.DeepEqual(got.WorstInner, want.WorstInner) {
+			t.Errorf("workers=%d: report %+v differs from sequential %+v", workers, got, want)
+		}
+	}
+}

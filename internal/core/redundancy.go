@@ -42,8 +42,24 @@ type RedundancyReport struct {
 // point distance.
 //
 // It requires 0 <= f and n - 2f >= 1 so inner subsets are non-empty, and
-// f < n/2 (Lemma 1's feasibility bound).
+// f < n/2 (Lemma 1's feasibility bound). The enumeration is sequential;
+// MeasureRedundancyWorkers fans it out when the problem's subset
+// minimization is safe for concurrent use.
 func MeasureRedundancy(p Problem, f int, mode SubsetMode) (*RedundancyReport, error) {
+	return MeasureRedundancyWorkers(p, f, mode, 1)
+}
+
+// MeasureRedundancyWorkers is MeasureRedundancy with the outer subset
+// enumeration chunked across up to workers goroutines (0 fans out only for
+// enumerations large enough to amortize the startup, negative means
+// GOMAXPROCS, 1 is the sequential path). Chunks are contiguous in
+// lexicographic order and the per-worker maxima are merged in worker order
+// with the same strict comparison the sequential scan uses, so the report —
+// Epsilon, the worst pair, and the pair count — is bitwise-identical at any
+// worker count. With workers != 1 the problem's MinimizeSubset must be safe
+// for concurrent use; every problem in this repository is (they read the
+// instance and allocate fresh outputs).
+func MeasureRedundancyWorkers(p Problem, f int, mode SubsetMode, workers int) (*RedundancyReport, error) {
 	if p == nil {
 		return nil, fmt.Errorf("nil problem: %w", ErrArgs)
 	}
@@ -55,9 +71,15 @@ func MeasureRedundancy(p Problem, f int, mode SubsetMode) (*RedundancyReport, er
 		return nil, fmt.Errorf("unknown subset mode %d: %w", mode, ErrArgs)
 	}
 
-	report := &RedundancyReport{}
 	outer := n - f
-	err := ForEachSubset(n, outer, func(s []int) error {
+	total, err := Binomial(n, outer)
+	if err != nil {
+		return nil, err
+	}
+	workers = ResolveSubsetWorkers(workers, total)
+	partials := make([]RedundancyReport, workers)
+	err = ForEachSubsetParallel(n, outer, workers, func(w int, s []int) error {
+		report := &partials[w]
 		xs, err := p.MinimizeSubset(s)
 		if err != nil {
 			return fmt.Errorf("outer subset %v: %w", s, err)
@@ -102,6 +124,19 @@ func MeasureRedundancy(p Problem, f int, mode SubsetMode) (*RedundancyReport, er
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Merge in worker order with the same strict > the per-worker scans
+	// used: the first chunk attaining the global maximum wins, exactly as
+	// the sequential enumeration's first strict improvement would.
+	report := &RedundancyReport{}
+	for i := range partials {
+		part := &partials[i]
+		report.Pairs += part.Pairs
+		if part.Epsilon > report.Epsilon {
+			report.Epsilon = part.Epsilon
+			report.WorstOuter = part.WorstOuter
+			report.WorstInner = part.WorstInner
+		}
 	}
 	return report, nil
 }

@@ -32,6 +32,13 @@ var ErrConfig = errors.New("dgd: invalid configuration")
 // finite vectors (a filter or behavior produced NaN/Inf).
 var ErrDiverged = errors.New("dgd: estimate diverged to non-finite values")
 
+// ErrInadmissible is returned (wrapped) by a Backend whose substrate cannot
+// admit the configuration at all — the p2p backend's n > 3f broadcast
+// requirement, for example. It marks an infeasible (config, substrate) pair
+// rather than a failed execution, so the sweep engine classifies it as a
+// skipped grid point instead of aborting the sweep.
+var ErrInadmissible = errors.New("dgd: configuration inadmissible for this backend")
+
 // Agent produces the gradient reported to the server each round. Honest
 // agents report their true local gradient; Byzantine wrappers distort it.
 type Agent interface {
@@ -149,6 +156,13 @@ func (f *faulty) trueGradient(round int, x []float64) ([]float64, error) {
 	return f.inner.Gradient(round, x)
 }
 
+// Behavior exposes the wrapped Byzantine behavior. Substrate backends use it
+// to detect substrate-specific behavior extensions — the p2p backend
+// inspects it for the broadcast-distorter contract, so one behavior value
+// can act at the gradient level everywhere and additionally equivocate in
+// the broadcast layer where one exists.
+func (f *faulty) Behavior() byzantine.Behavior { return f.behavior }
+
 // --- step-size schedules ---
 
 // StepSchedule yields the step size η_t for each round.
@@ -173,6 +187,12 @@ func (d Diminishing) Name() string { return fmt.Sprintf("diminishing-%g-%g", d.C
 
 // At implements StepSchedule.
 func (d Diminishing) At(t int) float64 { return d.C / math.Pow(float64(t+1), d.P) }
+
+// DefaultSteps returns the paper's default step-size schedule 1.5/(t+1),
+// the value every substrate substitutes for a nil Config.Steps. Keeping one
+// constructor is what guarantees the in-process engine, the cluster server,
+// and the p2p loop cannot drift apart on the default.
+func DefaultSteps() StepSchedule { return Diminishing{C: 1.5, P: 1} }
 
 // Constant is the fixed step η_t = Eta, used by the learning experiments
 // (η = 0.01 in Appendix K) and the step-size ablation.
@@ -368,7 +388,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	steps := cfg.Steps
 	if steps == nil {
-		steps = Diminishing{C: 1.5, P: 1}
+		steps = DefaultSteps()
 	}
 
 	x := vecmath.Clone(cfg.X0)

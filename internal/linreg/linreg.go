@@ -186,8 +186,19 @@ func muGamma(a *matrix.Matrix, f int) (mu, gamma float64, err error) {
 			mu = hi
 		}
 	}
-	gamma = math.Inf(1)
-	err = core.ForEachSubset(n, n-f, func(idx []int) error {
+	// The subset scan is the O(C(n, n-f)) half; chunk it across workers
+	// (auto policy) with per-worker minima merged in worker order, which
+	// reproduces the sequential minimum bitwise — min is exact.
+	total, err := core.Binomial(n, n-f)
+	if err != nil {
+		return 0, 0, err
+	}
+	workers := core.ResolveSubsetWorkers(0, total)
+	gammas := make([]float64, workers)
+	for i := range gammas {
+		gammas[i] = math.Inf(1)
+	}
+	err = core.ForEachSubsetParallel(n, n-f, workers, func(w int, idx []int) error {
 		sub, err := a.SelectRows(idx)
 		if err != nil {
 			return err
@@ -196,13 +207,19 @@ func muGamma(a *matrix.Matrix, f int) (mu, gamma float64, err error) {
 		if err != nil {
 			return err
 		}
-		if lo < gamma {
-			gamma = lo
+		if lo < gammas[w] {
+			gammas[w] = lo
 		}
 		return nil
 	})
 	if err != nil {
 		return 0, 0, err
+	}
+	gamma = math.Inf(1)
+	for _, g := range gammas {
+		if g < gamma {
+			gamma = g
+		}
 	}
 	return mu, gamma, nil
 }

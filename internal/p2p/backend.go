@@ -1,0 +1,133 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+
+	"byzopt/internal/byzantine"
+	"byzopt/internal/dgd"
+)
+
+// Backend executes dgd configurations over the fully decentralized
+// substrate: every agent becomes a peer on a complete network, each round
+// every peer's report goes through an EIG Byzantine broadcast, and every
+// honest peer applies the gradient filter locally to the agreed-upon report
+// set — the Section-1.4 simulation of the server-based algorithm. It
+// implements dgd.Backend, so sweep.Spec.Backend accepts it directly and
+// scenario grids run unchanged on the peer-to-peer architecture. The zero
+// value is ready to use.
+//
+// Mapping semantics:
+//
+//   - Agents marked dgd.Faulty are served index-aware with honest-set
+//     visibility (the rushing adversary of the synchronous broadcast model),
+//     so fault-free grids AND Byzantine grids whose peers do not equivocate
+//     in the broadcast layer — omniscient behaviors included — reproduce the
+//     in-process trajectory bit for bit.
+//   - A Faulty agent whose behavior also implements the broadcast Distorter
+//     contract (a Relay method; see byzantine.Equivocate) additionally
+//     equivocates while relaying other peers' broadcasts — the one adversary
+//     only this substrate can express. Agents can also attach a distorter
+//     explicitly via Equivocating.
+//   - Configurations with n <= 3f are rejected with a wrapped
+//     dgd.ErrInadmissible — the EIG admissibility bound — which the sweep
+//     engine classifies as a skipped grid point rather than a sweep failure.
+//   - Config.Workers is ignored: the broadcast simulation is sequential by
+//     construction (per-round cost is dominated by the EIG tree, not
+//     gradient evaluation).
+type Backend struct{}
+
+var _ dgd.Backend = Backend{}
+
+// Run implements dgd.Backend.
+func (Backend) Run(ctx context.Context, cfg dgd.Config) (*dgd.Result, error) {
+	n := len(cfg.Agents)
+	if n == 0 {
+		return nil, fmt.Errorf("no agents: %w", dgd.ErrConfig)
+	}
+	if cfg.F < 0 || n <= 3*cfg.F {
+		return nil, fmt.Errorf("p2p backend needs n > 3f, got n=%d f=%d: %w", n, cfg.F, dgd.ErrInadmissible)
+	}
+	peers := make([]Peer, n)
+	for i, a := range cfg.Agents {
+		if a == nil {
+			return nil, fmt.Errorf("nil agent %d: %w", i, dgd.ErrConfig)
+		}
+		peers[i] = Peer{Agent: a, Distorter: AgentDistorter(a)}
+	}
+	res, err := RunContext(ctx, Config{
+		Peers:     peers,
+		F:         cfg.F,
+		Filter:    cfg.Filter,
+		Steps:     cfg.Steps,
+		Box:       cfg.Box,
+		X0:        cfg.X0,
+		Rounds:    cfg.Rounds,
+		TrackLoss: cfg.TrackLoss,
+		Reference: cfg.Reference,
+		Observer:  cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dgd.Result{X: res.X, Rounds: cfg.Rounds, Trace: res.Trace}, nil
+}
+
+// AgentDistorter returns the broadcast-layer distorter an agent carries, or
+// nil for agents honest in the broadcast layer. Two channels surface one:
+// an explicit BroadcastDistorter method (the Equivocating wrapper), or a
+// dgd.Faulty wrapper whose Byzantine behavior implements the Distorter
+// contract structurally (byzantine.Equivocate) — which is how the sweep
+// engine's behavior axis reaches the broadcast layer without the dgd engine
+// ever knowing broadcasts exist.
+func AgentDistorter(a dgd.Agent) Distorter {
+	if p, ok := a.(interface{ BroadcastDistorter() Distorter }); ok {
+		return p.BroadcastDistorter()
+	}
+	if h, ok := a.(interface{ Behavior() byzantine.Behavior }); ok {
+		if d, ok := h.Behavior().(Distorter); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// equivocating pairs a Byzantine agent with an explicit broadcast distorter.
+type equivocating struct {
+	inner dgd.Agent
+	d     Distorter
+}
+
+var _ dgd.Faulty = (*equivocating)(nil)
+
+// Equivocating wraps an agent so the p2p substrate also equivocates on its
+// behalf while relaying other peers' broadcasts. The result is marked
+// dgd.Faulty — a peer lying in the broadcast layer is Byzantine everywhere —
+// delegating to the inner agent's own Faulty implementation when it has one
+// and to its truthful gradient otherwise (the pure broadcast-layer
+// adversary). Other backends ignore the distorter: they have no relay step.
+func Equivocating(inner dgd.Agent, d Distorter) (dgd.Agent, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("nil inner agent: %w", ErrArgs)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("nil distorter: %w", ErrArgs)
+	}
+	return &equivocating{inner: inner, d: d}, nil
+}
+
+// Gradient implements dgd.Agent.
+func (e *equivocating) Gradient(round int, x []float64) ([]float64, error) {
+	return e.inner.Gradient(round, x)
+}
+
+// FaultyGradient implements dgd.Faulty.
+func (e *equivocating) FaultyGradient(round, agent int, x []float64, honest [][]float64) ([]float64, error) {
+	if fa, ok := e.inner.(dgd.Faulty); ok {
+		return fa.FaultyGradient(round, agent, x, honest)
+	}
+	return e.inner.Gradient(round, x)
+}
+
+// BroadcastDistorter exposes the distorter to AgentDistorter.
+func (e *equivocating) BroadcastDistorter() Distorter { return e.d }

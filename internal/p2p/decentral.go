@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -12,9 +13,12 @@ import (
 
 // Peer is one participant in the decentralized run.
 type Peer struct {
-	// Agent produces the gradient the peer injects into its own broadcast
-	// (for honest peers, the true local gradient; for Byzantine peers, any
-	// dgd.Agent — including dgd.NewFaulty wrappers).
+	// Agent produces the gradient the peer injects into its own broadcast.
+	// Honest peers hand a truthful agent; Byzantine peers hand any
+	// dgd.Agent, and agents implementing dgd.Faulty are collected
+	// index-aware after the honest phase, observing the honest reports of
+	// the round — the same omniscient-adversary contract the in-process
+	// engine serves.
 	Agent dgd.Agent
 	// Distorter, when non-nil, marks the peer Byzantine in the broadcast
 	// layer as well: it may equivocate while relaying others' gradients.
@@ -29,7 +33,7 @@ type Config struct {
 	F int
 	// Filter is applied locally by every honest peer.
 	Filter aggregate.Filter
-	// Steps is the step-size schedule; nil means 1.5/(t+1).
+	// Steps is the step-size schedule; nil means dgd.DefaultSteps().
 	Steps dgd.StepSchedule
 	// Box is the constraint set W; nil disables projection.
 	Box *vecmath.Box
@@ -41,6 +45,11 @@ type Config struct {
 	// peers' common estimate.
 	TrackLoss costfunc.Function
 	Reference []float64
+	// Observer, when non-nil, observes every honest-consensus estimate x_t
+	// for t = 0..Rounds with the tracked loss and distance values, exactly
+	// as dgd.Config.Observer does on the other substrates (the shared
+	// dgd.RecordRound path feeds it).
+	Observer dgd.RoundObserver
 }
 
 // Result is the outcome of a decentralized run.
@@ -55,18 +64,39 @@ type Result struct {
 	MaxEstimateSpread float64
 }
 
-// Run executes the decentralized simulation: each round every peer
+// Run executes the decentralized simulation without cancellation, as
+// RunContext with a background context.
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the decentralized simulation: each round every peer
 // broadcasts its gradient via EIG, so all honest peers agree on the same
 // n reported gradients, apply the same deterministic filter, and take the
 // same projected step — reproducing the server-based algorithm without a
-// server, exactly as Section 1.4 claims for f < n/3.
-func Run(cfg Config) (*Result, error) {
+// server, exactly as Section 1.4 claims for f < n/3. The context is checked
+// once per round, so cancellation or deadline expiry aborts the run within
+// one round's duration with a wrapped ctx.Err().
+//
+// Gradient collection mirrors the in-process engine: peers whose agents are
+// not dgd.Faulty report first, then Faulty agents are asked index-aware with
+// the honest reports of the round, so omniscient behaviors see the complete
+// honest set (the broadcast model's rushing adversary). Byzantine peers that
+// equivocate in the broadcast layer (non-nil Distorter) are excluded from
+// the honest-agreement bookkeeping and are handed the honest consensus
+// estimate each round — the strongest vantage point, matching the engine's
+// shared-x semantics.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(cfg.Peers)
 	if n == 0 {
 		return nil, fmt.Errorf("no peers: %w", ErrArgs)
 	}
 	if cfg.F < 0 || n <= 3*cfg.F {
-		return nil, fmt.Errorf("decentralized DGD needs n > 3f, got n=%d f=%d: %w", n, cfg.F, ErrArgs)
+		return nil, fmt.Errorf("decentralized DGD needs n > 3f, got n=%d f=%d: %w: %w",
+			n, cfg.F, ErrArgs, dgd.ErrInadmissible)
 	}
 	byzCount := 0
 	byz := make(map[int]Distorter)
@@ -93,7 +123,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	steps := cfg.Steps
 	if steps == nil {
-		steps = dgd.Diminishing{C: 1.5, P: 1}
+		steps = dgd.DefaultSteps()
 	}
 	dim := len(cfg.X0)
 
@@ -106,7 +136,7 @@ func Run(cfg Config) (*Result, error) {
 			var err error
 			x, err = cfg.Box.Project(x)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("projecting x0: %w", err)
 			}
 		}
 		estimates[i] = x
@@ -124,45 +154,78 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("no honest peer: %w", ErrArgs)
 	}
 
-	record := func(t int) error {
-		x := estimates[honestIdx]
-		if cfg.TrackLoss != nil {
-			v, err := cfg.TrackLoss.Eval(x)
-			if err != nil {
-				return fmt.Errorf("loss at round %d: %w", t, err)
-			}
-			res.Trace.Loss = append(res.Trace.Loss, v)
+	// Split the peers the way the engine splits agents: non-Faulty reports
+	// are collected before Faulty ones, so omniscient behaviors observe the
+	// complete honest set.
+	var honestPeers, faultyPeers []int
+	for i, p := range cfg.Peers {
+		if _, isFaulty := p.Agent.(dgd.Faulty); isFaulty {
+			faultyPeers = append(faultyPeers, i)
+		} else {
+			honestPeers = append(honestPeers, i)
 		}
-		if cfg.Reference != nil {
-			d, err := vecmath.Dist(x, cfg.Reference)
-			if err != nil {
-				return err
-			}
-			res.Trace.Dist = append(res.Trace.Dist, d)
-		}
-		return nil
 	}
 
+	record := func(t int) error {
+		return dgd.RecordRound(t, estimates[honestIdx], cfg.TrackLoss, cfg.Reference, cfg.Observer, &res.Trace)
+	}
+
+	grads := make([][]float64, n)
 	for t := 0; t < cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
+		}
 		if err := record(t); err != nil {
 			return nil, err
 		}
-		// Each peer broadcasts its gradient (computed at its own estimate;
-		// honest estimates coincide). agreed[p][sender] is peer p's decided
-		// gradient string for the sender's broadcast.
+		// Distorting Byzantine peers play from the honest consensus
+		// estimate; their private local state is not part of the protocol.
+		for i := range byz {
+			if i != honestIdx {
+				copy(estimates[i], estimates[honestIdx])
+			}
+		}
+		// Phase 1: peers whose agents are not dgd.Faulty compute their
+		// reports at their own estimates (identical across honest peers). A
+		// distorting peer's own report failure is its problem — it injects
+		// zeros — but an honest peer failing fails the run.
+		for _, i := range honestPeers {
+			g, err := cfg.Peers[i].Agent.Gradient(t, estimates[i])
+			if err != nil {
+				if _, bad := byz[i]; bad {
+					grads[i] = vecmath.Zeros(dim)
+					continue
+				}
+				return nil, fmt.Errorf("agent %d at round %d: %w", i, t, err)
+			}
+			if len(g) != len(estimates[i]) {
+				return nil, fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(estimates[i]), dgd.ErrConfig)
+			}
+			grads[i] = g
+		}
+		honestGrads := make([][]float64, 0, len(honestPeers))
+		for _, i := range honestPeers {
+			honestGrads = append(honestGrads, grads[i])
+		}
+		// Phase 2: Faulty agents, index-aware and with honest visibility.
+		for _, i := range faultyPeers {
+			g, err := cfg.Peers[i].Agent.(dgd.Faulty).FaultyGradient(t, i, estimates[i], honestGrads)
+			if err != nil {
+				return nil, fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
+			}
+			if len(g) != len(estimates[i]) {
+				return nil, fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", i, len(g), len(estimates[i]), dgd.ErrConfig)
+			}
+			grads[i] = g
+		}
+		// Each peer broadcasts its report via EIG. agreed[p][sender] is peer
+		// p's decided gradient string for the sender's broadcast.
 		agreed := make([][]string, n)
 		for p := range agreed {
 			agreed[p] = make([]string, n)
 		}
 		for sender := 0; sender < n; sender++ {
-			g, err := cfg.Peers[sender].Agent.Gradient(t, estimates[sender])
-			if err != nil {
-				if _, bad := byz[sender]; !bad {
-					return nil, fmt.Errorf("honest peer %d at round %d: %w", sender, t, err)
-				}
-				g = vecmath.Zeros(dim) // a Byzantine peer's failure is its problem
-			}
-			decisions, err := Broadcast(n, cfg.F, sender, EncodeVector(g), byz)
+			decisions, err := Broadcast(n, cfg.F, sender, EncodeVector(grads[sender]), byz)
 			if err != nil {
 				return nil, fmt.Errorf("broadcast from %d at round %d: %w", sender, t, err)
 			}
@@ -173,19 +236,26 @@ func Run(cfg Config) (*Result, error) {
 		// Every honest peer applies the filter to its agreed set and steps.
 		eta := steps.At(t)
 		if eta <= 0 {
-			return nil, fmt.Errorf("step size %v at round %d: %w", eta, t, ErrArgs)
+			return nil, fmt.Errorf("step size %v at round %d must be positive: %w", eta, t, dgd.ErrConfig)
 		}
 		for p := 0; p < n; p++ {
 			if _, bad := byz[p]; bad {
-				continue // Byzantine peers' local state is irrelevant
+				continue // distorting peers take no protocol step
 			}
-			grads := make([][]float64, n)
+			decided := make([][]float64, n)
 			for sender := 0; sender < n; sender++ {
-				grads[sender] = DecodeVector(agreed[p][sender], dim)
+				decided[sender] = DecodeVector(agreed[p][sender], dim)
 			}
-			dir, err := cfg.Filter.Aggregate(grads, cfg.F)
+			dir, err := cfg.Filter.Aggregate(decided, cfg.F)
 			if err != nil {
-				return nil, fmt.Errorf("peer %d filter at round %d: %w", p, t, err)
+				// All honest peers hold the identical agreed set, so the
+				// failure is common; report it exactly as the in-process
+				// engine would, keeping cross-substrate classifications (and
+				// exported error strings) aligned.
+				if errors.Is(err, aggregate.ErrNonFinite) {
+					return nil, fmt.Errorf("filter %s at round %d: %v: %w", cfg.Filter.Name(), t, err, dgd.ErrDiverged)
+				}
+				return nil, fmt.Errorf("filter %s at round %d: %w", cfg.Filter.Name(), t, err)
 			}
 			if err := vecmath.AxpyInPlace(estimates[p], -eta, dir); err != nil {
 				return nil, err
@@ -197,7 +267,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			if !vecmath.IsFinite(estimates[p]) {
-				return nil, fmt.Errorf("peer %d at round %d: %w", p, t, dgd.ErrDiverged)
+				return nil, fmt.Errorf("at round %d: %w", t, dgd.ErrDiverged)
 			}
 		}
 		// Verify the agreement invariant across honest peers.

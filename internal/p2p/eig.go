@@ -6,6 +6,13 @@
 // information gathering (EIG) protocol — and on top of it a fully
 // decentralized DGD in which every honest agent applies the gradient filter
 // locally to an identical, agreed-upon gradient vector set.
+//
+// Backend exposes the substrate through the uniform dgd.Backend interface:
+// any dgd.Config — and therefore any sweep grid — runs over Byzantine
+// broadcast unchanged, with observers and traces threaded through the
+// decentralized loop, non-equivocating grids byte-identical to the
+// in-process engine, and broadcast-layer equivocation (Distorter) as the
+// one adversary only this substrate can express.
 package p2p
 
 import (

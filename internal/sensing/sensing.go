@@ -185,28 +185,47 @@ func (s *System) SparseObservable(f int) (bool, error) {
 	if f < 0 || 2*f >= n {
 		return false, fmt.Errorf("need 0 <= f < n/2, got n=%d f=%d: %w", n, f, ErrArgs)
 	}
-	observable := true
-	err := core.ForEachSubset(n, n-2*f, func(idx []int) error {
+	// Every subset must be checked anyway (the sequential scan never early
+	// exits), so chunk the enumeration across workers (auto policy); the
+	// per-worker verdicts AND together, an order-free reduction.
+	total, err := core.Binomial(n, n-2*f)
+	if err != nil {
+		return false, err
+	}
+	workers := core.ResolveSubsetWorkers(0, total)
+	observable := make([]bool, workers)
+	for i := range observable {
+		observable[i] = true
+	}
+	err = core.ForEachSubsetParallel(n, n-2*f, workers, func(w int, idx []int) error {
 		m, _, err := s.stack(idx)
 		if err != nil {
 			return err
 		}
 		if m.Rank() < s.dim {
-			observable = false
+			observable[w] = false
 		}
 		return nil
 	})
 	if err != nil {
 		return false, err
 	}
-	return observable, nil
+	for _, ok := range observable {
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // MeasureEpsilon returns the (2f, ε)-redundancy of the induced costs: the
 // accuracy floor Theorem 1 imposes on any fault-tolerant estimator, and
-// the level at which Theorem 2 guarantees 2ε-accurate estimation.
+// the level at which Theorem 2 guarantees 2ε-accurate estimation. The
+// subset enumeration runs chunked across workers (MinimizeSubset only
+// reads the system and allocates fresh outputs); the result is
+// bitwise-identical to the sequential measurement.
 func (s *System) MeasureEpsilon(f int) (float64, error) {
-	rep, err := core.MeasureRedundancy(s, f, core.AtLeastSize)
+	rep, err := core.MeasureRedundancyWorkers(s, f, core.AtLeastSize, 0)
 	if err != nil {
 		return 0, fmt.Errorf("sensing: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"byzopt/internal/aggregate"
+	"byzopt/internal/core"
 	"byzopt/internal/matrix"
 	"byzopt/internal/vecmath"
 )
@@ -112,6 +113,28 @@ func TestSparseObservability(t *testing.T) {
 	}
 	if _, err := bsys.SparseObservable(3); !errors.Is(err, ErrArgs) {
 		t.Errorf("f >= n/2: %v", err)
+	}
+}
+
+// TestMeasureEpsilonMatchesSequential: the parallel subset scan behind
+// MeasureEpsilon must be bitwise-identical to the sequential measurement on
+// an instance large enough to actually fan out (C(9, 7) = 36 outer subsets
+// crosses the auto-parallel threshold).
+func TestMeasureEpsilonMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := []float64{1, -1, 2}
+	sys := buildSystem(t, r, 9, 3, x, 0.05, 0)
+	const f = 1
+	got, err := sys.MeasureEpsilon(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MeasureRedundancy(sys, f, core.AtLeastSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want.Epsilon {
+		t.Errorf("parallel epsilon %v differs from sequential %v", got, want.Epsilon)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"byzopt/internal/cluster"
 	"byzopt/internal/dgd"
+	"byzopt/internal/p2p"
 )
 
 // encodeSweep runs the spec and returns the deterministic JSON export.
@@ -27,8 +28,9 @@ func encodeSweep(t *testing.T, spec Spec) []byte {
 
 // TestBackendParityFaultFree is the cross-substrate acceptance guarantee:
 // the same fault-free spec exports byte-identical JSON whether the
-// scenarios execute in-process or over the cluster/transport stack —
-// including the full per-round traces.
+// scenarios execute in-process, over the cluster/transport stack, or over
+// the Byzantine-broadcast p2p substrate — including the full per-round
+// traces.
 func TestBackendParityFaultFree(t *testing.T) {
 	base := Spec{
 		Filters:     []string{"mean", "cge", "cwtm", "krum"},
@@ -38,10 +40,15 @@ func TestBackendParityFaultFree(t *testing.T) {
 	}
 	inProcess := encodeSweep(t, base)
 
-	overCluster := base
-	overCluster.Backend = &cluster.Backend{}
-	if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
-		t.Error("cluster-backed JSON differs from in-process JSON for a fault-free spec")
+	for name, backend := range map[string]dgd.Backend{
+		"cluster": &cluster.Backend{},
+		"p2p":     p2p.Backend{},
+	} {
+		over := base
+		over.Backend = backend
+		if got := encodeSweep(t, over); !bytes.Equal(got, inProcess) {
+			t.Errorf("%s-backed JSON differs from in-process JSON for a fault-free spec", name)
+		}
 	}
 }
 
@@ -64,6 +71,109 @@ func TestBackendParityNonOmniscientFaults(t *testing.T) {
 	overCluster.Backend = &cluster.Backend{}
 	if got := encodeSweep(t, overCluster); !bytes.Equal(got, inProcess) {
 		t.Error("cluster-backed JSON differs from in-process JSON for a non-omniscient Byzantine spec")
+	}
+}
+
+// TestBackendParityP2PByzantine: the p2p substrate's parity envelope for
+// Byzantine grids. Non-equivocating behaviors — the omniscient ipm/alie
+// included, since the broadcast model's rushing adversary observes the
+// honest round before choosing its report — must export byte-identical JSON
+// to the in-process engine wherever the broadcast bound n > 3f holds
+// (f = 1 at the paper's n = 6; "random" keeps the index-aware stream
+// honest).
+func TestBackendParityP2PByzantine(t *testing.T) {
+	base := Spec{
+		Filters:     []string{"cge", "cwtm", "mean"},
+		Behaviors:   []string{"gradient-reverse", "random", "ipm", "alie"},
+		FValues:     []int{1},
+		Rounds:      40,
+		RecordTrace: true,
+	}
+	inProcess := encodeSweep(t, base)
+
+	overP2P := base
+	overP2P.Backend = p2p.Backend{}
+	if got := encodeSweep(t, overP2P); !bytes.Equal(got, inProcess) {
+		t.Error("p2p-backed JSON differs from in-process JSON for a non-equivocating Byzantine spec")
+	}
+}
+
+// TestBackendP2PInadmissibleCellsSkipped: grid cells violating the
+// broadcast bound n > 3f are classified — status "skipped" with a
+// deterministic reason — instead of failing the sweep, so mixed grids
+// survive on the p2p backend.
+func TestBackendP2PInadmissibleCellsSkipped(t *testing.T) {
+	results, err := Run(Spec{
+		Filters:   []string{"cge"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1, 2},
+		Rounds:    10,
+		Backend:   p2p.Backend{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(results))
+	}
+	byF := map[int]*Result{}
+	for i := range results {
+		byF[results[i].F] = &results[i]
+	}
+	if got := byF[1].Status(); got != "ok" {
+		t.Errorf("admissible f=1 cell: status %q (%s)", got, byF[1].Err)
+	}
+	if got := byF[2].Status(); got != "skipped" {
+		t.Errorf("inadmissible f=2 cell at n=6: status %q, want skipped", got)
+	}
+	if byF[2].Err != "p2p backend needs n > 3f, got n=6 f=2: dgd: configuration inadmissible for this backend" {
+		t.Errorf("inadmissibility reason not deterministic: %q", byF[2].Err)
+	}
+}
+
+// TestBackendP2PEquivocationAxis: the "equivocate" behavior is the axis
+// only the p2p substrate can express — on the broadcast layer it garbles
+// relays and changes the trajectory, while on the in-process engine it
+// degrades to plain gradient reversal. Non-equivocating cells of the same
+// grid stay identical across the two substrates.
+func TestBackendP2PEquivocationAxis(t *testing.T) {
+	base := Spec{
+		Filters:   []string{"cge"},
+		Behaviors: []string{"gradient-reverse", "equivocate"},
+		FValues:   []int{1},
+		Rounds:    40,
+	}
+	inProcess, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overP2P := base
+	overP2P.Backend = p2p.Backend{}
+	p2pResults, err := Run(overP2P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inProcess) != 2 || len(p2pResults) != 2 {
+		t.Fatalf("want 2 results per backend, got %d/%d", len(inProcess), len(p2pResults))
+	}
+	for i := range inProcess {
+		in, pp := inProcess[i], p2pResults[i]
+		if in.Behavior != pp.Behavior {
+			t.Fatalf("grid order differs: %s vs %s", in.Behavior, pp.Behavior)
+		}
+		switch in.Behavior {
+		case "gradient-reverse":
+			if in.FinalDist != pp.FinalDist {
+				t.Errorf("non-equivocating cell drifted across substrates: %v vs %v", in.FinalDist, pp.FinalDist)
+			}
+		case "equivocate":
+			if in.FinalDist == pp.FinalDist {
+				t.Error("equivocation changed nothing — the distorter never reached the broadcast layer")
+			}
+			if pp.Status() != "ok" {
+				t.Errorf("equivocating cell failed: %s", pp.Err)
+			}
+		}
 	}
 }
 
@@ -189,8 +299,9 @@ func TestScenarioTimeoutOverClusterBackend(t *testing.T) {
 
 // TestRunContextCancelReturnsPartialResults is the cancellation contract:
 // a cancelled sweep stops within one scenario's duration and hands back the
-// scenarios completed so far plus a context.Canceled-wrapped error, on both
-// backends.
+// scenarios completed so far plus a context.Canceled-wrapped error, on
+// every backend — the p2p loop checks its context once per broadcast round,
+// so cancellation lands mid-round there too.
 func TestRunContextCancelReturnsPartialResults(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
@@ -198,6 +309,7 @@ func TestRunContextCancelReturnsPartialResults(t *testing.T) {
 	}{
 		{"inprocess", func() Spec { return Spec{} }},
 		{"cluster", func() Spec { return Spec{Backend: &cluster.Backend{}} }},
+		{"p2p", func() Spec { return Spec{Backend: p2p.Backend{}} }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			spec := tc.backend()

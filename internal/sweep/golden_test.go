@@ -5,9 +5,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"byzopt/internal/dgd"
+	"byzopt/internal/p2p"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/baseline.json from the current engine output")
@@ -47,6 +49,22 @@ func learningBaselineSpec() Spec {
 	}
 }
 
+// p2pBaselineSpec is the checked-in peer-to-peer sweep: the same engine
+// grid served over the Byzantine-broadcast substrate, covering the
+// broadcast-only equivocation axis, f = 0 cells, and inadmissible n <= 3f
+// cells (classified "skipped" with a deterministic reason) in one small
+// checked-in file.
+func p2pBaselineSpec() Spec {
+	return Spec{
+		Filters:   []string{"mean", "cge", "cwtm"},
+		Behaviors: []string{"gradient-reverse", "equivocate"},
+		FValues:   []int{0, 1, 2},
+		Rounds:    40,
+		Seed:      7,
+		Backend:   p2p.Backend{},
+	}
+}
+
 // TestGoldenBaselineSweep re-runs the baseline spec and byte-compares the
 // deterministic export against testdata/baseline.json — a sweep is a golden
 // test once timings are stripped. Any intentional engine change that moves
@@ -66,8 +84,23 @@ func TestGoldenLearningSweep(t *testing.T) {
 	checkGolden(t, learningBaselineSpec(), "baseline_learning.json")
 }
 
+// TestGoldenBaselineP2P is the peer-to-peer counterpart: the decentralized
+// substrate is held to the same byte-for-byte reproducibility bar as the
+// in-process engine, equivocating adversaries and inadmissible cells
+// included.
+func TestGoldenBaselineP2P(t *testing.T) {
+	checkGolden(t, p2pBaselineSpec(), "baseline_p2p.json")
+}
+
 func checkGolden(t *testing.T, spec Spec, file string) {
 	t.Helper()
+	if runtime.GOARCH != "amd64" && !*updateGolden {
+		// The checked-in baselines were generated on amd64. On arm64 the Go
+		// compiler may contract a*b+c into FMA instructions, so trajectories
+		// can differ in the last ulp — the run-vs-run parity tests still
+		// hold everywhere, but a byte-compare against amd64 files does not.
+		t.Skipf("golden baselines are amd64 artifacts; skipping byte-compare on %s", runtime.GOARCH)
+	}
 	results, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -291,6 +291,12 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		switch {
 		case errors.Is(err, aggregate.ErrTooManyFaults):
 			res.Skipped = true
+		case errors.Is(err, dgd.ErrInadmissible):
+			// The substrate cannot admit the configuration at all (the p2p
+			// backend's n > 3f broadcast bound): an infeasible grid point on
+			// this backend, classified like the filter tolerance refusals so
+			// mixed grids survive.
+			res.Skipped = true
 		case errors.Is(err, dgd.ErrDiverged):
 			res.Diverged = true
 		case errors.Is(err, ErrSpec):

@@ -139,7 +139,12 @@ type Spec struct {
 	// scenario over the transport/cluster stack instead, turning the sweep
 	// into a distributed-system load generator; grids whose behaviors are
 	// not omniscient (and all fault-free grids) produce byte-identical
-	// exports on either substrate.
+	// exports on either substrate. A p2p.Backend runs every scenario over
+	// the Byzantine-broadcast peer-to-peer substrate: grids whose behaviors
+	// do not equivocate in the broadcast layer reproduce the in-process
+	// bytes too (omniscient behaviors included), and cells violating the
+	// broadcast bound n > 3f come back as skipped results
+	// (dgd.ErrInadmissible), so mixed grids survive.
 	Backend dgd.Backend
 	// ScenarioTimeout bounds each scenario's wall-clock duration; zero
 	// means unbounded. A scenario exceeding it is classified as data
