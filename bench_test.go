@@ -550,6 +550,83 @@ func BenchmarkEIGBroadcast(b *testing.B) {
 	}
 }
 
+// --- zero-allocation round loop (PR 5) ---
+
+// benchLegacyAgent strips the IntoAgent face off an agent, forcing the
+// engine's allocating gradient collection.
+type benchLegacyAgent struct{ inner dgd.Agent }
+
+func (l benchLegacyAgent) Gradient(round int, x []float64) ([]float64, error) {
+	return l.inner.Gradient(round, x)
+}
+
+// benchLegacyFilter strips the IntoFilter face off a filter, forcing the
+// engine's allocating aggregation.
+type benchLegacyFilter struct{ inner aggregate.Filter }
+
+func (l benchLegacyFilter) Name() string { return l.inner.Name() }
+
+func (l benchLegacyFilter) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	return l.inner.Aggregate(grads, f)
+}
+
+// BenchmarkRoundLoop measures the steady-state engine round under CWTM on
+// the (n, d) grid, comparing the zero-allocation scratch path (Into-capable
+// agents + IntoFilter) against the legacy allocating path with the Into
+// faces stripped. Run with -benchmem: the into column's B/op is the win the
+// scratch-space API buys (per-run setup amortized over the rounds of each
+// op; both paths produce bitwise-identical trajectories, see the parity
+// tests).
+func BenchmarkRoundLoop(b *testing.B) {
+	const rounds = 10
+	r := rand.New(rand.NewSource(8))
+	for _, g := range []struct{ n, d int }{{10, 10}, {10, 1000}, {100, 10}, {100, 1000}} {
+		costs := make([]byzopt.Cost, g.n)
+		for i := range costs {
+			row := make([]float64, g.d)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			c, err := byzopt.SingleObservationCost(row, r.NormFloat64())
+			if err != nil {
+				b.Fatal(err)
+			}
+			costs[i] = c
+		}
+		intoAgents, err := byzopt.HonestAgents(costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allocAgents := make([]byzopt.Agent, len(intoAgents))
+		for i, a := range intoAgents {
+			allocAgents[i] = benchLegacyAgent{inner: a}
+		}
+		x0 := make([]float64, g.d)
+		for _, path := range []struct {
+			name   string
+			agents []byzopt.Agent
+			filter aggregate.Filter
+		}{
+			{"into", intoAgents, aggregate.CWTM{}},
+			{"alloc", allocAgents, benchLegacyFilter{inner: aggregate.CWTM{}}},
+		} {
+			b.Run(fmt.Sprintf("n=%d/d=%d/path=%s", g.n, g.d, path.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := byzopt.Run(byzopt.Config{
+						Agents: path.agents,
+						F:      2,
+						Filter: path.filter,
+						X0:     x0,
+						Rounds: rounds,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkDGDRound measures one full engine round at learning scale
 // (n = 20 agents, d = 2000).
 func BenchmarkDGDRound(b *testing.B) {

@@ -155,6 +155,19 @@ func NewFilter(name string) (Filter, error) { return aggregate.New(name) }
 // multikrum, bulyan, geomedian, gmom).
 func FilterNames() []string { return aggregate.Names() }
 
+// IntoFilter is the allocation-free face every built-in filter implements:
+// AggregateInto writes the aggregate into a caller buffer and draws every
+// temporary from a reusable FilterScratch, bitwise identical to Aggregate.
+// The engines detect it automatically — see the README's performance
+// section for when the zero-allocation round loop engages.
+type IntoFilter = aggregate.IntoFilter
+
+// FilterScratch owns a filter's reusable temporaries (pairwise-distance
+// matrix, per-coordinate columns, Weiszfeld iterates, ...). The zero value
+// is ready; hand the same one to successive AggregateInto calls from a
+// single goroutine.
+type FilterScratch = aggregate.Scratch
+
 // CGE is the paper's comparative gradient elimination filter (eq. 23).
 type CGE = aggregate.CGE
 
@@ -208,6 +221,12 @@ func SumCost(costs ...Cost) (Cost, error) { return costfunc.NewSum(costs...) }
 
 // Agent produces the gradient reported to the server each round.
 type Agent = dgd.Agent
+
+// IntoAgent is the optional allocation-free face of Agent: GradientInto
+// writes the report into an engine-owned arena row. Agents built by
+// HonestAgent implement it (costs with a costfunc gradient-into oracle
+// write straight into the row); others fall back transparently.
+type IntoAgent = dgd.IntoAgent
 
 // HonestAgent wraps a cost as a truthful agent.
 func HonestAgent(cost Cost) (Agent, error) { return dgd.NewHonest(cost) }

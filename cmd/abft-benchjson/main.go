@@ -67,9 +67,14 @@ func main() {
 	}
 }
 
-// event is the subset of the test2json record the converter consumes.
+// event is the subset of the test2json record the converter consumes. Test
+// carries the benchmark name for result lines the test runner printed
+// without one (under -json, only the first sub-benchmark of a run gets its
+// name and result in a single output line; the rest arrive as bare
+// "<iterations>\t<metrics>" outputs attributed via the Test field).
 type event struct {
 	Action string `json:"Action"`
+	Test   string `json:"Test"`
 	Output string `json:"Output"`
 }
 
@@ -88,6 +93,17 @@ func Convert(r io.Reader) (*Document, error) {
 				continue
 			}
 			line = strings.TrimSuffix(ev.Output, "\n")
+			if b, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+				continue
+			}
+			// Name-less result line: re-attach the name the event carries.
+			if ev.Test != "" {
+				if b, ok := parseBenchLine(ev.Test + "\t" + line); ok {
+					doc.Benchmarks = append(doc.Benchmarks, b)
+				}
+			}
+			continue
 		}
 		if b, ok := parseBenchLine(line); ok {
 			doc.Benchmarks = append(doc.Benchmarks, b)

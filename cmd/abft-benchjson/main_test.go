@@ -65,6 +65,38 @@ func TestConvertTest2JSONStream(t *testing.T) {
 	}
 }
 
+// TestConvertTest2JSONSplitNameResult covers the stream shape the test
+// runner actually emits for all but the first sub-benchmark of a run: the
+// name arrives in one output event (and in every event's Test field) while
+// the result line arrives bare. Dropping these silently truncated the PR4
+// trajectory; the Test field re-attaches them.
+func TestConvertTest2JSONSplitNameResult(t *testing.T) {
+	stream := `{"Action":"run","Package":"byzopt","Test":"BenchmarkRoundLoop/n=10/path=into"}
+{"Action":"output","Package":"byzopt","Test":"BenchmarkRoundLoop/n=10/path=into","Output":"BenchmarkRoundLoop/n=10/path=into                \t       1\t     37871 ns/op\t    3168 B/op\t      28 allocs/op\n"}
+{"Action":"run","Package":"byzopt","Test":"BenchmarkRoundLoop/n=10/path=alloc"}
+{"Action":"output","Package":"byzopt","Test":"BenchmarkRoundLoop/n=10/path=alloc","Output":"BenchmarkRoundLoop/n=10/path=alloc \n"}
+{"Action":"output","Package":"byzopt","Test":"BenchmarkRoundLoop/n=10/path=alloc","Output":"       1\t     37307 ns/op\t   12176 B/op\t     135 allocs/op\n"}
+{"Action":"output","Package":"byzopt","Output":"PASS\n"}
+`
+	doc, err := Convert(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkRoundLoop/n=10/path=into" {
+		t.Errorf("first name mis-parsed: %+v", doc.Benchmarks[0])
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkRoundLoop/n=10/path=alloc" || b.NsPerOp != 37307 {
+		t.Errorf("split result mis-parsed: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 12176 || b.AllocsPerOp == nil || *b.AllocsPerOp != 135 {
+		t.Errorf("split result lost -benchmem metrics: %+v", b)
+	}
+}
+
 func TestConvertRejectsEmptyInput(t *testing.T) {
 	if _, err := Convert(strings.NewReader("PASS\nok byzopt 0.1s\n")); err == nil {
 		t.Error("want an error for input without benchmark results")

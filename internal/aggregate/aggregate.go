@@ -9,13 +9,19 @@
 // plots as "plain GD") and the literature baselines the paper cites for
 // comparison: coordinate-wise median, Krum, Multi-Krum, Bulyan, geometric
 // median, geometric median-of-means, and centered clipping.
+//
+// Every filter implements both faces of the API: Aggregate, which allocates
+// its result, and AggregateInto (the IntoFilter interface), which writes into
+// a caller buffer and draws every temporary from a reusable Scratch. Both
+// faces run the same core and produce bitwise-identical results; the Into
+// face exists so a steady-state round loop allocates nothing (see Scratch).
 package aggregate
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"math"
-	"sort"
+	"slices"
 
 	"byzopt/internal/vecmath"
 )
@@ -44,6 +50,19 @@ type Filter interface {
 	Aggregate(grads [][]float64, f int) ([]float64, error)
 }
 
+// IntoFilter is the allocation-free face of a Filter: AggregateInto writes
+// the aggregate of grads into dst (which must match the gradient dimension)
+// and draws every temporary from s, so a warm Scratch makes the call
+// heap-allocation-free on the sequential path. A nil s is allowed and
+// behaves like a fresh Scratch. The result is bitwise identical to
+// Aggregate's — the engines switch between the two faces freely without
+// perturbing a single trajectory. Every filter in this package implements
+// IntoFilter.
+type IntoFilter interface {
+	Filter
+	AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error
+}
+
 // validate checks the common preconditions and returns (n, d).
 func validate(grads [][]float64, f int) (n, d int, err error) {
 	if len(grads) == 0 {
@@ -67,24 +86,53 @@ func validate(grads [][]float64, f int) (n, d int, err error) {
 	return len(grads), d, nil
 }
 
+// validateInto is validate plus the destination-dimension check shared by
+// every AggregateInto implementation.
+func validateInto(dst []float64, grads [][]float64, f int) (n int, err error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) != d {
+		return 0, fmt.Errorf("destination has dim %d, want %d: %w", len(dst), d, ErrInput)
+	}
+	return n, nil
+}
+
+// orFresh substitutes a fresh Scratch for a nil one.
+func orFresh(s *Scratch) *Scratch {
+	if s == nil {
+		return new(Scratch)
+	}
+	return s
+}
+
 // --- Mean ---
 
 // Mean is plain gradient averaging: the classic fault-intolerant DGD
 // aggregation, kept as the baseline the paper calls "plain GD".
 type Mean struct{}
 
-var _ Filter = Mean{}
+var _ IntoFilter = Mean{}
 
 // Name implements Filter.
 func (Mean) Name() string { return "mean" }
 
 // Aggregate returns the arithmetic mean of all gradients; f is ignored
 // because averaging makes no attempt at robustness.
-func (Mean) Aggregate(grads [][]float64, f int) ([]float64, error) {
+func (m Mean) Aggregate(grads [][]float64, f int) ([]float64, error) {
 	if _, _, err := validate(grads, f); err != nil {
 		return nil, err
 	}
 	return vecmath.Mean(grads)
+}
+
+// AggregateInto implements IntoFilter.
+func (m Mean) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	if _, err := validateInto(dst, grads, f); err != nil {
+		return err
+	}
+	return vecmath.MeanInto(dst, grads)
 }
 
 // --- CGE ---
@@ -100,7 +148,7 @@ type CGE struct {
 	Averaged bool
 }
 
-var _ Filter = CGE{}
+var _ IntoFilter = CGE{}
 
 // Name implements Filter.
 func (c CGE) Name() string {
@@ -112,33 +160,47 @@ func (c CGE) Name() string {
 
 // Aggregate implements Filter. It requires n > f.
 func (c CGE) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, d, err := validate(grads, f)
+	return allocVia(c, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (c CGE) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return c.into(dst, grads, n, f, orFresh(s))
+}
+
+func (c CGE) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n <= f {
-		return nil, fmt.Errorf("CGE needs n > f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("CGE needs n > f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
 	// Sort indices by gradient norm ascending (ties broken by index, which
-	// keeps the filter deterministic as Definition 2 requires).
-	idx := make([]int, n)
-	norms := make([]float64, n)
+	// keeps the filter deterministic as Definition 2 requires). The stable
+	// sort over a scratch-owned index slice defines the same permutation as
+	// any other stable sort on the same keys.
+	s.idx = growInts(s.idx, n)
+	s.norms = growFloats(s.norms, n)
+	idx, norms := s.idx, s.norms
 	for i := range grads {
 		idx[i] = i
 		norms[i] = vecmath.Norm(grads[i])
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return norms[idx[a]] < norms[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(norms[a], norms[b]) })
 
-	out := make([]float64, d)
+	for j := range dst {
+		dst[j] = 0
+	}
 	for _, i := range idx[:n-f] {
 		for j, v := range grads[i] {
-			out[j] += v
+			dst[j] += v
 		}
 	}
 	if c.Averaged {
-		vecmath.ScaleInPlace(1/float64(n-f), out)
+		vecmath.ScaleInPlace(1/float64(n-f), dst)
 	}
-	return out, nil
+	return nil
 }
 
 // --- CWTM ---
@@ -147,34 +209,46 @@ func (c CGE) Aggregate(grads [][]float64, f int) ([]float64, error) {
 // drop the f smallest and f largest values and average the remaining n-2f.
 type CWTM struct{}
 
-var _ Filter = CWTM{}
+var _ IntoFilter = CWTM{}
 
 // Name implements Filter.
 func (CWTM) Name() string { return "cwtm" }
 
 // Aggregate implements Filter. It requires n > 2f.
-func (CWTM) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, d, err := validate(grads, f)
+func (c CWTM) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	return allocVia(c, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (c CWTM) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return c.into(dst, grads, n, f, orFresh(s))
+}
+
+func (CWTM) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n <= 2*f {
-		return nil, fmt.Errorf("CWTM needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("CWTM needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for k := 0; k < d; k++ {
+	s.col = growFloats(s.col, n)
+	col := s.col
+	for k := range dst {
 		for i := range grads {
 			col[i] = grads[i][k]
 		}
-		sort.Float64s(col)
-		var s float64
+		// Partial selection cuts away the f smallest and f largest values,
+		// then only the surviving window is sorted — summed ascending, the
+		// result is bitwise identical to the fully-sorted path.
+		trimMiddle(col, f)
+		var sum float64
 		for _, v := range col[f : n-f] {
-			s += v
+			sum += v
 		}
-		out[k] = s / float64(n-2*f)
+		dst[k] = sum / float64(n-2*f)
 	}
-	return out, nil
+	return nil
 }
 
 // --- coordinate-wise median ---
@@ -183,35 +257,41 @@ func (CWTM) Aggregate(grads [][]float64, f int) ([]float64, error) {
 // a classic robust baseline (e.g. Yin et al., 2018).
 type CWMedian struct{}
 
-var _ Filter = CWMedian{}
+var _ IntoFilter = CWMedian{}
 
 // Name implements Filter.
 func (CWMedian) Name() string { return "cwmedian" }
 
 // Aggregate implements Filter. It requires n > 2f for the median to be
 // controlled by honest values.
-func (CWMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, d, err := validate(grads, f)
+func (c CWMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	return allocVia(c, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (c CWMedian) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return c.into(dst, grads, n, f, orFresh(s))
+}
+
+func (CWMedian) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n <= 2*f {
-		return nil, fmt.Errorf("median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for k := 0; k < d; k++ {
+	s.col = growFloats(s.col, n)
+	col := s.col
+	for k := range dst {
 		for i := range grads {
 			col[i] = grads[i][k]
 		}
-		sort.Float64s(col)
-		if n%2 == 1 {
-			out[k] = col[n/2]
-		} else {
-			out[k] = 0.5 * (col[n/2-1] + col[n/2])
-		}
+		// Quickselect replaces the full per-coordinate sort: the median is
+		// an order statistic, so the selected value is the sorted one.
+		dst[k] = medianInPlace(col)
 	}
-	return out, nil
+	return nil
 }
 
 // --- Krum ---
@@ -225,16 +305,29 @@ type Krum struct {
 	Workers int
 }
 
-var _ Filter = Krum{}
+var _ IntoFilter = Krum{}
 
 // Name implements Filter.
 func (Krum) Name() string { return "krum" }
 
 // Aggregate implements Filter. It requires n >= 2f + 3.
 func (kr Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	scores, _, err := krumScores(grads, f, kr.Workers)
+	return allocVia(kr, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (kr Krum) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	return kr.into(dst, grads, n, f, orFresh(s))
+}
+
+func (kr Krum) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
+	scores, err := krumScores(grads, f, kr.Workers, s)
+	if err != nil {
+		return err
 	}
 	best := 0
 	for i := 1; i < len(scores); i++ {
@@ -242,7 +335,8 @@ func (kr Krum) Aggregate(grads [][]float64, f int) ([]float64, error) {
 			best = i
 		}
 	}
-	return vecmath.Clone(grads[best]), nil
+	copy(dst, grads[best])
+	return nil
 }
 
 // MultiKrum averages the M gradients with the best Krum scores
@@ -253,62 +347,86 @@ type MultiKrum struct {
 	Workers int
 }
 
-var _ Filter = MultiKrum{}
+var _ IntoFilter = MultiKrum{}
 
 // Name implements Filter.
 func (m MultiKrum) Name() string { return fmt.Sprintf("multikrum-%d", m.M) }
 
 // Aggregate implements Filter. It requires n >= 2f + 3 and 1 <= M <= n-f.
 func (m MultiKrum) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	scores, n, err := krumScores(grads, f, m.Workers)
+	return allocVia(m, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (m MultiKrum) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	return m.into(dst, grads, n, f, orFresh(s))
+}
+
+func (m MultiKrum) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
+	scores, err := krumScores(grads, f, m.Workers, s)
+	if err != nil {
+		return err
 	}
 	if m.M < 1 || m.M > n-f {
-		return nil, fmt.Errorf("multi-krum M=%d out of [1, n-f]=[1, %d]: %w", m.M, n-f, ErrInput)
+		return fmt.Errorf("multi-krum M=%d out of [1, n-f]=[1, %d]: %w", m.M, n-f, ErrInput)
 	}
-	idx := make([]int, n)
+	s.idx = growInts(s.idx, n)
+	idx := s.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	chosen := make([][]float64, m.M)
-	for i := 0; i < m.M; i++ {
-		chosen[i] = grads[idx[i]]
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(scores[a], scores[b]) })
+	// Mean of the M best, accumulated in score order exactly as the
+	// allocating path fed them to vecmath.Mean.
+	for j := range dst {
+		dst[j] = 0
 	}
-	return vecmath.Mean(chosen)
+	for _, i := range idx[:m.M] {
+		for j, v := range grads[i] {
+			dst[j] += v
+		}
+	}
+	vecmath.ScaleInPlace(1/float64(m.M), dst)
+	return nil
 }
 
-// krumScores returns the Krum score of every gradient, computing the
-// pairwise distance matrix with up to workers goroutines (see Krum.Workers
-// for the 0/1/negative semantics).
-func krumScores(grads [][]float64, f, workers int) ([]float64, int, error) {
-	n, d, err := validate(grads, f)
-	if err != nil {
-		return nil, 0, err
-	}
+// krumScores fills s.scores with the Krum score of every gradient, computing
+// the pairwise distance matrix in s's scratch with up to workers goroutines
+// (see Krum.Workers for the 0/1/negative semantics). The returned slice
+// aliases s.scores and stays valid until the next call that touches it.
+// Callers must have validated grads already (Bulyan's iterated selection
+// re-invokes this on subsets of an already-validated set, so only the
+// tolerance condition needs rechecking per call).
+func krumScores(grads [][]float64, f, workers int, s *Scratch) ([]float64, error) {
+	n, d := len(grads), len(grads[0])
 	if n < 2*f+3 {
-		return nil, 0, fmt.Errorf("krum needs n >= 2f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return nil, fmt.Errorf("krum needs n >= 2f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	d2 := pairwiseDistSq(grads, resolvePairwiseWorkers(workers, n, d))
+	d2 := s.distMatrix(n)
+	pairwiseDistSqInto(d2, grads, resolvePairwiseWorkers(workers, n, d))
 	k := n - f - 2 // number of closest neighbors scored
-	scores := make([]float64, n)
-	row := make([]float64, 0, n-1)
+	s.scores = growFloats(s.scores, n)
+	s.row = growFloats(s.row, n)
+	scores := s.scores
 	for i := 0; i < n; i++ {
-		row = row[:0]
+		row := s.row[:0]
 		for j := 0; j < n; j++ {
 			if j != i {
 				row = append(row, d2[i][j])
 			}
 		}
-		sort.Float64s(row)
-		var s float64
+		slices.Sort(row)
+		var sum float64
 		for _, v := range row[:k] {
-			s += v
+			sum += v
 		}
-		scores[i] = s
+		scores[i] = sum
 	}
-	return scores, n, nil
+	return scores, nil
 }
 
 // --- Bulyan ---
@@ -322,31 +440,49 @@ type Bulyan struct {
 	Workers int
 }
 
-var _ Filter = Bulyan{}
+var _ IntoFilter = Bulyan{}
 
 // Name implements Filter.
 func (Bulyan) Name() string { return "bulyan" }
 
 // Aggregate implements Filter. It requires n >= 4f + 3.
 func (bl Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, d, err := validate(grads, f)
+	return allocVia(bl, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (bl Bulyan) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return bl.into(dst, grads, n, f, orFresh(s))
+}
+
+func (bl Bulyan) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n < 4*f+3 {
-		return nil, fmt.Errorf("bulyan needs n >= 4f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("bulyan needs n >= 4f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
 	theta := n - 2*f
-	remaining := make([][]float64, n)
+	s.heads = growHeads(s.heads, n)
+	remaining := s.heads[:n]
 	copy(remaining, grads)
-	selected := make([][]float64, 0, theta)
+	s.heads2 = growHeads(s.heads2, theta)
+	selected := s.heads2[:0]
 	for len(selected) < theta {
-		scores, _, err := krumScores(remaining, f, bl.Workers)
-		if err != nil {
-			// As gradients are removed the Krum condition can tighten; fall
+		if len(remaining) < 2*f+3 {
+			// As gradients are removed the Krum condition tightens; fall
 			// back to taking the rest in order, which preserves determinism.
+			// (The tolerance condition is checked here rather than through
+			// krumScores' error — it is the only error krumScores can return
+			// on this already-validated input, and checking first keeps the
+			// steady state from constructing error values.)
 			selected = append(selected, remaining[:theta-len(selected)]...)
 			break
+		}
+		scores, err := krumScores(remaining, f, bl.Workers, s)
+		if err != nil {
+			return err
 		}
 		best := 0
 		for i := 1; i < len(scores); i++ {
@@ -355,38 +491,72 @@ func (bl Bulyan) Aggregate(grads [][]float64, f int) ([]float64, error) {
 			}
 		}
 		selected = append(selected, remaining[best])
-		remaining = append(remaining[:best:best], remaining[best+1:]...)
+		// In-place removal: remaining owns its backing table (a scratch
+		// copy), so shifting left cannot clobber the caller's slice.
+		remaining = append(remaining[:best], remaining[best+1:]...)
 	}
 	// Trimmed mean of the beta values closest to the median, per coordinate.
+	// The column is sorted once (in scratch); the beta-window walk below then
+	// enumerates values by increasing distance from the median — the exact
+	// order the allocating path produced with its stable sort over (value,
+	// distance) pairs — without building or sorting that pair table.
 	beta := theta - 2*f
-	out := make([]float64, d)
-	col := make([]float64, theta)
-	type valDist struct {
-		v, dist float64
-	}
-	vd := make([]valDist, theta)
-	for k := 0; k < d; k++ {
+	s.col = growFloats(s.col, theta)
+	col := s.col[:theta]
+	for k := range dst {
 		for i := range selected {
 			col[i] = selected[i][k]
 		}
-		sort.Float64s(col)
+		slices.Sort(col)
 		var med float64
 		if theta%2 == 1 {
 			med = col[theta/2]
 		} else {
 			med = 0.5 * (col[theta/2-1] + col[theta/2])
 		}
-		for i, v := range col {
-			vd[i] = valDist{v: v, dist: math.Abs(v - med)}
-		}
-		sort.SliceStable(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
-		var s float64
-		for _, p := range vd[:beta] {
-			s += p.v
-		}
-		out[k] = s / float64(beta)
+		dst[k] = medianWindowSum(col, med, beta) / float64(beta)
 	}
-	return out, nil
+	return nil
+}
+
+// medianWindowSum sums the beta values of the ascending-sorted col closest
+// to med, adding them in increasing-distance order with distance ties taken
+// from the left — precisely the order a stable sort by |v - med| visits them
+// (left-side ties are equal values, so their mutual order cannot change the
+// sum; cross-side ties favor the lower index, which is always the left
+// side). Two cursors walk outward from the median in O(beta) instead of
+// stable-sorting a (value, distance) table.
+func medianWindowSum(col []float64, med float64, beta int) float64 {
+	// First index strictly greater than med; col[0] <= med always holds
+	// because med is the median of col.
+	lo, hi := 0, len(col)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if col[mid] <= med {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l, r := lo-1, lo
+	var sum float64
+	for t := 0; t < beta; t++ {
+		switch {
+		case l < 0:
+			sum += col[r]
+			r++
+		case r >= len(col):
+			sum += col[l]
+			l--
+		case med-col[l] <= col[r]-med:
+			sum += col[l]
+			l--
+		default:
+			sum += col[r]
+			r++
+		}
+	}
+	return sum
 }
 
 // --- geometric median ---
@@ -405,21 +575,30 @@ type GeoMedian struct {
 	Workers int
 }
 
-var _ Filter = GeoMedian{}
+var _ IntoFilter = GeoMedian{}
 
 // Name implements Filter.
 func (GeoMedian) Name() string { return "geomedian" }
 
 // Aggregate implements Filter. It requires n > 2f for robustness.
 func (g GeoMedian) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, _, err := validate(grads, f)
+	return allocVia(g, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (g GeoMedian) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return g.into(dst, grads, n, f, orFresh(s))
+}
+
+func (g GeoMedian) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n <= 2*f {
-		return nil, fmt.Errorf("geometric median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("geometric median needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	return weiszfeld(grads, g.Tol, g.Workers)
+	return weiszfeldInto(dst, grads, g.Tol, g.Workers, s)
 }
 
 // GeoMedianOfMeans partitions the gradients into Groups buckets, averages
@@ -434,45 +613,71 @@ type GeoMedianOfMeans struct {
 	Workers int
 }
 
-var _ Filter = GeoMedianOfMeans{}
+var _ IntoFilter = GeoMedianOfMeans{}
 
 // Name implements Filter.
 func (g GeoMedianOfMeans) Name() string { return fmt.Sprintf("gmom-%d", g.Groups) }
 
 // Aggregate implements Filter.
 func (g GeoMedianOfMeans) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, _, err := validate(grads, f)
+	return allocVia(g, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (g GeoMedianOfMeans) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return g.into(dst, grads, n, f, orFresh(s))
+}
+
+func (g GeoMedianOfMeans) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if g.Groups < 1 || g.Groups > n {
-		return nil, fmt.Errorf("gmom groups=%d out of [1, %d]: %w", g.Groups, n, ErrInput)
+		return fmt.Errorf("gmom groups=%d out of [1, %d]: %w", g.Groups, n, ErrInput)
 	}
 	if g.Groups <= 2*f {
-		return nil, fmt.Errorf("gmom needs groups > 2f, got groups=%d f=%d: %w", g.Groups, f, ErrTooManyFaults)
+		return fmt.Errorf("gmom needs groups > 2f, got groups=%d f=%d: %w", g.Groups, f, ErrTooManyFaults)
 	}
-	// Contiguous deterministic partition.
-	means := make([][]float64, 0, g.Groups)
+	// Contiguous deterministic partition; bucket means land in scratch rows.
+	means := s.meanRows(g.Groups, len(dst))
+	count := 0
 	for b := 0; b < g.Groups; b++ {
 		lo := b * n / g.Groups
 		hi := (b + 1) * n / g.Groups
 		if lo == hi {
 			continue
 		}
-		m, err := vecmath.Mean(grads[lo:hi])
-		if err != nil {
-			return nil, err
+		if err := vecmath.MeanInto(means[count], grads[lo:hi]); err != nil {
+			return err
 		}
-		means = append(means, m)
+		count++
 	}
-	return weiszfeld(means, g.Tol, g.Workers)
+	return weiszfeldInto(dst, means[:count], g.Tol, g.Workers, s)
+}
+
+// --- shared allocating wrapper ---
+
+// allocVia runs a filter's Into face against a fresh destination and
+// scratch: the one implementation serves both API faces, so they cannot
+// drift apart.
+func allocVia(fl IntoFilter, grads [][]float64, f int) ([]float64, error) {
+	if len(grads) == 0 {
+		return nil, fmt.Errorf("no gradients: %w", ErrInput)
+	}
+	out := make([]float64, len(grads[0]))
+	if err := fl.AggregateInto(out, grads, f, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --- registry ---
 
 // New returns the filter registered under the given name. Recognized names:
 // mean, cge, cge-avg, cwtm, cwmedian, krum, multikrum (M=3), bulyan,
-// geomedian, gmom (Groups=3), centeredclip.
+// geomedian, gmom (Groups=3), centeredclip. Every registered filter also
+// implements IntoFilter.
 func New(name string) (Filter, error) {
 	switch name {
 	case "mean":

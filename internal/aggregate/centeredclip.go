@@ -2,7 +2,6 @@ package aggregate
 
 import (
 	"fmt"
-	"sort"
 
 	"byzopt/internal/vecmath"
 )
@@ -27,7 +26,7 @@ type CenteredClip struct {
 	Iters int
 }
 
-var _ Filter = CenteredClip{}
+var _ IntoFilter = CenteredClip{}
 
 // Name implements Filter.
 func (c CenteredClip) Name() string { return "centeredclip" }
@@ -35,61 +34,73 @@ func (c CenteredClip) Name() string { return "centeredclip" }
 // Aggregate implements Filter. It requires n > 2f (the warm start is the
 // coordinate-wise median).
 func (c CenteredClip) Aggregate(grads [][]float64, f int) ([]float64, error) {
-	n, _, err := validate(grads, f)
+	return allocVia(c, grads, f)
+}
+
+// AggregateInto implements IntoFilter.
+func (c CenteredClip) AggregateInto(dst []float64, grads [][]float64, f int, s *Scratch) error {
+	n, err := validateInto(dst, grads, f)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	return c.into(dst, grads, n, f, orFresh(s))
+}
+
+func (c CenteredClip) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
 	if n <= 2*f {
-		return nil, fmt.Errorf("centered clipping needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+		return fmt.Errorf("centered clipping needs n > 2f, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
-	center, err := CWMedian{}.Aggregate(grads, f)
-	if err != nil {
-		return nil, err
+	// Warm start: the coordinate-wise median, computed straight into dst,
+	// which then serves as the iterated center.
+	center := dst
+	if err := (CWMedian{}).into(center, grads, n, f, s); err != nil {
+		return err
 	}
 	tau := c.Tau
 	if tau <= 0 {
 		// Median distance from the warm-start center: a scale the honest
-		// majority sets.
-		dists := make([]float64, n)
+		// majority sets. Quickselect on the scratch buffer replaces the
+		// full sort — the median is an order statistic either way.
+		s.norms = growFloats(s.norms, n)
+		dists := s.norms
 		for i, g := range grads {
 			d, err := vecmath.Dist(g, center)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			dists[i] = d
 		}
-		sort.Float64s(dists)
-		if n%2 == 1 {
-			tau = dists[n/2]
-		} else {
-			tau = 0.5 * (dists[n/2-1] + dists[n/2])
-		}
+		tau = medianInPlace(dists)
 		if tau == 0 {
-			return center, nil // all gradients coincide with the center
+			return nil // all gradients coincide with the center
 		}
 	}
 	iters := c.Iters
 	if iters <= 0 {
 		iters = centeredClipDefaultIters
 	}
+	s.vecA = growFloats(s.vecA, len(dst))
+	s.vecB = growFloats(s.vecB, len(dst))
+	diff, update := s.vecA, s.vecB
 	for it := 0; it < iters; it++ {
-		update := vecmath.Zeros(len(center))
+		for i := range update {
+			update[i] = 0
+		}
 		for _, g := range grads {
-			diff, err := vecmath.Sub(g, center)
-			if err != nil {
-				return nil, err
+			if err := vecmath.SubInto(diff, g, center); err != nil {
+				return err
 			}
 			if norm := vecmath.Norm(diff); norm > tau {
 				vecmath.ScaleInPlace(tau/norm, diff)
 			}
 			if err := vecmath.AddInPlace(update, diff); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		vecmath.ScaleInPlace(1/float64(n), update)
 		if err := vecmath.AddInPlace(center, update); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return center, nil
+	return nil
 }

@@ -1,0 +1,649 @@
+package aggregate
+
+// Parity and allocation gates for the scratch-space API: every filter's
+// AggregateInto must be bitwise identical to Aggregate AND to a frozen copy
+// of the pre-scratch implementations (full per-coordinate sorts,
+// sort.SliceStable index sorts, allocating Weiszfeld) — the goldens were
+// produced by those, so this file is what pins the quickselect and
+// window-sum rewrites to the exact old float semantics.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"byzopt/internal/vecmath"
+)
+
+// --- frozen reference implementations (the pre-scratch code paths) ---
+
+func refPairwiseDistSq(grads [][]float64) [][]float64 {
+	n := len(grads)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			for k, v := range grads[i] {
+				dv := v - grads[j][k]
+				s += dv * dv
+			}
+			d2[i][j] = s
+			d2[j][i] = s
+		}
+	}
+	return d2
+}
+
+func refKrumScores(grads [][]float64, f int) ([]float64, int, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n < 2*f+3 {
+		return nil, 0, fmt.Errorf("krum needs n >= 2f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
+	}
+	d2 := refPairwiseDistSq(grads)
+	k := n - f - 2
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, d2[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, v := range row[:k] {
+			s += v
+		}
+		scores[i] = s
+	}
+	return scores, n, nil
+}
+
+func refCGE(c CGE, grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= f {
+		return nil, fmt.Errorf("CGE needs n > f: %w", ErrTooManyFaults)
+	}
+	idx := make([]int, n)
+	norms := make([]float64, n)
+	for i := range grads {
+		idx[i] = i
+		norms[i] = vecmath.Norm(grads[i])
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return norms[idx[a]] < norms[idx[b]] })
+	out := make([]float64, d)
+	for _, i := range idx[:n-f] {
+		for j, v := range grads[i] {
+			out[j] += v
+		}
+	}
+	if c.Averaged {
+		vecmath.ScaleInPlace(1/float64(n-f), out)
+	}
+	return out, nil
+}
+
+func refCWTM(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("CWTM needs n > 2f: %w", ErrTooManyFaults)
+	}
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for k := 0; k < d; k++ {
+		for i := range grads {
+			col[i] = grads[i][k]
+		}
+		sort.Float64s(col)
+		var s float64
+		for _, v := range col[f : n-f] {
+			s += v
+		}
+		out[k] = s / float64(n-2*f)
+	}
+	return out, nil
+}
+
+func refCWMedian(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("median needs n > 2f: %w", ErrTooManyFaults)
+	}
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for k := 0; k < d; k++ {
+		for i := range grads {
+			col[i] = grads[i][k]
+		}
+		sort.Float64s(col)
+		if n%2 == 1 {
+			out[k] = col[n/2]
+		} else {
+			out[k] = 0.5 * (col[n/2-1] + col[n/2])
+		}
+	}
+	return out, nil
+}
+
+func refKrum(grads [][]float64, f int) ([]float64, error) {
+	scores, _, err := refKrumScores(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return vecmath.Clone(grads[best]), nil
+}
+
+func refMultiKrum(m MultiKrum, grads [][]float64, f int) ([]float64, error) {
+	scores, n, err := refKrumScores(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if m.M < 1 || m.M > n-f {
+		return nil, fmt.Errorf("multi-krum M out of range: %w", ErrInput)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	chosen := make([][]float64, m.M)
+	for i := 0; i < m.M; i++ {
+		chosen[i] = grads[idx[i]]
+	}
+	return vecmath.Mean(chosen)
+}
+
+func refBulyan(grads [][]float64, f int) ([]float64, error) {
+	n, d, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n < 4*f+3 {
+		return nil, fmt.Errorf("bulyan needs n >= 4f+3: %w", ErrTooManyFaults)
+	}
+	theta := n - 2*f
+	remaining := make([][]float64, n)
+	copy(remaining, grads)
+	selected := make([][]float64, 0, theta)
+	for len(selected) < theta {
+		scores, _, err := refKrumScores(remaining, f)
+		if err != nil {
+			selected = append(selected, remaining[:theta-len(selected)]...)
+			break
+		}
+		best := 0
+		for i := 1; i < len(scores); i++ {
+			if scores[i] < scores[best] {
+				best = i
+			}
+		}
+		selected = append(selected, remaining[best])
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+	}
+	beta := theta - 2*f
+	out := make([]float64, d)
+	col := make([]float64, theta)
+	type valDist struct {
+		v, dist float64
+	}
+	vd := make([]valDist, theta)
+	for k := 0; k < d; k++ {
+		for i := range selected {
+			col[i] = selected[i][k]
+		}
+		sort.Float64s(col)
+		var med float64
+		if theta%2 == 1 {
+			med = col[theta/2]
+		} else {
+			med = 0.5 * (col[theta/2-1] + col[theta/2])
+		}
+		for i, v := range col {
+			vd[i] = valDist{v: v, dist: math.Abs(v - med)}
+		}
+		sort.SliceStable(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
+		var s float64
+		for _, p := range vd[:beta] {
+			s += p.v
+		}
+		out[k] = s / float64(beta)
+	}
+	return out, nil
+}
+
+func refWeiszfeld(points [][]float64, tol float64) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	y, err := vecmath.Mean(points)
+	if err != nil {
+		return nil, err
+	}
+	n, d := len(points), len(y)
+	const eps = 1e-12
+	weights := make([]float64, n)
+	for iter := 0; iter < weiszfeldMaxIter; iter++ {
+		for i := 0; i < n; i++ {
+			dist, err := vecmath.Dist(points[i], y)
+			if err != nil {
+				return nil, err
+			}
+			weights[i] = 1 / math.Max(dist, eps)
+		}
+		var den float64
+		for _, w := range weights {
+			den += w
+		}
+		num := make([]float64, d)
+		for j := 0; j < d; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += weights[i] * points[i][j]
+			}
+			num[j] = s
+		}
+		vecmath.ScaleInPlace(1/den, num)
+		moved, err := vecmath.Dist(num, y)
+		if err != nil {
+			return nil, err
+		}
+		y = num
+		if moved < tol {
+			break
+		}
+	}
+	return y, nil
+}
+
+func refGeoMedian(g GeoMedian, grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("geomedian needs n > 2f: %w", ErrTooManyFaults)
+	}
+	return refWeiszfeld(grads, g.Tol)
+}
+
+func refGMoM(g GeoMedianOfMeans, grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if g.Groups < 1 || g.Groups > n {
+		return nil, fmt.Errorf("gmom groups out of range: %w", ErrInput)
+	}
+	if g.Groups <= 2*f {
+		return nil, fmt.Errorf("gmom needs groups > 2f: %w", ErrTooManyFaults)
+	}
+	means := make([][]float64, 0, g.Groups)
+	for b := 0; b < g.Groups; b++ {
+		lo := b * n / g.Groups
+		hi := (b + 1) * n / g.Groups
+		if lo == hi {
+			continue
+		}
+		m, err := vecmath.Mean(grads[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		means = append(means, m)
+	}
+	return refWeiszfeld(means, g.Tol)
+}
+
+func refCenteredClip(c CenteredClip, grads [][]float64, f int) ([]float64, error) {
+	n, _, err := validate(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 2*f {
+		return nil, fmt.Errorf("centered clipping needs n > 2f: %w", ErrTooManyFaults)
+	}
+	center, err := refCWMedian(grads, f)
+	if err != nil {
+		return nil, err
+	}
+	tau := c.Tau
+	if tau <= 0 {
+		dists := make([]float64, n)
+		for i, g := range grads {
+			d, err := vecmath.Dist(g, center)
+			if err != nil {
+				return nil, err
+			}
+			dists[i] = d
+		}
+		sort.Float64s(dists)
+		if n%2 == 1 {
+			tau = dists[n/2]
+		} else {
+			tau = 0.5 * (dists[n/2-1] + dists[n/2])
+		}
+		if tau == 0 {
+			return center, nil
+		}
+	}
+	iters := c.Iters
+	if iters <= 0 {
+		iters = centeredClipDefaultIters
+	}
+	for it := 0; it < iters; it++ {
+		update := vecmath.Zeros(len(center))
+		for _, g := range grads {
+			diff, err := vecmath.Sub(g, center)
+			if err != nil {
+				return nil, err
+			}
+			if norm := vecmath.Norm(diff); norm > tau {
+				vecmath.ScaleInPlace(tau/norm, diff)
+			}
+			if err := vecmath.AddInPlace(update, diff); err != nil {
+				return nil, err
+			}
+		}
+		vecmath.ScaleInPlace(1/float64(n), update)
+		if err := vecmath.AddInPlace(center, update); err != nil {
+			return nil, err
+		}
+	}
+	return center, nil
+}
+
+func refMean(grads [][]float64, f int) ([]float64, error) {
+	if _, _, err := validate(grads, f); err != nil {
+		return nil, err
+	}
+	return vecmath.Mean(grads)
+}
+
+// refAggregate dispatches to the frozen reference for any filter under test.
+func refAggregate(fl Filter, grads [][]float64, f int) ([]float64, error) {
+	switch v := fl.(type) {
+	case Mean:
+		return refMean(grads, f)
+	case CGE:
+		return refCGE(v, grads, f)
+	case CWTM:
+		return refCWTM(grads, f)
+	case CWMedian:
+		return refCWMedian(grads, f)
+	case Krum:
+		return refKrum(grads, f)
+	case MultiKrum:
+		return refMultiKrum(v, grads, f)
+	case Bulyan:
+		return refBulyan(grads, f)
+	case GeoMedian:
+		return refGeoMedian(v, grads, f)
+	case GeoMedianOfMeans:
+		return refGMoM(v, grads, f)
+	case CenteredClip:
+		return refCenteredClip(v, grads, f)
+	}
+	return nil, fmt.Errorf("no reference for %s", fl.Name())
+}
+
+// parityFilters is the filter set under bitwise test; every registered
+// filter plus parameter variants.
+func parityFilters() []IntoFilter {
+	return []IntoFilter{
+		Mean{},
+		CGE{},
+		CGE{Averaged: true},
+		CWTM{},
+		CWMedian{},
+		Krum{Workers: 1},
+		MultiKrum{M: 3, Workers: 1},
+		Bulyan{Workers: 1},
+		GeoMedian{Workers: 1},
+		GeoMedianOfMeans{Groups: 3, Workers: 1},
+		CenteredClip{},
+		CenteredClip{Tau: 0.7, Iters: 3},
+	}
+}
+
+// bitwiseEqual reports exact float64 identity, except that +0 and -0 are
+// treated as equal: the legacy sort-based paths ordered equal-comparing
+// signed zeros by sort-algorithm internals (sort.Float64s gives -0 < 0 no
+// meaning), so the sign of an exactly-zero output was never part of the
+// filter contract; numerically the two are equal and a ±0 descent-direction
+// coordinate steps identically.
+func bitwiseEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) && !(a[i] == 0 && b[i] == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzGradients draws a gradient set; mode 0 is plain Gaussian, mode 1
+// forces heavy value ties (small integer grid), mode 2 plants exact
+// symmetric pairs around coordinate medians to stress the Bulyan
+// equal-distance tie-break and quickselect duplicate handling.
+func fuzzGradients(r *rand.Rand, n, d, mode int) [][]float64 {
+	grads := make([][]float64, n)
+	for i := range grads {
+		grads[i] = make([]float64, d)
+		for j := range grads[i] {
+			switch mode {
+			case 1:
+				grads[i][j] = float64(r.Intn(5) - 2)
+			case 2:
+				v := float64(r.Intn(3))
+				if r.Intn(2) == 0 {
+					v = -v
+				}
+				grads[i][j] = v
+			default:
+				grads[i][j] = r.NormFloat64() * 3
+			}
+		}
+	}
+	if mode == 2 && n > 2 {
+		// Duplicate a couple of whole gradients: Krum score ties.
+		grads[n-1] = vecmath.Clone(grads[0])
+		grads[n-2] = vecmath.Clone(grads[1])
+	}
+	return grads
+}
+
+// TestIntoMatchesAggregateAndReference is the fuzz-style parity gate of the
+// scratch-space API: over randomized (n, d, f) grids — including tie-heavy
+// adversarial draws — every filter's AggregateInto output (through one
+// continuously reused Scratch) and Aggregate output must be bitwise
+// identical to the frozen pre-scratch reference implementation. Error cases
+// must agree on the sentinel too.
+func TestIntoMatchesAggregateAndReference(t *testing.T) {
+	r := rand.New(rand.NewSource(20260726))
+	scratch := &Scratch{} // deliberately shared across every size and filter
+	for _, n := range []int{3, 4, 5, 7, 8, 11, 12, 23} {
+		for _, d := range []int{1, 2, 7, 33} {
+			for _, f := range []int{0, 1, 2, 4} {
+				for mode := 0; mode < 3; mode++ {
+					grads := fuzzGradients(r, n, d, mode)
+					for _, fl := range parityFilters() {
+						want, refErr := refAggregate(fl, grads, f)
+						got, aggErr := fl.Aggregate(grads, f)
+						dst := make([]float64, d)
+						for i := range dst {
+							dst[i] = math.NaN() // canary: must be overwritten
+						}
+						intoErr := fl.AggregateInto(dst, grads, f, scratch)
+
+						if (refErr == nil) != (aggErr == nil) || (refErr == nil) != (intoErr == nil) {
+							t.Fatalf("%s n=%d d=%d f=%d mode=%d: error mismatch ref=%v agg=%v into=%v",
+								fl.Name(), n, d, f, mode, refErr, aggErr, intoErr)
+						}
+						if refErr != nil {
+							for _, e := range []error{aggErr, intoErr} {
+								if !errors.Is(e, ErrTooManyFaults) && !errors.Is(e, ErrInput) {
+									t.Fatalf("%s n=%d f=%d: unexpected sentinel %v (ref %v)", fl.Name(), n, f, e, refErr)
+								}
+							}
+							continue
+						}
+						if !bitwiseEqual(want, got) {
+							t.Fatalf("%s n=%d d=%d f=%d mode=%d: Aggregate diverges from reference\nref  %v\ngot  %v",
+								fl.Name(), n, d, f, mode, want, got)
+						}
+						if !bitwiseEqual(want, dst) {
+							t.Fatalf("%s n=%d d=%d f=%d mode=%d: AggregateInto diverges from reference\nref  %v\ngot  %v",
+								fl.Name(), n, d, f, mode, want, dst)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntoNilScratchAndDstChecks covers the convenience and error paths of
+// AggregateInto: nil Scratch behaves like a fresh one, and a wrong-sized
+// destination is rejected with ErrInput before any work happens.
+func TestIntoNilScratchAndDstChecks(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	grads := fuzzGradients(r, 9, 5, 0)
+	for _, fl := range parityFilters() {
+		want, err := fl.Aggregate(grads, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fl.Name(), err)
+		}
+		dst := make([]float64, 5)
+		if err := fl.AggregateInto(dst, grads, 1, nil); err != nil {
+			t.Fatalf("%s nil scratch: %v", fl.Name(), err)
+		}
+		if !bitwiseEqual(want, dst) {
+			t.Errorf("%s: nil-scratch result differs", fl.Name())
+		}
+		if err := fl.AggregateInto(make([]float64, 4), grads, 1, nil); !errors.Is(err, ErrInput) {
+			t.Errorf("%s: short dst got %v, want ErrInput", fl.Name(), err)
+		}
+		if err := fl.AggregateInto(dst, [][]float64{{math.NaN(), 0, 0, 0, 0}, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}}, 0, nil); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: NaN input got %v, want ErrNonFinite", fl.Name(), err)
+		}
+	}
+}
+
+// TestSelectKth fuzzes the deterministic quickselect against a full sort:
+// a[k] must be the k-th order statistic, the partition property must hold,
+// and the buffer must remain a permutation of the input.
+func TestSelectKth(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(60)
+		a := make([]float64, n)
+		for i := range a {
+			if trial%3 == 1 {
+				a[i] = float64(r.Intn(4)) // heavy duplicates
+			} else {
+				a[i] = r.NormFloat64()
+			}
+		}
+		sorted := append([]float64(nil), a...)
+		sort.Float64s(sorted)
+		k := r.Intn(n)
+		got := append([]float64(nil), a...)
+		selectKth(got, k)
+		if got[k] != sorted[k] {
+			t.Fatalf("trial %d: selectKth(%d) = %v, want %v", trial, k, got[k], sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if got[i] > got[k] {
+				t.Fatalf("trial %d: partition violated left of %d", trial, k)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if got[i] < got[k] {
+				t.Fatalf("trial %d: partition violated right of %d", trial, k)
+			}
+		}
+		check := append([]float64(nil), got...)
+		sort.Float64s(check)
+		for i := range check {
+			if check[i] != sorted[i] {
+				t.Fatalf("trial %d: selectKth lost elements", trial)
+			}
+		}
+	}
+}
+
+// TestTrimMiddleMatchesSort pins trimMiddle's window — the exact basis of
+// CWTM's bitwise contract — to the fully sorted column.
+func TestTrimMiddleMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + r.Intn(40)
+		f := r.Intn(n / 2)
+		if n-2*f <= 0 {
+			continue
+		}
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = float64(r.Intn(6)) - 2.5
+		}
+		sorted := append([]float64(nil), a...)
+		sort.Float64s(sorted)
+		got := append([]float64(nil), a...)
+		trimMiddle(got, f)
+		for i := f; i < n-f; i++ {
+			if got[i] != sorted[i] {
+				t.Fatalf("trial %d n=%d f=%d: window[%d] = %v, want %v", trial, n, f, i, got[i], sorted[i])
+			}
+		}
+	}
+}
+
+// TestAggregateIntoAllocs pins the scratch-space contract: with a warm
+// Scratch and sequential workers, AggregateInto performs zero heap
+// allocations for every registered filter.
+func TestAggregateIntoAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n, d, f = 11, 32, 1
+	grads := fuzzGradients(r, n, d, 0)
+	for _, fl := range parityFilters() {
+		scratch := &Scratch{}
+		dst := make([]float64, d)
+		if err := fl.AggregateInto(dst, grads, f, scratch); err != nil {
+			t.Fatalf("%s warmup: %v", fl.Name(), err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := fl.AggregateInto(dst, grads, f, scratch); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op with warm scratch, want 0", fl.Name(), allocs)
+		}
+	}
+}

@@ -42,36 +42,37 @@ func resolveWorkers(workers, work, threshold int) int {
 }
 
 // pairwiseDistSq returns the symmetric n x n matrix of squared Euclidean
-// distances between gradients, the O(n²·d) kernel shared by the Krum
-// family and Bulyan. Rows are striped across workers; every (i, j) entry
-// is computed independently and written exactly once, so the matrix is
-// bitwise identical at any worker count. Dimensions must have been
-// validated by the caller.
+// distances between gradients; the allocating face of pairwiseDistSqInto,
+// kept for callers without a Scratch.
 func pairwiseDistSq(grads [][]float64, workers int) [][]float64 {
 	n := len(grads)
 	d2 := make([][]float64, n)
 	for i := range d2 {
 		d2[i] = make([]float64, n)
 	}
-	fillRow := func(i int) {
-		gi := grads[i]
-		for j := i + 1; j < n; j++ {
-			gj := grads[j]
-			var s float64
-			for k, v := range gi {
-				dv := v - gj[k]
-				s += dv * dv
-			}
-			d2[i][j] = s
-			d2[j][i] = s
-		}
-	}
+	pairwiseDistSqInto(d2, grads, workers)
+	return d2
+}
+
+// pairwiseDistSqInto fills d2 — an n x n matrix the caller owns, typically
+// Scratch.distMatrix — with the squared Euclidean distances between
+// gradients, the O(n²·d) kernel shared by the Krum family and Bulyan. Every
+// entry including the diagonal is overwritten, so stale scratch contents
+// cannot leak. Rows are striped across workers; every (i, j) entry is
+// computed independently and written exactly once, so the matrix is bitwise
+// identical at any worker count. Dimensions must have been validated by the
+// caller.
+func pairwiseDistSqInto(d2 [][]float64, grads [][]float64, workers int) {
+	n := len(grads)
 	if workers <= 1 || n <= 1 {
+		// Inline sequential path: no closure is materialized, keeping the
+		// scratch-backed call literally allocation-free.
 		for i := 0; i < n; i++ {
-			fillRow(i)
+			pairwiseFillRow(d2, grads, i)
 		}
-		return d2
+		return
 	}
+	fillRow := func(i int) { pairwiseFillRow(d2, grads, i) }
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -83,5 +84,21 @@ func pairwiseDistSq(grads [][]float64, workers int) [][]float64 {
 		}(w)
 	}
 	wg.Wait()
-	return d2
+}
+
+// pairwiseFillRow computes row i of the distance matrix: entries (i, j) for
+// j > i, mirrored to (j, i), plus the zero diagonal entry.
+func pairwiseFillRow(d2 [][]float64, grads [][]float64, i int) {
+	d2[i][i] = 0
+	gi := grads[i]
+	for j := i + 1; j < len(grads); j++ {
+		gj := grads[j]
+		var s float64
+		for k, v := range gi {
+			dv := v - gj[k]
+			s += dv * dv
+		}
+		d2[i][j] = s
+		d2[j][i] = s
+	}
 }

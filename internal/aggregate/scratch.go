@@ -1,0 +1,203 @@
+package aggregate
+
+import "slices"
+
+// Scratch owns every temporary a filter needs for one aggregation call:
+// the n×n pairwise-distance matrix of the Krum family, index/score/norm
+// buffers, per-coordinate column buffers, Weiszfeld iterates and weights, and
+// the slice-header tables of Bulyan's iterated selection. A Scratch handed to
+// AggregateInto (see IntoFilter) is (re)sized lazily and reused across calls,
+// so a steady-state round loop performs zero heap allocations once the
+// buffers are warm. Buffers grow monotonically: a Scratch that has served an
+// (n, d) job serves any smaller job without touching the allocator, and sizes
+// may change freely between calls.
+//
+// A Scratch is owned by one goroutine at a time — reuse it across sequential
+// calls, never across concurrent ones. Filters whose Workers field fans the
+// inner kernels out across goroutines still accept a Scratch (the buffers are
+// partitioned per worker exactly as the allocating path partitions them), but
+// the fan-out itself allocates; the zero-allocation guarantee holds for the
+// sequential (effective workers == 1) path.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	// Pairwise distance matrix (Krum, MultiKrum, Bulyan): distRows[i] is a
+	// stride-n window into distBuf. distN remembers the stride so reshaping
+	// only happens when n changes.
+	distBuf  []float64
+	distRows [][]float64
+	distN    int
+
+	idx     []int     // index sorts (CGE, MultiKrum)
+	norms   []float64 // CGE norms, CenteredClip distances
+	scores  []float64 // Krum scores
+	row     []float64 // Krum per-point neighbor distances
+	col     []float64 // per-coordinate columns (CWTM, CWMedian, Bulyan)
+	weights []float64 // Weiszfeld weights
+	vecA    []float64 // d-sized temporary (Weiszfeld iterate, CenteredClip diff)
+	vecB    []float64 // d-sized temporary (Weiszfeld update, CenteredClip step)
+
+	heads  [][]float64 // Bulyan's shrinking candidate table
+	heads2 [][]float64 // Bulyan's selected table
+
+	meansBuf []float64   // GeoMedianOfMeans bucket-mean arena
+	means    [][]float64 // rows into meansBuf
+}
+
+// growFloats returns buf resliced to length n, reallocating only when the
+// capacity is insufficient. The returned buffer's contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for index buffers.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growHeads is growFloats for slice-header tables.
+func growHeads(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}
+
+// distMatrix returns the n×n distance matrix, reshaping the row windows only
+// when n changes. Entries are unspecified; pairwiseDistSqInto overwrites the
+// full matrix including the diagonal.
+func (s *Scratch) distMatrix(n int) [][]float64 {
+	if s.distN == n && len(s.distRows) == n {
+		return s.distRows
+	}
+	s.distBuf = growFloats(s.distBuf, n*n)
+	s.distRows = growHeads(s.distRows, n)
+	for i := 0; i < n; i++ {
+		s.distRows[i] = s.distBuf[i*n : (i+1)*n : (i+1)*n]
+	}
+	s.distN = n
+	return s.distRows
+}
+
+// meanRows returns a groups×d table of bucket-mean rows backed by one arena.
+func (s *Scratch) meanRows(groups, d int) [][]float64 {
+	s.meansBuf = growFloats(s.meansBuf, groups*d)
+	s.means = growHeads(s.means, groups)
+	for i := 0; i < groups; i++ {
+		s.means[i] = s.meansBuf[i*d : (i+1)*d : (i+1)*d]
+	}
+	return s.means
+}
+
+// --- deterministic partial selection ---
+
+// selectKth partially sorts a in place so that a[k] holds the value a full
+// ascending sort would place at index k, every element before it is <= a[k],
+// and every element after is >= a[k]. Because equal floats are
+// interchangeable, any computation that consumes the k smallest (or largest)
+// values as a multiset — or sorts a partition before consuming it — produces
+// results bitwise identical to the fully-sorted path. The input must be
+// NaN-free (validate guarantees that for filter inputs).
+//
+// Deterministic median-of-three quickselect with an insertion-sort tail:
+// no randomness (Definition 2 requires deterministic filters), no
+// allocation.
+func selectKth(a []float64, k int) {
+	lo, hi := 0, len(a)-1
+	for hi-lo >= selectInsertionCutoff {
+		mid := lo + (hi-lo)/2
+		// Median-of-three: order a[lo], a[mid], a[hi].
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		// Hoare partition.
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// a[lo..j] <= pivot <= a[i..hi]; anything strictly between equals
+		// the pivot, so landing there means a[k] is already in place.
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	insertionSort(a[lo : hi+1])
+}
+
+// selectInsertionCutoff is the subrange length below which selectKth falls
+// back to a full insertion sort of the remaining window.
+const selectInsertionCutoff = 12
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// medianInPlace returns the median of col — the value(s) a full sort would
+// put at the middle position(s) — partially reordering col via selectKth.
+// Bitwise identical to sorting and reading col[n/2] (odd) or averaging
+// col[n/2-1] and col[n/2] (even), because equal floats are interchangeable.
+func medianInPlace(col []float64) float64 {
+	n := len(col)
+	m := n / 2
+	selectKth(col, m)
+	hi := col[m]
+	if n%2 == 1 {
+		return hi
+	}
+	// Even: the (m-1)-th order statistic is the largest of the m smallest,
+	// which selectKth left in col[:m].
+	lo := col[0]
+	for _, v := range col[1:m] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// trimMiddle partitions col so that col[f:n-f] holds, in ascending order,
+// exactly the values a full sort would place there: the two selectKth calls
+// cut away the f smallest and f largest values as multisets, and the middle
+// window is then sorted. Summing col[f:n-f] afterwards is bitwise identical
+// to summing the same window of a fully sorted column, since the discarded
+// extremes are never read and equal floats are interchangeable.
+func trimMiddle(col []float64, f int) {
+	n := len(col)
+	if f > 0 {
+		selectKth(col, f)
+		selectKth(col[f:], n-2*f)
+	}
+	slices.Sort(col[f : n-f])
+}

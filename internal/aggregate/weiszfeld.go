@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"errors"
 	"math"
 	"sync"
 
@@ -33,38 +34,70 @@ func resolveWeiszfeldWorkers(workers, n, d int) int {
 }
 
 // weiszfeld runs the Weiszfeld fixed-point iteration for the geometric
-// median of the given points, batching each iteration's work across the
-// worker pool: point distances are striped across points (each distance
-// computed whole by one worker) and the weighted accumulation is striped
-// across coordinates (each coordinate accumulated in full point order by
-// one worker). Both stripings preserve the sequential operation order per
-// output value, so the result is bitwise identical at any worker count —
-// the same guarantee the pairwise-distance kernel gives the Krum family.
+// median of the given points; the allocating face of weiszfeldInto, kept for
+// callers without a Scratch.
 func weiszfeld(points [][]float64, tol float64, workers int) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, errors.New("vecmath: mean of zero vectors")
+	}
+	out := make([]float64, len(points[0]))
+	if err := weiszfeldInto(out, points, tol, workers, new(Scratch)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// weiszfeldInto runs the Weiszfeld fixed-point iteration for the geometric
+// median of the given points, writing the result into dst and drawing the
+// iterate, accumulator, and weight buffers from s (the two d-sized iterates
+// ping-pong between s.vecA and s.vecB instead of allocating per iteration).
+// Each iteration's work is batched across the worker pool: point distances
+// are striped across points (each distance computed whole by one worker) and
+// the weighted accumulation is striped across coordinates (each coordinate
+// accumulated in full point order by one worker). Both stripings preserve
+// the sequential operation order per output value, so the result is bitwise
+// identical at any worker count — the same guarantee the pairwise-distance
+// kernel gives the Krum family. With one worker the phases run as inline
+// loops and the call is allocation-free on a warm Scratch.
+func weiszfeldInto(dst []float64, points [][]float64, tol float64, workers int, s *Scratch) error {
 	if tol <= 0 {
 		tol = 1e-10
 	}
-	y, err := vecmath.Mean(points)
-	if err != nil {
-		return nil, err
+	n, d := len(points), len(dst)
+	s.vecA = growFloats(s.vecA, d)
+	s.vecB = growFloats(s.vecB, d)
+	y, num := s.vecA, s.vecB
+	if err := vecmath.MeanInto(y, points); err != nil {
+		return err
 	}
-	n, d := len(points), len(y)
 	workers = resolveWeiszfeldWorkers(workers, n, d)
 	const eps = 1e-12 // distance floor, avoids division blow-up at a point
-	weights := make([]float64, n)
+	s.weights = growFloats(s.weights, n)
+	weights := s.weights
 	for iter := 0; iter < weiszfeldMaxIter; iter++ {
 		// Phase 1: per-point distances to the current iterate. Each entry
 		// is computed entirely by one worker, exactly as the sequential
 		// loop would.
-		if err := weiszfeldStripe(workers, n, func(i int) error {
-			dist, err := vecmath.Dist(points[i], y)
-			if err != nil {
+		if workers <= 1 {
+			for i := 0; i < n; i++ {
+				dist, err := vecmath.Dist(points[i], y)
+				if err != nil {
+					return err
+				}
+				weights[i] = 1 / math.Max(dist, eps)
+			}
+		} else {
+			yCur := y
+			if err := weiszfeldStripe(workers, n, func(i int) error {
+				dist, err := vecmath.Dist(points[i], yCur)
+				if err != nil {
+					return err
+				}
+				weights[i] = 1 / math.Max(dist, eps)
+				return nil
+			}); err != nil {
 				return err
 			}
-			weights[i] = 1 / math.Max(dist, eps)
-			return nil
-		}); err != nil {
-			return nil, err
 		}
 		var den float64
 		for _, w := range weights {
@@ -73,28 +106,39 @@ func weiszfeld(points [][]float64, tol float64, workers int) ([]float64, error) 
 		// Phase 2: the weighted sum num[j] = sum_i weights[i]·points[i][j],
 		// striped across coordinates with the inner loop in ascending point
 		// order — the same association order as the sequential Axpy loop.
-		num := make([]float64, d)
-		if err := weiszfeldStripe(workers, d, func(j int) error {
-			var s float64
-			for i := 0; i < n; i++ {
-				s += weights[i] * points[i][j]
+		if workers <= 1 {
+			for j := 0; j < d; j++ {
+				var sum float64
+				for i := 0; i < n; i++ {
+					sum += weights[i] * points[i][j]
+				}
+				num[j] = sum
 			}
-			num[j] = s
-			return nil
-		}); err != nil {
-			return nil, err
+		} else {
+			numCur := num
+			if err := weiszfeldStripe(workers, d, func(j int) error {
+				var sum float64
+				for i := 0; i < n; i++ {
+					sum += weights[i] * points[i][j]
+				}
+				numCur[j] = sum
+				return nil
+			}); err != nil {
+				return err
+			}
 		}
 		vecmath.ScaleInPlace(1/den, num)
 		moved, err := vecmath.Dist(num, y)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		y = num
+		y, num = num, y
 		if moved < tol {
 			break
 		}
 	}
-	return y, nil
+	copy(dst, y)
+	return nil
 }
 
 // weiszfeldStripe runs fn(i) for i in [0, count), striped across the worker

@@ -133,9 +133,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 
 	x := vecmath.Clone(cfg.X0)
 	if cfg.Box != nil {
-		var err error
-		x, err = cfg.Box.Project(x)
-		if err != nil {
+		if err := cfg.Box.ProjectInPlace(x); err != nil {
 			return nil, fmt.Errorf("projecting x0: %w", err)
 		}
 	}
@@ -146,10 +144,23 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		live[i] = i
 	}
 	f := cfg.F
-	// slots[agent] holds the agent's reply for the current round; grads is
-	// the filter input rebuilt from it in agent-index order each round.
+	// Per-round buffers, allocated once and reused for the whole run:
+	// slots[agent] holds the agent's reply for the current round, grads is
+	// the filter input rebuilt from it in agent-index order, replies is the
+	// reply channel (fully drained every round, so reuse is safe), silent
+	// collects the round's deadline misses, and — when the filter supports
+	// the Into face — scratch and dirBuf serve the aggregation.
 	slots := make([][]float64, len(cfg.Conns))
 	grads := make([][]float64, 0, len(cfg.Conns))
+	replies := make(chan roundReply, len(cfg.Conns))
+	silent := make([]int, 0, len(cfg.Conns))
+	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	var scratch *aggregate.Scratch
+	var dirBuf []float64
+	if hasInto {
+		scratch = new(aggregate.Scratch)
+		dirBuf = make([]float64, len(x))
+	}
 
 	res := &Result{}
 	record := func(t int) error {
@@ -171,14 +182,13 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		// That determinism is what lets a cluster run reproduce an
 		// in-process run byte for byte.
 		roundCtx, cancel := context.WithTimeout(ctx, timeout)
-		replies := make(chan roundReply, len(live))
 		for _, idx := range live {
 			go func(idx int) {
 				g, err := cfg.Conns[idx].RequestGradient(roundCtx, t, x)
 				replies <- roundReply{agent: idx, gradient: g, err: err}
 			}(idx)
 		}
-		var silent []int
+		silent = silent[:0]
 		for range live {
 			rep := <-replies
 			switch {
@@ -214,7 +224,14 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			grads = append(grads, slots[idx])
 		}
 
-		dir, err := cfg.Filter.Aggregate(grads, f)
+		var dir []float64
+		var err error
+		if hasInto {
+			err = intoFilter.AggregateInto(dirBuf, grads, f, scratch)
+			dir = dirBuf
+		} else {
+			dir, err = cfg.Filter.Aggregate(grads, f)
+		}
 		if err != nil {
 			if errors.Is(err, aggregate.ErrNonFinite) {
 				// Mirror dgd.Run: a NaN/Inf report is the gradient-level
@@ -231,8 +248,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		if cfg.Box != nil {
-			x, err = cfg.Box.Project(x)
-			if err != nil {
+			if err := cfg.Box.ProjectInPlace(x); err != nil {
 				return nil, err
 			}
 		}

@@ -47,6 +47,22 @@ type Differentiable interface {
 	Grad(x []float64) ([]float64, error)
 }
 
+// GradIntoer is an optional Differentiable extension: GradInto writes the
+// gradient at x into dst (length Dim) instead of allocating it, producing
+// bitwise-identical values to Grad. It is what lets the DGD engines run
+// their steady-state round loop without heap allocations (see
+// dgd.IntoAgent).
+//
+// Implementations may reuse internal scratch buffers between calls, so a
+// single cost value must not serve concurrent GradInto calls; the engines
+// only invoke it from their sequential collection path. Every concrete cost
+// in this package implements GradIntoer.
+type GradIntoer interface {
+	Differentiable
+	// GradInto writes the gradient (or a subgradient) of Q at x into dst.
+	GradInto(dst, x []float64) error
+}
+
 // Minimizable is implemented by costs with a closed-form minimizer, such as
 // full-rank least squares. The redundancy machinery uses it to compute the
 // subset argmins x_S exactly.
@@ -64,11 +80,14 @@ type Minimizable interface {
 type LeastSquares struct {
 	a *matrix.Matrix
 	b []float64
+	// res is the residual scratch for GradInto, sized lazily to Rows; it is
+	// what makes repeated gradient calls allocation-free.
+	res []float64
 }
 
 var (
-	_ Differentiable = (*LeastSquares)(nil)
-	_ Minimizable    = (*LeastSquares)(nil)
+	_ GradIntoer  = (*LeastSquares)(nil)
+	_ Minimizable = (*LeastSquares)(nil)
 )
 
 // NewLeastSquares builds the cost ||b - A x||^2.
@@ -106,21 +125,48 @@ func (q *LeastSquares) Eval(x []float64) (float64, error) {
 	return vecmath.NormSq(res), nil
 }
 
-// Grad returns -2 A' (b - A x).
+// Grad returns -2 A' (b - A x). Unlike GradInto it allocates its own
+// temporaries, so it stays safe for concurrent calls on a shared cost.
 func (q *LeastSquares) Grad(x []float64) ([]float64, error) {
-	if len(x) != q.Dim() {
-		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), q.Dim(), ErrDimension)
-	}
-	res, err := matrix.Residual(q.a, x, q.b)
-	if err != nil {
+	g := make([]float64, q.Dim())
+	if err := q.gradInto(g, x, make([]float64, q.a.Rows())); err != nil {
 		return nil, err
 	}
-	g, err := q.a.T().MulVec(res)
-	if err != nil {
-		return nil, err
-	}
-	vecmath.ScaleInPlace(-2, g)
 	return g, nil
+}
+
+// GradInto writes -2 A' (b - A x) into dst without allocating: the residual
+// lands in an internal scratch buffer and the transposed product is computed
+// in place, in the same accumulation order as the allocating route, so the
+// values are bitwise identical.
+func (q *LeastSquares) GradInto(dst, x []float64) error {
+	rows := q.a.Rows()
+	if cap(q.res) < rows {
+		q.res = make([]float64, rows)
+	}
+	return q.gradInto(dst, x, q.res[:rows])
+}
+
+// gradInto is the shared gradient core; res is the rows-sized residual
+// buffer the caller owns.
+func (q *LeastSquares) gradInto(dst, x, res []float64) error {
+	if len(x) != q.Dim() {
+		return fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), q.Dim(), ErrDimension)
+	}
+	if len(dst) != q.Dim() {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), q.Dim(), ErrDimension)
+	}
+	if err := q.a.MulVecInto(res, x); err != nil {
+		return err
+	}
+	for i := range res {
+		res[i] = q.b[i] - res[i]
+	}
+	if err := q.a.MulTVecInto(dst, res); err != nil {
+		return err
+	}
+	vecmath.ScaleInPlace(-2, dst)
+	return nil
 }
 
 // Hessian returns the constant Hessian 2 A'A.
@@ -193,14 +239,25 @@ func (f *QuadraticForm) Eval(x []float64) (float64, error) {
 
 // Grad returns Px + q.
 func (f *QuadraticForm) Grad(x []float64) ([]float64, error) {
-	if len(x) != f.Dim() {
-		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), f.Dim(), ErrDimension)
-	}
-	px, err := f.p.MulVec(x)
-	if err != nil {
+	g := make([]float64, f.Dim())
+	if err := f.GradInto(g, x); err != nil {
 		return nil, err
 	}
-	return vecmath.Add(px, f.q)
+	return g, nil
+}
+
+// GradInto writes Px + q into dst without allocating.
+func (f *QuadraticForm) GradInto(dst, x []float64) error {
+	if len(x) != f.Dim() {
+		return fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(x), f.Dim(), ErrDimension)
+	}
+	if len(dst) != f.Dim() {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), f.Dim(), ErrDimension)
+	}
+	if err := f.p.MulVecInto(dst, x); err != nil {
+		return err
+	}
+	return vecmath.AddInPlace(dst, f.q)
 }
 
 // Minimum solves Px = -q. It errors when P is singular.
@@ -273,22 +330,37 @@ func (l *Logistic) Eval(w []float64) (float64, error) {
 
 // Grad returns the gradient of the regularized mean logistic loss.
 func (l *Logistic) Grad(w []float64) ([]float64, error) {
-	if len(w) != l.Dim() {
-		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), l.Dim(), ErrDimension)
+	g := make([]float64, l.Dim())
+	if err := l.GradInto(g, w); err != nil {
+		return nil, err
 	}
-	g := vecmath.Scale(l.reg, w)
+	return g, nil
+}
+
+// GradInto writes the gradient of the regularized mean logistic loss into
+// dst without allocating.
+func (l *Logistic) GradInto(dst, w []float64) error {
+	if len(w) != l.Dim() {
+		return fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), l.Dim(), ErrDimension)
+	}
+	if len(dst) != l.Dim() {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), l.Dim(), ErrDimension)
+	}
+	for i := range dst {
+		dst[i] = l.reg * w[i]
+	}
 	for i, x := range l.xs {
 		wx, err := vecmath.Dot(w, x)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// d/dw log(1+exp(-y wx)) = -y sigmoid(-y wx) x
 		coeff := -l.ys[i] * sigmoid(-l.ys[i]*wx) * l.weight
-		if err := vecmath.AxpyInPlace(g, coeff, x); err != nil {
-			return nil, err
+		if err := vecmath.AxpyInPlace(dst, coeff, x); err != nil {
+			return err
 		}
 	}
-	return g, nil
+	return nil
 }
 
 // --- hinge loss (SVM) ---
@@ -351,22 +423,37 @@ func (h *Hinge) Eval(w []float64) (float64, error) {
 
 // Grad returns a subgradient of the regularized mean hinge loss.
 func (h *Hinge) Grad(w []float64) ([]float64, error) {
-	if len(w) != h.Dim() {
-		return nil, fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), h.Dim(), ErrDimension)
+	g := make([]float64, h.Dim())
+	if err := h.GradInto(g, w); err != nil {
+		return nil, err
 	}
-	g := vecmath.Scale(h.reg, w)
+	return g, nil
+}
+
+// GradInto writes a subgradient of the regularized mean hinge loss into dst
+// without allocating.
+func (h *Hinge) GradInto(dst, w []float64) error {
+	if len(w) != h.Dim() {
+		return fmt.Errorf("costfunc: grad at dim %d, want %d: %w", len(w), h.Dim(), ErrDimension)
+	}
+	if len(dst) != h.Dim() {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), h.Dim(), ErrDimension)
+	}
+	for i := range dst {
+		dst[i] = h.reg * w[i]
+	}
 	for i, x := range h.xs {
 		wx, err := vecmath.Dot(w, x)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if 1-h.ys[i]*wx > 0 {
-			if err := vecmath.AxpyInPlace(g, -h.ys[i]*h.weight, x); err != nil {
-				return nil, err
+			if err := vecmath.AxpyInPlace(dst, -h.ys[i]*h.weight, x); err != nil {
+				return err
 			}
 		}
 	}
-	return g, nil
+	return nil
 }
 
 // --- combinators ---
@@ -376,9 +463,11 @@ func (h *Hinge) Grad(w []float64) ([]float64, error) {
 type Sum struct {
 	terms []Differentiable
 	dim   int
+	// buf is the per-term gradient scratch for GradInto, sized lazily.
+	buf []float64
 }
 
-var _ Differentiable = (*Sum)(nil)
+var _ GradIntoer = (*Sum)(nil)
 
 // NewSum aggregates the given costs; they must share a dimension.
 func NewSum(terms ...Differentiable) (*Sum, error) {
@@ -418,7 +507,9 @@ func (s *Sum) Eval(x []float64) (float64, error) {
 	return total, nil
 }
 
-// Grad returns sum_i grad Q_i(x).
+// Grad returns sum_i grad Q_i(x). Unlike GradInto it touches no receiver
+// scratch (each term's own Grad allocates), so it stays safe for concurrent
+// calls on a shared cost.
 func (s *Sum) Grad(x []float64) ([]float64, error) {
 	g := vecmath.Zeros(s.dim)
 	for i, f := range s.terms {
@@ -433,6 +524,42 @@ func (s *Sum) Grad(x []float64) ([]float64, error) {
 	return g, nil
 }
 
+// GradInto writes sum_i grad Q_i(x) into dst, routing each term through its
+// own GradInto when available (an internal scratch buffer receives the term
+// gradients) and falling back to Grad otherwise. Term order and accumulation
+// order match Grad's, so the result is bitwise identical.
+func (s *Sum) GradInto(dst, x []float64) error {
+	if len(dst) != s.dim {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), s.dim, ErrDimension)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, f := range s.terms {
+		if ig, ok := f.(GradIntoer); ok {
+			if cap(s.buf) < s.dim {
+				s.buf = make([]float64, s.dim)
+			}
+			buf := s.buf[:s.dim]
+			if err := ig.GradInto(buf, x); err != nil {
+				return fmt.Errorf("sum term %d: %w", i, err)
+			}
+			if err := vecmath.AddInPlace(dst, buf); err != nil {
+				return err
+			}
+			continue
+		}
+		gi, err := f.Grad(x)
+		if err != nil {
+			return fmt.Errorf("sum term %d: %w", i, err)
+		}
+		if err := vecmath.AddInPlace(dst, gi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Scale wraps a cost multiplied by a positive constant (e.g. the 1/|H|
 // average of Assumption 3).
 type Scale struct {
@@ -440,7 +567,7 @@ type Scale struct {
 	alpha float64
 }
 
-var _ Differentiable = (*Scale)(nil)
+var _ GradIntoer = (*Scale)(nil)
 
 // NewScale builds alpha * f.
 func NewScale(alpha float64, f Differentiable) (*Scale, error) {
@@ -470,6 +597,28 @@ func (s *Scale) Grad(x []float64) ([]float64, error) {
 	}
 	vecmath.ScaleInPlace(s.alpha, g)
 	return g, nil
+}
+
+// GradInto writes alpha * grad f(x) into dst, routing through the wrapped
+// cost's GradInto when available.
+func (s *Scale) GradInto(dst, x []float64) error {
+	if ig, ok := s.f.(GradIntoer); ok {
+		if err := ig.GradInto(dst, x); err != nil {
+			return err
+		}
+		vecmath.ScaleInPlace(s.alpha, dst)
+		return nil
+	}
+	g, err := s.f.Grad(x)
+	if err != nil {
+		return err
+	}
+	if len(g) != len(dst) {
+		return fmt.Errorf("costfunc: grad into dim %d, want %d: %w", len(dst), len(g), ErrDimension)
+	}
+	copy(dst, g)
+	vecmath.ScaleInPlace(s.alpha, dst)
+	return nil
 }
 
 // --- analysis helpers ---

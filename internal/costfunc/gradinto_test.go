@@ -1,0 +1,226 @@
+package costfunc
+
+// Parity and allocation tests for the GradInto oracles: every concrete cost
+// must write bitwise-identical values to what Grad returns, and repeated
+// calls must not touch the allocator.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"byzopt/internal/matrix"
+)
+
+// gradIntoCosts builds one instance of every concrete cost over dimension d.
+func gradIntoCosts(t *testing.T, r *rand.Rand, d int) map[string]GradIntoer {
+	t.Helper()
+	rows := 2 + r.Intn(4)
+	data := make([]float64, rows*d)
+	for i := range data {
+		data[i] = r.NormFloat64()
+	}
+	a, err := matrix.New(rows, d, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, rows)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	ls, err := NewLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram := a.Gram()
+	q := make([]float64, d)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	qf, err := NewQuadraticForm(gram, q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([][]float64, 6)
+	ys := make([]float64, 6)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = r.NormFloat64()
+		}
+		ys[i] = float64(1 - 2*(i%2))
+	}
+	lg, err := NewLogistic(pts, ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := NewHinge(pts, ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := NewSum(ls, qf, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScale(0.37, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]GradIntoer{
+		"leastsquares": ls,
+		"quadratic":    qf,
+		"logistic":     lg,
+		"hinge":        hg,
+		"sum":          sum,
+		"scale":        sc,
+	}
+}
+
+// TestGradIntoMatchesGrad fuzzes every cost: GradInto must be bitwise
+// identical to Grad at random points, through repeated scratch-reusing
+// calls.
+func TestGradIntoMatchesGrad(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	for _, d := range []int{1, 3, 9, 24} {
+		costs := gradIntoCosts(t, r, d)
+		for name, cost := range costs {
+			dst := make([]float64, d)
+			for trial := 0; trial < 20; trial++ {
+				x := make([]float64, d)
+				for i := range x {
+					x[i] = r.NormFloat64() * 2
+				}
+				want, err := cost.Grad(x)
+				if err != nil {
+					t.Fatalf("%s d=%d: Grad: %v", name, d, err)
+				}
+				if err := cost.GradInto(dst, x); err != nil {
+					t.Fatalf("%s d=%d: GradInto: %v", name, d, err)
+				}
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(dst[i]) {
+						t.Fatalf("%s d=%d trial %d: coord %d differs: Grad %v GradInto %v",
+							name, d, trial, i, want[i], dst[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGradIntoDimensionChecks pins the error contract: wrong x or dst
+// dimensions are rejected with ErrDimension and dst is left untouched on
+// the x-dimension error path.
+func TestGradIntoDimensionChecks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	costs := gradIntoCosts(t, r, 4)
+	for name, cost := range costs {
+		if err := cost.GradInto(make([]float64, 4), make([]float64, 5)); !errors.Is(err, ErrDimension) {
+			t.Errorf("%s: wrong x dim got %v, want ErrDimension", name, err)
+		}
+		if err := cost.GradInto(make([]float64, 3), make([]float64, 4)); !errors.Is(err, ErrDimension) {
+			t.Errorf("%s: wrong dst dim got %v, want ErrDimension", name, err)
+		}
+	}
+}
+
+// TestGradIntoAllocs proves the oracle contract the engine's arena relies
+// on: after the first (lazily sizing) call, GradInto allocates nothing.
+func TestGradIntoAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	costs := gradIntoCosts(t, r, 16)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for name, cost := range costs {
+		dst := make([]float64, 16)
+		if err := cost.GradInto(dst, x); err != nil {
+			t.Fatalf("%s warmup: %v", name, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := cost.GradInto(dst, x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSumGradIntoMixedTerms checks the fallback branch: a Sum holding a
+// term without GradInto still matches Grad bitwise.
+func TestSumGradIntoMixedTerms(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	costs := gradIntoCosts(t, r, 6)
+	plain := plainDifferentiable{inner: costs["quadratic"]}
+	sum, err := NewSum(costs["leastsquares"], plain, costs["hinge"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want, err := sum.Grad(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 6)
+	if err := sum.GradInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(dst[i]) {
+			t.Fatalf("mixed sum coord %d differs: %v vs %v", i, want[i], dst[i])
+		}
+	}
+}
+
+// TestGradStaysConcurrencySafe pins the long-standing Grad contract the
+// scratch-backed GradInto must not erode: concurrent Grad calls on one
+// shared cost value are safe (the engine's Workers > 1 path relies on it).
+// Meaningful under -race.
+func TestGradStaysConcurrencySafe(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	costs := gradIntoCosts(t, r, 8)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for name, cost := range costs {
+		want, err := cost.Grad(x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		done := make(chan []float64, 8)
+		for w := 0; w < 8; w++ {
+			go func() {
+				g, err := cost.Grad(x)
+				if err != nil {
+					t.Error(err)
+				}
+				done <- g
+			}()
+		}
+		for w := 0; w < 8; w++ {
+			g := <-done
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(g[i]) {
+					t.Fatalf("%s: concurrent Grad corrupted coord %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+// plainDifferentiable hides a cost's GradInto face.
+type plainDifferentiable struct{ inner Differentiable }
+
+func (p plainDifferentiable) Dim() int { return p.inner.Dim() }
+
+func (p plainDifferentiable) Eval(x []float64) (float64, error) { return p.inner.Eval(x) }
+
+func (p plainDifferentiable) Grad(x []float64) ([]float64, error) { return p.inner.Grad(x) }

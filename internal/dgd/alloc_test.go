@@ -1,0 +1,262 @@
+package dgd
+
+// Gates for the zero-allocation steady-state round loop: with Into-capable
+// agents and an Into-capable filter, a round of the in-process engine must
+// perform zero heap allocations, and the Into path must be bitwise
+// indistinguishable from the legacy allocating path.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/costfunc"
+	"byzopt/internal/vecmath"
+)
+
+// legacyAgent strips every Into face off an agent, forcing the engine's
+// allocating fallback (honest side).
+type legacyAgent struct{ inner Agent }
+
+func (l legacyAgent) Gradient(round int, x []float64) ([]float64, error) {
+	return l.inner.Gradient(round, x)
+}
+
+// legacyFaultyAgent strips the Into faces while staying Faulty.
+type legacyFaultyAgent struct{ inner Faulty }
+
+func (l legacyFaultyAgent) Gradient(round int, x []float64) ([]float64, error) {
+	return l.inner.Gradient(round, x)
+}
+
+func (l legacyFaultyAgent) FaultyGradient(round, agent int, x []float64, honest [][]float64) ([]float64, error) {
+	return l.inner.FaultyGradient(round, agent, x, honest)
+}
+
+// legacyFilter strips the IntoFilter face off a filter, forcing the
+// engines' allocating aggregation path.
+type legacyFilter struct{ inner aggregate.Filter }
+
+func (l legacyFilter) Name() string { return l.inner.Name() }
+
+func (l legacyFilter) Aggregate(grads [][]float64, f int) ([]float64, error) {
+	return l.inner.Aggregate(grads, f)
+}
+
+// stripInto converts an agent list to its legacy faces.
+func stripInto(agents []Agent) []Agent {
+	out := make([]Agent, len(agents))
+	for i, a := range agents {
+		if fa, ok := a.(Faulty); ok {
+			out[i] = legacyFaultyAgent{inner: fa}
+		} else {
+			out[i] = legacyAgent{inner: a}
+		}
+	}
+	return out
+}
+
+// allocConfig builds the steady-state workload: n single-observation
+// regression agents (Into-capable through costfunc's GradInto), CWTM, a box,
+// and a reference-distance trace.
+func allocConfig(tb testing.TB, n, d, rounds int) Config {
+	tb.Helper()
+	r := rand.New(rand.NewSource(31))
+	agents := make([]Agent, n)
+	for i := range agents {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		cost, err := costfunc.NewSingleRowLeastSquares(row, r.NormFloat64())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		agents[i], err = NewHonest(cost)
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	box, err := vecmath.NewCube(d, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Config{
+		Agents:    agents,
+		F:         1,
+		Filter:    aggregate.CWTM{},
+		Box:       box,
+		X0:        make([]float64, d),
+		Rounds:    rounds,
+		Reference: vecmath.Ones(d),
+	}
+}
+
+// TestSteadyStateAllocs proves the tentpole claim: once per-run setup is
+// paid, an in-process DGD round with Into-capable agents and an
+// Into-capable filter allocates nothing. Measured as the difference between
+// a 1-round and a 101-round run — setup (estimate clone, arena, scratch,
+// trace headroom, lazy cost buffers) is identical in both, so any per-round
+// allocation would surface 100-fold.
+func TestSteadyStateAllocs(t *testing.T) {
+	cfg := allocConfig(t, 10, 16, 1)
+	long := cfg
+	long.Rounds = 101
+
+	runOnce := func(c Config) func() {
+		return func() {
+			if _, err := Run(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the lazy per-cost gradient buffers shared by both measurements.
+	runOnce(cfg)()
+
+	base := testing.AllocsPerRun(10, runOnce(cfg))
+	extended := testing.AllocsPerRun(10, runOnce(long))
+	if perRound := (extended - base) / 100; perRound > 0 {
+		t.Fatalf("steady-state round allocates: %.2f allocs/round (1-round run %.0f, 101-round run %.0f)",
+			perRound, base, extended)
+	}
+}
+
+// TestLegacyPathStillAllocates documents the fallback: stripping the Into
+// faces must leave behavior identical (see the parity tests) but brings the
+// allocating path back — guarding against the legacy wrappers silently
+// becoming Into-capable and invalidating the benchmark comparison.
+func TestLegacyPathStillAllocates(t *testing.T) {
+	cfg := allocConfig(t, 10, 16, 1)
+	cfg.Agents = stripInto(cfg.Agents)
+	cfg.Filter = legacyFilter{inner: aggregate.CWTM{}}
+	long := cfg
+	long.Rounds = 101
+	base := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	extended := testing.AllocsPerRun(5, func() {
+		if _, err := Run(long); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if extended-base == 0 {
+		t.Fatal("legacy path reports zero allocs/round; the alloc-vs-into benchmark baseline is broken")
+	}
+}
+
+// trajectoryOf runs the config and returns every recorded estimate.
+func trajectoryOf(t *testing.T, cfg Config) [][]float64 {
+	t.Helper()
+	rec := &TraceRecorder{}
+	cfg.Observer = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.X
+}
+
+// TestIntoPathBitwiseMatchesLegacyPath pins the tentpole's determinism
+// contract on the in-process engine: the Into path (arena + GradientInto +
+// AggregateInto) and the legacy path (allocating Gradient/Aggregate) must
+// produce bitwise-identical estimates at every round, for every registered
+// filter, in fault-free and Byzantine (omniscient included) configurations.
+func TestIntoPathBitwiseMatchesLegacyPath(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n, d = 11, 6
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = r.NormFloat64()
+		}
+	}
+	xstar := vecmath.Ones(d)
+	for _, behaviorName := range []string{"", "gradient-reverse", "alie"} {
+		for _, filterName := range aggregate.Names() {
+			filter, err := aggregate.New(filterName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build := func(strip bool) Config {
+				agents, _, _ := regressionAgents(t, rows, xstar)
+				if behaviorName != "" {
+					b, err := byzantine.New(behaviorName, 7)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fa, err := NewFaulty(agents[0], b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					agents[0] = fa
+				}
+				if strip {
+					agents = stripInto(agents)
+				}
+				cfg := Config{
+					Agents: agents,
+					F:      1,
+					Filter: filter,
+					X0:     make([]float64, d),
+					Rounds: 40,
+				}
+				if strip {
+					cfg.Filter = legacyFilter{inner: filter}
+				}
+				return cfg
+			}
+			into := trajectoryOf(t, build(false))
+			legacy := trajectoryOf(t, build(true))
+			if len(into) != len(legacy) {
+				t.Fatalf("%s/%s: trajectory lengths differ", filterName, behaviorName)
+			}
+			for round := range into {
+				for j := range into[round] {
+					if math.Float64bits(into[round][j]) != math.Float64bits(legacy[round][j]) {
+						t.Fatalf("%s/%s: estimate diverges at round %d coord %d: into %v legacy %v",
+							filterName, behaviorName, round, j, into[round][j], legacy[round][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCollectorFallbackMix runs a mixed pool — Into-capable honest agents,
+// a legacy honest agent, an Into-capable Byzantine wrapper, and a legacy
+// Byzantine wrapper — and checks the filter input is identical to the
+// all-legacy collection, exercising the per-agent fallback dispatch.
+func TestCollectorFallbackMix(t *testing.T) {
+	xstar := []float64{1, 1}
+	agents, _, _ := regressionAgents(t, testRows, xstar)
+	fa, err := NewFaulty(agents[1], byzantine.GradientReverse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents[1] = fa
+	fa2, err := NewFaulty(agents[2], byzantine.InnerProductManipulation{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents[2] = legacyFaultyAgent{inner: fa2.(Faulty)}
+	agents[3] = legacyAgent{inner: agents[3]}
+
+	x := []float64{0.4, -0.9}
+	mixed := make([][]float64, len(agents))
+	if err := collectGradients(agents, 3, x, mixed, 1); err != nil {
+		t.Fatal(err)
+	}
+	all := make([][]float64, len(agents))
+	if err := collectGradients(stripInto(agents), 3, x, all, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range mixed {
+		if !vecmath.Equal(mixed[i], all[i], 0) {
+			t.Errorf("agent %d: mixed collection %v differs from legacy %v", i, mixed[i], all[i])
+		}
+	}
+}

@@ -47,6 +47,26 @@ type Agent interface {
 	Gradient(round int, x []float64) ([]float64, error)
 }
 
+// IntoAgent is an optional Agent extension: GradientInto writes the round's
+// report into dst (sized to the estimate dimension) instead of allocating
+// it, with values bitwise identical to Gradient's. The engine detects it per
+// agent and hands each Into-capable agent a dedicated row of a per-run
+// gradient arena, which — together with an IntoFilter — makes the
+// steady-state round loop allocation-free. Agents without the extension fall
+// back to Gradient transparently.
+//
+// Implementations may reuse internal scratch between calls (the costfunc
+// oracles do), so the engine only calls GradientInto from its sequential
+// collection path (Config.Workers <= 1); concurrent collection falls back to
+// Gradient.
+type IntoAgent interface {
+	Agent
+	// GradientInto writes the agent's report for round t at estimate x into
+	// dst. Implementations must not retain or mutate x, and must not retain
+	// dst beyond the call.
+	GradientInto(dst []float64, round int, x []float64) error
+}
+
 // Faulty marks an Agent as Byzantine for gradient collection. The engine
 // collects reports from all non-Faulty agents first and then asks each
 // Faulty agent through FaultyGradient, handing it the honest reports of the
@@ -67,6 +87,17 @@ type Faulty interface {
 	FaultyGradient(round, agent int, x []float64, honest [][]float64) ([]float64, error)
 }
 
+// IntoFaulty is the Into face of Faulty, mirroring IntoAgent: the report is
+// written into dst so the engine's gradient arena also covers Byzantine
+// agents (the wrapped behavior may still allocate internally — the arena
+// guarantee is about the engine's own buffers). The built-in Faulty wrapper
+// implements it by passing the Into request through to its inner agent.
+type IntoFaulty interface {
+	Faulty
+	// FaultyGradientInto is FaultyGradient writing into dst.
+	FaultyGradientInto(dst []float64, round, agent int, x []float64, honest [][]float64) error
+}
+
 // --- honest agent ---
 
 // honest is an Agent reporting the exact gradient of its local cost.
@@ -82,9 +113,29 @@ func NewHonest(cost costfunc.Differentiable) (Agent, error) {
 	return &honest{cost: cost}, nil
 }
 
+var _ IntoAgent = (*honest)(nil)
+
 // Gradient implements Agent.
 func (h *honest) Gradient(round int, x []float64) ([]float64, error) {
 	return h.cost.Grad(x)
+}
+
+// GradientInto implements IntoAgent: costs exposing a costfunc.GradIntoer
+// oracle write straight into dst; others compute via Grad and copy, which
+// still keeps the engine's arena row stable.
+func (h *honest) GradientInto(dst []float64, round int, x []float64) error {
+	if ig, ok := h.cost.(costfunc.GradIntoer); ok {
+		return ig.GradInto(dst, x)
+	}
+	g, err := h.cost.Grad(x)
+	if err != nil {
+		return err
+	}
+	if len(g) != len(dst) {
+		return fmt.Errorf("cost returned dim %d, want %d: %w", len(g), len(dst), ErrConfig)
+	}
+	copy(dst, g)
+	return nil
 }
 
 // HonestAgents wraps each cost as a truthful agent, in order.
@@ -120,13 +171,37 @@ func NewFaulty(inner Agent, behavior byzantine.Behavior) (Agent, error) {
 	return &faulty{inner: inner, behavior: behavior}, nil
 }
 
-var _ Faulty = (*faulty)(nil)
+var (
+	_ Faulty     = (*faulty)(nil)
+	_ IntoFaulty = (*faulty)(nil)
+	_ IntoAgent  = (*faulty)(nil)
+)
 
 // Gradient implements Agent, the path for callers that know neither the
 // agent's index nor the honest reports; index-aware callers use
 // FaultyGradient instead.
 func (f *faulty) Gradient(round int, x []float64) ([]float64, error) {
 	return f.FaultyGradient(round, 0, x, nil)
+}
+
+// GradientInto implements IntoAgent, mirroring Gradient.
+func (f *faulty) GradientInto(dst []float64, round int, x []float64) error {
+	return f.FaultyGradientInto(dst, round, 0, x, nil)
+}
+
+// FaultyGradientInto implements IntoFaulty by passing the request through:
+// the behavior produces its (possibly allocated) report and the wrapper
+// copies it into dst, keeping the engine's arena row stable.
+func (f *faulty) FaultyGradientInto(dst []float64, round, agent int, x []float64, honest [][]float64) error {
+	g, err := f.FaultyGradient(round, agent, x, honest)
+	if err != nil {
+		return err
+	}
+	if len(g) != len(dst) {
+		return fmt.Errorf("behavior %s returned dim %d, want %d: %w", f.behavior.Name(), len(g), len(dst), ErrConfig)
+	}
+	copy(dst, g)
+	return nil
 }
 
 // FaultyGradient implements Faulty: the behavior distorts the true
@@ -393,9 +468,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	x := vecmath.Clone(cfg.X0)
 	if cfg.Box != nil {
-		var err error
-		x, err = cfg.Box.Project(x)
-		if err != nil {
+		if err := cfg.Box.ProjectInPlace(x); err != nil {
 			return nil, fmt.Errorf("projecting x0: %w", err)
 		}
 	}
@@ -416,7 +489,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	grads := make([][]float64, len(cfg.Agents))
+	// Per-run state reused across every round: the gradient collector (with
+	// its arena for Into-capable agents), and — when the filter supports the
+	// Into face — the aggregation scratch and the descent-direction buffer.
+	// Together they make the steady-state loop free of heap allocations.
+	col := newCollector(cfg.Agents, len(x), workers)
+	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	var scratch *aggregate.Scratch
+	var dirBuf []float64
+	if hasInto {
+		scratch = new(aggregate.Scratch)
+		dirBuf = make([]float64, len(x))
+	}
+
 	for t := 0; t < cfg.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
@@ -424,10 +509,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err := record(t, x); err != nil {
 			return nil, err
 		}
-		if err := collectGradients(cfg.Agents, t, x, grads, workers); err != nil {
+		if err := col.collect(t, x); err != nil {
 			return nil, err
 		}
-		dir, err := cfg.Filter.Aggregate(grads, cfg.F)
+		var dir []float64
+		var err error
+		if hasInto {
+			err = intoFilter.AggregateInto(dirBuf, col.grads, cfg.F, scratch)
+			dir = dirBuf
+		} else {
+			dir, err = cfg.Filter.Aggregate(col.grads, cfg.F)
+		}
 		if err != nil {
 			if errors.Is(err, aggregate.ErrNonFinite) {
 				// A NaN/Inf report is the gradient-level face of divergence;
@@ -444,8 +536,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if cfg.Box != nil {
-			x, err = cfg.Box.Project(x)
-			if err != nil {
+			if err := cfg.Box.ProjectInPlace(x); err != nil {
 				return nil, err
 			}
 		}
@@ -459,51 +550,161 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return &Result{X: x, Rounds: cfg.Rounds, Trace: trace}, nil
 }
 
-// collectGradients fills grads with every agent's report for the round,
-// fanning the queries out over up to workers goroutines. Reports from
-// agents not marked Faulty are collected first (a full barrier separates
-// the phases) so omniscient Byzantine behaviors observe the complete honest
-// set, matching the strongest adversary the literature assumes. Reports
-// land in agent-index slots and the honest set is ordered by agent index,
-// so the filter input is identical at any worker count.
-func collectGradients(agents []Agent, t int, x []float64, grads [][]float64, workers int) error {
-	var honestIdx, faultyIdx []int
+// collector is the per-run gradient-collection state: the honest/faulty
+// split (computed once — agent kinds cannot change mid-run), the Into faces
+// detected per agent, and the gradient arena whose rows receive Into-capable
+// reports. Reports from agents not marked Faulty are collected first (a full
+// barrier separates the phases) so omniscient Byzantine behaviors observe
+// the complete honest set, matching the strongest adversary the literature
+// assumes. Reports land in agent-index slots and the honest set is ordered
+// by agent index, so the filter input is identical at any worker count and
+// on either the Into or the fallback path.
+type collector struct {
+	agents     []Agent
+	honestIdx  []int
+	faultyIdx  []int
+	into       []IntoAgent  // per-agent Into face, nil when unimplemented
+	intoFaulty []IntoFaulty // per-agent Into face of Faulty agents
+	rows       [][]float64  // arena rows, one per agent
+	grads      [][]float64  // the round's filter input, agent-index order
+	honest     [][]float64  // the round's honest reports, agent-index order
+	workers    int
+}
+
+// newCollector builds the collection state for one run over agents reporting
+// d-dimensional gradients. The Into interfaces only engage on the sequential
+// path (workers <= 1): their implementations may reuse internal scratch, and
+// the goroutine fan-out of the concurrent path allocates anyway.
+func newCollector(agents []Agent, d, workers int) *collector {
+	c := &collector{
+		agents:  agents,
+		grads:   make([][]float64, len(agents)),
+		workers: workers,
+	}
 	for i, a := range agents {
 		if _, isFaulty := a.(Faulty); isFaulty {
-			faultyIdx = append(faultyIdx, i)
+			c.faultyIdx = append(c.faultyIdx, i)
 		} else {
-			honestIdx = append(honestIdx, i)
+			c.honestIdx = append(c.honestIdx, i)
 		}
 	}
-	err := parallelFor(workers, honestIdx, func(i int) error {
-		g, err := agents[i].Gradient(t, x)
+	c.honest = make([][]float64, 0, len(c.honestIdx))
+	if workers <= 1 {
+		c.into = make([]IntoAgent, len(agents))
+		c.intoFaulty = make([]IntoFaulty, len(agents))
+		arena := make([]float64, len(agents)*d)
+		c.rows = make([][]float64, len(agents))
+		for i, a := range agents {
+			c.rows[i] = arena[i*d : (i+1)*d : (i+1)*d]
+			if ia, ok := a.(IntoAgent); ok {
+				c.into[i] = ia
+			}
+			if ifa, ok := a.(IntoFaulty); ok {
+				c.intoFaulty[i] = ifa
+			}
+		}
+	}
+	return c
+}
+
+// collect fills c.grads and c.honest with the round's reports.
+func (c *collector) collect(t int, x []float64) error {
+	if c.workers <= 1 {
+		return c.collectSeq(t, x)
+	}
+	return c.collectPar(t, x)
+}
+
+// collectSeq is the sequential path: plain loops (no closures reach a
+// goroutine, so nothing escapes to the heap) with per-agent Into dispatch.
+func (c *collector) collectSeq(t int, x []float64) error {
+	for _, i := range c.honestIdx {
+		if ia := c.into[i]; ia != nil {
+			if err := ia.GradientInto(c.rows[i], t, x); err != nil {
+				return fmt.Errorf("agent %d at round %d: %w", i, t, err)
+			}
+			c.grads[i] = c.rows[i]
+			continue
+		}
+		g, err := c.agents[i].Gradient(t, x)
 		if err != nil {
 			return fmt.Errorf("agent %d at round %d: %w", i, t, err)
 		}
 		if len(g) != len(x) {
 			return fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
 		}
-		grads[i] = g
-		return nil
-	})
-	if err != nil {
-		return err
+		c.grads[i] = g
 	}
-	honestGrads := make([][]float64, 0, len(honestIdx))
-	for _, i := range honestIdx {
-		honestGrads = append(honestGrads, grads[i])
-	}
-	return parallelFor(workers, faultyIdx, func(i int) error {
-		g, err := agents[i].(Faulty).FaultyGradient(t, i, x, honestGrads)
+	c.gatherHonest()
+	for _, i := range c.faultyIdx {
+		if ifa := c.intoFaulty[i]; ifa != nil {
+			if err := ifa.FaultyGradientInto(c.rows[i], t, i, x, c.honest); err != nil {
+				return fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
+			}
+			c.grads[i] = c.rows[i]
+			continue
+		}
+		g, err := c.agents[i].(Faulty).FaultyGradient(t, i, x, c.honest)
 		if err != nil {
 			return fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
 		}
 		if len(g) != len(x) {
 			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
 		}
-		grads[i] = g
+		c.grads[i] = g
+	}
+	return nil
+}
+
+// collectPar fans the queries out over up to c.workers goroutines via
+// parallelFor, always through the allocating Agent faces (see newCollector).
+func (c *collector) collectPar(t int, x []float64) error {
+	err := parallelFor(c.workers, c.honestIdx, func(i int) error {
+		g, err := c.agents[i].Gradient(t, x)
+		if err != nil {
+			return fmt.Errorf("agent %d at round %d: %w", i, t, err)
+		}
+		if len(g) != len(x) {
+			return fmt.Errorf("agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
+		}
+		c.grads[i] = g
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	c.gatherHonest()
+	return parallelFor(c.workers, c.faultyIdx, func(i int) error {
+		g, err := c.agents[i].(Faulty).FaultyGradient(t, i, x, c.honest)
+		if err != nil {
+			return fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
+		}
+		if len(g) != len(x) {
+			return fmt.Errorf("faulty agent %d returned dim %d, want %d: %w", i, len(g), len(x), ErrConfig)
+		}
+		c.grads[i] = g
+		return nil
+	})
+}
+
+// gatherHonest rebuilds the agent-index-ordered honest report list in the
+// reused c.honest buffer.
+func (c *collector) gatherHonest() {
+	c.honest = c.honest[:0]
+	for _, i := range c.honestIdx {
+		c.honest = append(c.honest, c.grads[i])
+	}
+}
+
+// collectGradients fills grads with every agent's report for the round; the
+// one-shot face of the collector, kept for callers outside the run loop.
+func collectGradients(agents []Agent, t int, x []float64, grads [][]float64, workers int) error {
+	c := newCollector(agents, len(x), workers)
+	if err := c.collect(t, x); err != nil {
+		return err
+	}
+	copy(grads, c.grads)
+	return nil
 }
 
 func (cfg *Config) validate() error {

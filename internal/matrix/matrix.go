@@ -223,19 +223,59 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 
 // MulVec returns the matrix-vector product m * v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("matrix: mulvec %dx%d by %d: %w", m.rows, m.cols, len(v), ErrShape)
-	}
 	out := make([]float64, m.rows)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto writes the matrix-vector product m * v into dst, which must
+// have length Rows. Each entry is the same ascending-index dot product
+// MulVec computes, so the result is bitwise identical; no memory is
+// allocated. dst must not alias v.
+func (m *Matrix) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("matrix: mulvec %dx%d by %d: %w", m.rows, m.cols, len(v), ErrShape)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("matrix: mulvec into %d, want %d: %w", len(dst), m.rows, ErrShape)
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, a := range row {
 			s += a * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
+}
+
+// MulTVecInto writes mᵀ * v into dst, which must have length Cols, without
+// materializing the transpose. Each entry accumulates over ascending row
+// index — the order T().MulVec uses — so the result is bitwise identical to
+// the allocating route. dst must not alias v.
+func (m *Matrix) MulTVecInto(dst, v []float64) error {
+	if m.rows != len(v) {
+		return fmt.Errorf("matrix: mulvec %dx%d by %d: %w", m.cols, m.rows, len(v), ErrShape)
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("matrix: mulvec into %d, want %d: %w", len(dst), m.cols, ErrShape)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	// Row-major traversal: dst[j] accumulates m[i][j]*v[i] with i ascending,
+	// the same addition sequence as a per-column dot product.
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		vi := v[i]
+		for j, a := range row {
+			dst[j] += a * vi
+		}
+	}
+	return nil
 }
 
 // Gram returns mᵀ m, the Gram matrix (symmetric positive semi-definite).

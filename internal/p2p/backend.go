@@ -129,5 +129,30 @@ func (e *equivocating) FaultyGradient(round, agent int, x []float64, honest [][]
 	return e.inner.Gradient(round, x)
 }
 
+var _ dgd.IntoFaulty = (*equivocating)(nil)
+
+// FaultyGradientInto implements dgd.IntoFaulty, passing the Into request
+// through to the inner agent's own Into face when it has one so the wrapper
+// never blocks the zero-allocation path.
+func (e *equivocating) FaultyGradientInto(dst []float64, round, agent int, x []float64, honest [][]float64) error {
+	if fa, ok := e.inner.(dgd.IntoFaulty); ok {
+		return fa.FaultyGradientInto(dst, round, agent, x, honest)
+	}
+	if ia, ok := e.inner.(dgd.IntoAgent); ok {
+		if _, faulty := e.inner.(dgd.Faulty); !faulty {
+			return ia.GradientInto(dst, round, x)
+		}
+	}
+	g, err := e.FaultyGradient(round, agent, x, honest)
+	if err != nil {
+		return err
+	}
+	if len(g) != len(dst) {
+		return fmt.Errorf("inner agent returned dim %d, want %d: %w", len(g), len(dst), dgd.ErrConfig)
+	}
+	copy(dst, g)
+	return nil
+}
+
 // BroadcastDistorter exposes the distorter to AgentDistorter.
 func (e *equivocating) BroadcastDistorter() Distorter { return e.d }

@@ -170,7 +170,35 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return dgd.RecordRound(t, estimates[honestIdx], cfg.TrackLoss, cfg.Reference, cfg.Observer, &res.Trace)
 	}
 
+	// Per-round buffers, allocated once and reused across the whole run: the
+	// gradient table, the honest-report list, the n×n agreed-broadcast table,
+	// the decode arena each peer reads its agreed gradients into, and — when
+	// the filter supports the Into face — the aggregation scratch and the
+	// descent-direction buffer shared by the (sequential) per-peer steps.
 	grads := make([][]float64, n)
+	gradArena := make([]float64, n*dim)
+	gradRows := make([][]float64, n)
+	for i := range gradRows {
+		gradRows[i] = gradArena[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	honestGrads := make([][]float64, 0, len(honestPeers))
+	agreed := make([][]string, n)
+	for p := range agreed {
+		agreed[p] = make([]string, n)
+	}
+	decodeArena := make([]float64, n*dim)
+	decided := make([][]float64, n)
+	for i := range decided {
+		decided[i] = decodeArena[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	var scratch *aggregate.Scratch
+	var dirBuf []float64
+	if hasInto {
+		scratch = new(aggregate.Scratch)
+		dirBuf = make([]float64, dim)
+	}
+
 	for t := 0; t < cfg.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
@@ -186,10 +214,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			}
 		}
 		// Phase 1: peers whose agents are not dgd.Faulty compute their
-		// reports at their own estimates (identical across honest peers). A
+		// reports at their own estimates (identical across honest peers),
+		// writing into arena rows when the agent has an Into face. A
 		// distorting peer's own report failure is its problem — it injects
 		// zeros — but an honest peer failing fails the run.
 		for _, i := range honestPeers {
+			if ia, ok := cfg.Peers[i].Agent.(dgd.IntoAgent); ok {
+				if err := ia.GradientInto(gradRows[i], t, estimates[i]); err != nil {
+					if _, bad := byz[i]; bad {
+						zeroRow(gradRows[i])
+						grads[i] = gradRows[i]
+						continue
+					}
+					return nil, fmt.Errorf("agent %d at round %d: %w", i, t, err)
+				}
+				grads[i] = gradRows[i]
+				continue
+			}
 			g, err := cfg.Peers[i].Agent.Gradient(t, estimates[i])
 			if err != nil {
 				if _, bad := byz[i]; bad {
@@ -203,12 +244,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			grads[i] = g
 		}
-		honestGrads := make([][]float64, 0, len(honestPeers))
+		honestGrads = honestGrads[:0]
 		for _, i := range honestPeers {
 			honestGrads = append(honestGrads, grads[i])
 		}
 		// Phase 2: Faulty agents, index-aware and with honest visibility.
 		for _, i := range faultyPeers {
+			if ifa, ok := cfg.Peers[i].Agent.(dgd.IntoFaulty); ok {
+				if err := ifa.FaultyGradientInto(gradRows[i], t, i, estimates[i], honestGrads); err != nil {
+					return nil, fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
+				}
+				grads[i] = gradRows[i]
+				continue
+			}
 			g, err := cfg.Peers[i].Agent.(dgd.Faulty).FaultyGradient(t, i, estimates[i], honestGrads)
 			if err != nil {
 				return nil, fmt.Errorf("faulty agent %d at round %d: %w", i, t, err)
@@ -220,10 +268,6 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		// Each peer broadcasts its report via EIG. agreed[p][sender] is peer
 		// p's decided gradient string for the sender's broadcast.
-		agreed := make([][]string, n)
-		for p := range agreed {
-			agreed[p] = make([]string, n)
-		}
 		for sender := 0; sender < n; sender++ {
 			decisions, err := Broadcast(n, cfg.F, sender, EncodeVector(grads[sender]), byz)
 			if err != nil {
@@ -242,11 +286,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if _, bad := byz[p]; bad {
 				continue // distorting peers take no protocol step
 			}
-			decided := make([][]float64, n)
 			for sender := 0; sender < n; sender++ {
-				decided[sender] = DecodeVector(agreed[p][sender], dim)
+				DecodeVectorInto(decided[sender], agreed[p][sender])
 			}
-			dir, err := cfg.Filter.Aggregate(decided, cfg.F)
+			var dir []float64
+			var err error
+			if hasInto {
+				err = intoFilter.AggregateInto(dirBuf, decided, cfg.F, scratch)
+				dir = dirBuf
+			} else {
+				dir, err = cfg.Filter.Aggregate(decided, cfg.F)
+			}
 			if err != nil {
 				// All honest peers hold the identical agreed set, so the
 				// failure is common; report it exactly as the in-process
@@ -261,8 +311,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			if cfg.Box != nil {
-				estimates[p], err = cfg.Box.Project(estimates[p])
-				if err != nil {
+				if err := cfg.Box.ProjectInPlace(estimates[p]); err != nil {
 					return nil, err
 				}
 			}
@@ -292,4 +341,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return res, errors.New("p2p: honest estimates diverged — broadcast agreement violated")
 	}
 	return res, nil
+}
+
+// zeroRow clears a gradient arena row in place.
+func zeroRow(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
 }

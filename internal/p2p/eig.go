@@ -251,16 +251,34 @@ func EncodeVector(v []float64) string {
 // vector.
 func DecodeVector(s string, dim int) []float64 {
 	out := make([]float64, dim)
-	if len(s) != 8*dim {
-		return out
-	}
-	b := []byte(s)
-	for i := range out {
-		x := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return make([]float64, dim) // poisoned payload: zero it all
-		}
-		out[i] = x
-	}
+	DecodeVectorInto(out, s)
 	return out
+}
+
+// DecodeVectorInto is DecodeVector writing into dst (whose length is the
+// expected dimension) with the same malformed-payload rules, reading the
+// string bytes directly so nothing is allocated. The honest round loop uses
+// it to decode each round's agreed gradients into a reused arena.
+func DecodeVectorInto(dst []float64, s string) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(s) != 8*len(dst) {
+		return
+	}
+	for i := range dst {
+		var u uint64
+		for b := 0; b < 8; b++ {
+			u |= uint64(s[8*i+b]) << (8 * b)
+		}
+		x := math.Float64frombits(u)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// Poisoned payload: zero it all.
+			for j := range dst {
+				dst[j] = 0
+			}
+			return
+		}
+		dst[i] = x
+	}
 }

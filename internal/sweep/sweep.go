@@ -18,7 +18,12 @@
 //
 // Every scenario executes through a dgd.Backend (Spec.Backend): the
 // in-process engine by default, or the transport-backed cluster stack,
-// which makes the sweep a distributed-system load generator. RunContext
+// which makes the sweep a distributed-system load generator. On the
+// default backend each scenario's round loop runs on the engine's
+// zero-allocation scratch path (problems build costfunc-backed agents and
+// registered filters, so dgd.IntoAgent and aggregate.IntoFilter engage
+// automatically; see the README's performance section) — the sweep's
+// steady-state garbage pressure is per scenario, not per round. RunContext
 // threads a context through the pool — cancellation stops the sweep within
 // one scenario and returns the completed scenarios (in grid order — under a
 // parallel pool not necessarily a contiguous prefix) as partial results, while

@@ -1,0 +1,238 @@
+package vecmath
+
+// Tests for the Into variants and the allocation-free Dist, plus the Norm
+// overflow/underflow edge cases: the scratch-space API upstream leans on
+// these being bitwise identical to their allocating twins.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVecs(r *rand.Rand, n, d int) [][]float64 {
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = make([]float64, d)
+		for j := range vs[i] {
+			vs[i][j] = r.NormFloat64() * 5
+		}
+	}
+	return vs
+}
+
+func TestMeanSumSubIntoMatchAllocating(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 9} {
+		for _, d := range []int{1, 4, 31} {
+			vs := randVecs(r, n, d)
+			wantMean, err := Mean(vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSum, err := Sum(vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, d)
+			for i := range dst {
+				dst[i] = math.NaN() // must be fully overwritten
+			}
+			if err := MeanInto(dst, vs); err != nil {
+				t.Fatal(err)
+			}
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(wantMean[i]) {
+					t.Fatalf("MeanInto n=%d d=%d coord %d: %v vs %v", n, d, i, dst[i], wantMean[i])
+				}
+			}
+			if err := SumInto(dst, vs); err != nil {
+				t.Fatal(err)
+			}
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(wantSum[i]) {
+					t.Fatalf("SumInto n=%d d=%d coord %d: %v vs %v", n, d, i, dst[i], wantSum[i])
+				}
+			}
+			a, b := vs[0], vs[n-1]
+			wantSub, err := Sub(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SubInto(dst[:d], a, b); err != nil {
+				t.Fatal(err)
+			}
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(wantSub[i]) {
+					t.Fatalf("SubInto coord %d: %v vs %v", i, dst[i], wantSub[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIntoErrorPaths(t *testing.T) {
+	if err := MeanInto(make([]float64, 2), nil); err == nil {
+		t.Error("MeanInto on empty input should error")
+	}
+	if err := SumInto(make([]float64, 2), [][]float64{{1, 2, 3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("SumInto dst mismatch: %v", err)
+	}
+	if err := MeanInto(make([]float64, 3), [][]float64{{1, 2, 3}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MeanInto ragged input: %v", err)
+	}
+	if err := SubInto(make([]float64, 2), []float64{1, 2, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("SubInto dst mismatch: %v", err)
+	}
+	if err := SubInto(make([]float64, 3), []float64{1, 2, 3}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("SubInto operand mismatch: %v", err)
+	}
+}
+
+// TestSubIntoAliasing documents the aliasing contract: dst may be a or b.
+func TestSubIntoAliasing(t *testing.T) {
+	a := []float64{5, 7, 9}
+	b := []float64{1, 2, 3}
+	if err := SubInto(a, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{4, 5, 6} {
+		if a[i] != want {
+			t.Fatalf("aliased SubInto: got %v", a)
+		}
+	}
+}
+
+// TestDistMatchesNormOfSub pins the rewritten Dist to Norm(a-b) bitwise,
+// including extreme magnitudes where the scaled two-pass form matters.
+func TestDistMatchesNormOfSub(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	check := func(a, b []float64) {
+		t.Helper()
+		diff, err := Sub(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Norm(diff)
+		got, err := Dist(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("Dist(%v, %v) = %v, Norm(Sub) = %v", a, b, got, want)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.Intn(20)
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := range a {
+			a[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(40)-20))
+			b[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(40)-20))
+		}
+		check(a, b)
+	}
+	check([]float64{1e300, -1e300}, []float64{-1e300, 1e300}) // would overflow naively
+	check([]float64{0, 0}, []float64{0, 0})
+	check([]float64{math.Inf(1), 0}, []float64{0, 0})
+	if _, err := Dist([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Dist dim mismatch: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		a := []float64{1, 2, 3, 4}
+		b := []float64{4, 3, 2, 1}
+		if _, err := Dist(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Dist allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestNormEdgeCases covers the scaled two-pass form's contract at the edges
+// of the float range: huge values must not overflow to +Inf, subnormals
+// must not underflow to zero, and infinities/NaNs must propagate.
+func TestNormEdgeCases(t *testing.T) {
+	const sub = 5e-324 // smallest positive subnormal
+	cases := []struct {
+		name string
+		v    []float64
+		want float64
+	}{
+		{"subnormal-single", []float64{sub}, sub},
+		{"subnormal-negated", []float64{-sub}, sub},
+		{"subnormal-pair", []float64{3e-320, 4e-320}, 5e-320},
+		{"tiny-normal-pair", []float64{3e-200, 4e-200}, 5e-200},
+		{"huge-pair", []float64{3e300, 4e300}, 5e300},
+		{"mixed-magnitudes", []float64{1e308, 1}, 1e308},
+		{"neg-inf", []float64{math.Inf(-1), 1}, math.Inf(1)},
+		{"pos-inf", []float64{1, math.Inf(1)}, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		got := Norm(tc.v)
+		if math.IsInf(tc.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: Norm = %v, want +Inf", tc.name, got)
+			}
+			continue
+		}
+		if got == 0 && tc.want != 0 {
+			t.Errorf("%s: Norm underflowed to zero, want %v", tc.name, tc.want)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9*tc.want {
+			t.Errorf("%s: Norm = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := Norm([]float64{math.NaN(), math.Inf(1)}); !math.IsNaN(got) && !math.IsInf(got, 1) {
+		t.Errorf("NaN+Inf vector: Norm = %v, want NaN or +Inf", got)
+	}
+	// The naive sum of squares would overflow here; the scaled form must not.
+	v := make([]float64, 64)
+	for i := range v {
+		v[i] = 1e300
+	}
+	if got := Norm(v); math.IsInf(got, 0) {
+		t.Error("Norm overflowed on 64x1e300 vector")
+	} else if want := 8e300; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("Norm(64x1e300) = %v, want %v", got, want)
+	}
+}
+
+// TestProjectInPlaceMatchesProject pins the in-place projection to the
+// allocating one.
+func TestProjectInPlaceMatchesProject(t *testing.T) {
+	box, err := NewBox([]float64{-1, 0, -3}, []float64{2, 0.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{r.NormFloat64() * 4, r.NormFloat64() * 4, r.NormFloat64() * 4}
+		want, err := box.Project(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Clone(x)
+		if err := box.ProjectInPlace(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d coord %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if err := box.ProjectInPlace([]float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ProjectInPlace dim mismatch: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		x := []float64{5, -5, 0}
+		if err := box.ProjectInPlace(x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ProjectInPlace allocates: %v allocs/op", allocs)
+	}
+}

@@ -173,13 +173,34 @@ func NormInf(v []float64) float64 {
 	return m
 }
 
-// Dist returns the Euclidean distance between a and b.
+// Dist returns the Euclidean distance between a and b. It computes the
+// differences on the fly — no intermediate vector is allocated — with the
+// same scaled two-pass form as Norm, so the result is bitwise identical to
+// Norm(a - b).
 func Dist(a, b []float64) (float64, error) {
-	d, err := Sub(a, b)
-	if err != nil {
-		return 0, err
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("sub %d vs %d: %w", len(a), len(b), ErrDimensionMismatch)
 	}
-	return Norm(d), nil
+	var maxAbs float64
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		var s float64
+		for i := range a {
+			x := a[i] - b[i]
+			s += x * x
+		}
+		return math.Sqrt(s), nil
+	}
+	var s float64
+	for i := range a {
+		r := (a[i] - b[i]) / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s), nil
 }
 
 // Mean returns the arithmetic mean of the given vectors, which must all have
@@ -188,18 +209,38 @@ func Mean(vs [][]float64) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("vecmath: mean of zero vectors")
 	}
+	out := make([]float64, len(vs[0]))
+	if err := MeanInto(out, vs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MeanInto writes the arithmetic mean of the given vectors into dst, which
+// must match their dimension. It accumulates in input order, so the result is
+// bitwise identical to Mean's. dst is fully overwritten and may not alias any
+// input vector.
+func MeanInto(dst []float64, vs [][]float64) error {
+	if len(vs) == 0 {
+		return errors.New("vecmath: mean of zero vectors")
+	}
 	d := len(vs[0])
-	out := make([]float64, d)
+	if len(dst) != d {
+		return fmt.Errorf("mean into %d vs %d: %w", len(dst), d, ErrDimensionMismatch)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, v := range vs {
 		if len(v) != d {
-			return nil, fmt.Errorf("mean entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
+			return fmt.Errorf("mean entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
 		}
 		for i := range v {
-			out[i] += v[i]
+			dst[i] += v[i]
 		}
 	}
-	ScaleInPlace(1/float64(len(vs)), out)
-	return out, nil
+	ScaleInPlace(1/float64(len(vs)), dst)
+	return nil
 }
 
 // Sum returns the element-wise sum of the given vectors.
@@ -207,17 +248,52 @@ func Sum(vs [][]float64) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("vecmath: sum of zero vectors")
 	}
-	d := len(vs[0])
-	out := make([]float64, d)
-	for _, v := range vs {
-		if len(v) != d {
-			return nil, fmt.Errorf("sum entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
-		}
-		for i := range v {
-			out[i] += v[i]
-		}
+	out := make([]float64, len(vs[0]))
+	if err := SumInto(out, vs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SumInto writes the element-wise sum of the given vectors into dst, which
+// must match their dimension. It accumulates in input order, so the result is
+// bitwise identical to Sum's. dst is fully overwritten and may not alias any
+// input vector.
+func SumInto(dst []float64, vs [][]float64) error {
+	if len(vs) == 0 {
+		return errors.New("vecmath: sum of zero vectors")
+	}
+	d := len(vs[0])
+	if len(dst) != d {
+		return fmt.Errorf("sum into %d vs %d: %w", len(dst), d, ErrDimensionMismatch)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, v := range vs {
+		if len(v) != d {
+			return fmt.Errorf("sum entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
+		}
+		for i := range v {
+			dst[i] += v[i]
+		}
+	}
+	return nil
+}
+
+// SubInto writes a - b into dst. All three slices must share a dimension;
+// dst may alias a or b.
+func SubInto(dst, a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("sub %d vs %d: %w", len(a), len(b), ErrDimensionMismatch)
+	}
+	if len(dst) != len(a) {
+		return fmt.Errorf("sub into %d vs %d: %w", len(dst), len(a), ErrDimensionMismatch)
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return nil
 }
 
 // Equal reports whether a and b have the same dimension and agree entry-wise
@@ -319,6 +395,18 @@ func (b *Box) Project(x []float64) ([]float64, error) {
 		out[i] = clamp(x[i], b.lo[i], b.hi[i])
 	}
 	return out, nil
+}
+
+// ProjectInPlace clamps x onto the box in place — Project without the output
+// allocation, for round loops that own their estimate buffer.
+func (b *Box) ProjectInPlace(x []float64) error {
+	if len(x) != len(b.lo) {
+		return fmt.Errorf("project %d vs box dim %d: %w", len(x), len(b.lo), ErrDimensionMismatch)
+	}
+	for i := range x {
+		x[i] = clamp(x[i], b.lo[i], b.hi[i])
+	}
+	return nil
 }
 
 // Radius returns max_{x in box} ||x - c|| for a given center c, the constant
