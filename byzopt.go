@@ -127,6 +127,7 @@ package byzopt
 import (
 	"context"
 	"io"
+	"net"
 	"time"
 
 	"byzopt/internal/aggregate"
@@ -374,6 +375,32 @@ func MergeSweepResults(shards ...[]SweepResult) ([]SweepResult, error) {
 // unsharded run's bytes exactly.
 func MergeSweepJSON(paths ...string) ([]SweepResult, error) {
 	return sweep.MergeJSONFiles(paths...)
+}
+
+// --- the distributed sweep fabric ---
+
+// SweepCoordinatorSpec configures CoordinateSweep: the grid to serve plus
+// the lease TTL / batch size and checkpoint path of the dispatch fabric.
+type SweepCoordinatorSpec = sweep.CoordinatorSpec
+
+// SweepWorkerOptions configures one SweepWork worker process.
+type SweepWorkerOptions = sweep.WorkerOptions
+
+// CoordinateSweep serves the spec's scenario grid over ln to a fleet of
+// SweepWork workers (or `abft-sweep -worker` processes) and returns the
+// full grid in grid order — byte-identical, once exported, to a
+// single-process Sweep of the same spec. Workers lease bounded cell
+// batches; a crashed or wedged worker's cells are reassigned after its
+// lease TTL, and with a checkpoint path set, a restarted coordinator
+// resumes the grid running only the missing cells.
+func CoordinateSweep(ctx context.Context, ln net.Listener, cs SweepCoordinatorSpec) ([]SweepResult, error) {
+	return sweep.Coordinate(ctx, ln, cs)
+}
+
+// SweepWork runs one sweep worker against the coordinator at addr until
+// the grid completes (nil) or ctx is cancelled (ctx's error).
+func SweepWork(ctx context.Context, addr string, opts SweepWorkerOptions) error {
+	return sweep.Work(ctx, addr, opts)
 }
 
 // --- the problem registry ---

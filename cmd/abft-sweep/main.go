@@ -16,6 +16,8 @@
 //	abft-sweep -shard 0/4 -json shard0.json           # run one deterministic quarter of the grid
 //	abft-sweep -merge -json full.json s0.json s1.json # recombine shard exports byte-identically
 //	abft-sweep -progress                              # live done/total reporting on stderr
+//	abft-sweep -coordinator :7600 -checkpoint g.ckpt -json full.json  # serve the grid to a worker fleet
+//	abft-sweep -worker host:7600                      # one fleet worker (start any number)
 //
 // -problem accepts any name in the problem registry (see byzopt.Problem /
 // RegisterProblem). Scenario seeds are derived by hashing each scenario's
@@ -33,6 +35,14 @@
 // results in the table and JSON rather than failing the sweep. An
 // interrupt (Ctrl-C) stops the sweep within one scenario and still prints
 // and exports the scenarios that completed, in grid order.
+//
+// -coordinator serves the grid over TCP to any number of -worker processes
+// instead of computing it locally: workers lease cell batches, stream
+// results back, and a worker that crashes or wedges past -lease-ttl has its
+// cells reassigned. With -checkpoint, completed cells persist across
+// coordinator restarts and a rerun resumes the missing cells only. The
+// fleet's export is byte-identical to a single-process run of the same
+// flags, whatever the fleet size or failure history.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -87,12 +98,36 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		progress   = fs.Bool("progress", false, "report per-scenario completion progress on stderr")
 		shard      = fs.String("shard", "", "run only shard i/m of the grid, e.g. -shard 0/4")
 		merge      = fs.Bool("merge", false, "merge shard JSON exports (positional args) instead of sweeping")
+		coord      = fs.String("coordinator", "", "listen on this TCP address and serve the grid to -worker processes instead of sweeping locally")
+		worker     = fs.String("worker", "", "lease cells from the coordinator at this address instead of sweeping locally")
+		checkpoint = fs.String("checkpoint", "", "with -coordinator: record completed cells here (JSONL + atomic .snapshot) and resume an interrupted grid")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "with -coordinator: reassign a worker's cells if unfinished after this long (0 = 1m)")
+		leaseCells = fs.Int("lease-cells", 0, "with -coordinator: cells handed out per lease (0 = 4)")
+		addrFile   = fs.String("addr-file", "", "with -coordinator: write the bound listen address to this file (for :0 port discovery)")
+		name       = fs.String("name", "", "with -worker: label reported to the coordinator (default: hostname)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *merge {
 		return runMerge(fs.Args(), *jsonPath, *timings, *quiet, out)
+	}
+	if *worker != "" {
+		if *coord != "" {
+			return errors.New("-worker and -coordinator are mutually exclusive")
+		}
+		if *shard != "" || *jsonPath != "" {
+			return errors.New("-worker mode takes its grid from the coordinator; -shard and -json do not apply")
+		}
+		wname := *name
+		if wname == "" {
+			wname, _ = os.Hostname()
+		}
+		opts := sweep.WorkerOptions{Name: wname, Workers: *workers}
+		if !*quiet {
+			opts.Logf = logStderr
+		}
+		return sweep.Work(ctx, *worker, opts)
 	}
 
 	spec := sweep.Spec{
@@ -161,7 +196,29 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		spec.Steps = schedules
 	}
 
-	results, runErr := sweep.RunContext(ctx, spec)
+	var results []sweep.Result
+	var runErr error
+	if *coord != "" {
+		if *timeout != 0 {
+			return errors.New("-timeout is process-local and does not travel to -worker processes")
+		}
+		cs := sweep.CoordinatorSpec{
+			Spec:           spec,
+			LeaseTTL:       *leaseTTL,
+			LeaseCells:     *leaseCells,
+			CheckpointPath: *checkpoint,
+		}
+		if *progress {
+			cs.Progress = spec.Progress
+			cs.Spec.Progress = nil
+		}
+		if !*quiet {
+			cs.Logf = logStderr
+		}
+		results, runErr = runCoordinator(ctx, *coord, *addrFile, cs)
+	} else {
+		results, runErr = sweep.RunContext(ctx, spec)
+	}
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
 		return runErr
 	}
@@ -179,6 +236,27 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	// A cancelled sweep still printed and exported its completed scenarios
 	// above; surface the interruption in the exit status.
 	return runErr
+}
+
+// logStderr is the default human-progress sink for fleet modes.
+func logStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "abft-sweep: "+format+"\n", args...)
+}
+
+// runCoordinator binds the listen address, publishes it to addrFile when
+// asked (so scripts can use ":0" and discover the port), and serves the grid.
+func runCoordinator(ctx context.Context, addr, addrFile string, cs sweep.CoordinatorSpec) ([]sweep.Result, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-coordinator: %w", err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+	return sweep.Coordinate(ctx, ln, cs)
 }
 
 // runMerge recombines shard JSON exports into the full-grid export: with

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSmallGridWritesDeterministicJSON(t *testing.T) {
@@ -264,5 +266,90 @@ func TestRunCancelledSweepExportsPartialResults(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Errorf("pre-cancelled run should export zero scenarios, got %d", len(results))
+	}
+}
+
+// TestCoordinatorWorkerFleetMatchesLocalRun is the fleet acceptance
+// guarantee at the CLI level: a coordinator plus two -worker processes must
+// export byte-identical JSON to a plain local run of the same flags.
+func TestCoordinatorWorkerFleetMatchesLocalRun(t *testing.T) {
+	dir := t.TempDir()
+	gridFlags := []string{
+		"-filters", "cge,cwtm", "-behaviors", "gradient-reverse,random",
+		"-f", "1,2", "-rounds", "30", "-quiet",
+	}
+
+	local := filepath.Join(dir, "local.json")
+	if err := run(context.Background(),
+		append(gridFlags, "-json", local), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := filepath.Join(dir, "fleet.json")
+	addrFile := filepath.Join(dir, "addr")
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(context.Background(), append(gridFlags,
+			"-coordinator", "127.0.0.1:0", "-addr-file", addrFile,
+			"-lease-cells", "2", "-json", fleet), os.Stdout)
+	}()
+	// The coordinator writes the bound address before accepting workers.
+	var addr string
+	for i := 0; i < 200; i++ {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("coordinator never published its address")
+	}
+
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			workerDone <- run(context.Background(),
+				[]string{"-worker", addr, "-quiet", "-workers", "1"}, os.Stdout)
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workerDone; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("fleet export differs from the local export")
+	}
+}
+
+func TestFleetModeBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-worker", "x", "-coordinator", ":0"}, os.Stdout); err == nil {
+		t.Error("-worker with -coordinator should error")
+	}
+	if err := run(ctx, []string{"-worker", "x", "-json", "out.json"}, os.Stdout); err == nil {
+		t.Error("-worker with -json should error")
+	}
+	if err := run(ctx, []string{"-coordinator", ":0", "-timeout", "1s"}, os.Stdout); err == nil {
+		t.Error("-coordinator with -timeout should error")
+	}
+	if err := run(ctx, []string{"-coordinator", ":0", "-backend", "cluster"}, os.Stdout); err == nil {
+		t.Error("-coordinator with a non-inprocess backend should error")
+	}
+	if err := run(ctx, []string{"-coordinator", ":0", "-shard", "0/2"}, os.Stdout); err == nil {
+		t.Error("-coordinator with -shard should error")
 	}
 }

@@ -1,0 +1,262 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallResults runs a tiny grid to get genuine results for store tests.
+func smallResults(t *testing.T) []Result {
+	t.Helper()
+	results, err := Run(Spec{
+		Filters:   []string{"cge", "cwtm"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1, 2},
+		Rounds:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 4 {
+		t.Fatalf("want >= 4 results, got %d", len(results))
+	}
+	return results
+}
+
+func scenariosOf(results []Result) []Scenario {
+	out := make([]Scenario, len(results))
+	for _, r := range results {
+		out[r.GridIndex] = r.Scenario
+	}
+	return out
+}
+
+func TestCheckpointAppendReloadRoundTrip(t *testing.T) {
+	results := smallResults(t)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results[:3] {
+		if err := ckpt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate appends collapse.
+	if err := ckpt.Append(results[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if re.CompletedCount() != 3 {
+		t.Fatalf("reloaded %d cells, want 3", re.CompletedCount())
+	}
+	if err := re.Validate(scenariosOf(results)); err != nil {
+		t.Fatal(err)
+	}
+	got := re.Results()
+	for i, r := range got {
+		if r.Key() != results[i].Key() || r.FinalDist != results[i].FinalDist {
+			t.Errorf("cell %d mangled through the checkpoint: %+v", i, r)
+		}
+	}
+	if _, ok := re.Completed(results[3].GridIndex); ok {
+		t.Error("never-appended cell reported complete")
+	}
+}
+
+// TestCheckpointTornTrailingLineTolerated: a crash mid-append leaves a
+// truncated final JSONL line; reopening must keep every whole record and
+// drop only the torn tail.
+func TestCheckpointTornTrailingLineTolerated(t *testing.T) {
+	results := smallResults(t)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.CompactEvery = -1 // keep everything in the log for the truncation below
+	for _, r := range results[:2] {
+		if err := ckpt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash before Close can compact: chop the log mid-record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ckpt.log.Close() // abandon, as a crash would
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if re.CompletedCount() != 1 {
+		t.Fatalf("torn log reloaded %d cells, want 1", re.CompletedCount())
+	}
+	if _, ok := re.Completed(results[0].GridIndex); !ok {
+		t.Error("intact first record lost")
+	}
+}
+
+// TestCheckpointTornMiddleLineRejected: garbage with records after it is
+// corruption, not a crash signature.
+func TestCheckpointTornMiddleLineRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	lines := "{\"grid_index\":0,\"grid_total\":2" + "\n" + `{"grid_index":1,"grid_total":2}` + "\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Errorf("mid-file corruption: %v", err)
+	}
+}
+
+// TestCheckpointCompactFoldsLogIntoSnapshot: compaction must survive a
+// reload through the snapshot alone, and the log must reset.
+func TestCheckpointCompactFoldsLogIntoSnapshot(t *testing.T) {
+	results := smallResults(t)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.CompactEvery = 2 // compact mid-stream
+	for _, r := range results {
+		if err := ckpt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Errorf("log after final compact: size=%v err=%v", fi.Size(), err)
+	}
+	snap, err := ReadJSONFile(SnapshotPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != len(results) {
+		t.Fatalf("snapshot holds %d cells, want %d", len(snap), len(results))
+	}
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if re.CompletedCount() != len(results) {
+		t.Errorf("reload after compact: %d cells, want %d", re.CompletedCount(), len(results))
+	}
+}
+
+// TestCheckpointValidateDetectsForeignSpec: resuming against a different
+// spec must fail loudly — on grid size, on total, and on scenario key.
+func TestCheckpointValidateDetectsForeignSpec(t *testing.T) {
+	results := smallResults(t)
+	scenarios := scenariosOf(results)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ckpt.Close() }()
+	if err := ckpt.Append(results[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Validate(scenarios); err != nil {
+		t.Fatalf("matching spec rejected: %v", err)
+	}
+	// Smaller grid: the recorded index falls outside.
+	if err := ckpt.Validate(scenarios[:2]); !errors.Is(err, ErrSpec) {
+		t.Errorf("foreign (smaller) grid: %v", err)
+	}
+	// Same size, different cell at the recorded index.
+	swapped := append([]Scenario(nil), scenarios...)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if err := ckpt.Validate(swapped); !errors.Is(err, ErrSpec) {
+		t.Errorf("foreign (reordered) grid: %v", err)
+	}
+}
+
+// TestWriteJSONFileAtomic: a failed export must leave a pre-existing file
+// untouched and no temp debris behind.
+func TestWriteJSONFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	good := []Result{{Scenario: Scenario{Filter: "cge"}, GridTotal: 1}}
+	if err := WriteJSONFile(path, good, false); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN is not representable in JSON: the encode fails after the temp
+	// file exists, exercising the cleanup path.
+	bad := []Result{{FinalDist: math.NaN()}}
+	if err := WriteJSONFile(path, bad, false); err == nil {
+		t.Fatal("NaN export should fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed export clobbered the previous good file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp debris left behind: %v", entries)
+	}
+}
+
+// TestSummarizeDerivesObservedStatuses: the breakdown must come from the
+// statuses present — no hardcoded zero buckets, deterministic order.
+func TestSummarizeDerivesObservedStatuses(t *testing.T) {
+	mk := func(status string) Result {
+		var r Result
+		switch status {
+		case "skipped":
+			r.Skipped = true
+		case "diverged":
+			r.Diverged = true
+		case "timeout":
+			r.TimedOut = true
+		case "error":
+			r.Err = "boom"
+		}
+		return r
+	}
+	if got := Summarize([]Result{mk("ok"), mk("ok")}); got != "2 scenarios: 2 ok" {
+		t.Errorf("all-ok summary = %q", got)
+	}
+	got := Summarize([]Result{mk("ok"), mk("timeout"), mk("skipped"), mk("timeout")})
+	want := "4 scenarios: 1 ok, 1 skipped, 2 timeout"
+	if got != want {
+		t.Errorf("summary = %q, want %q", got, want)
+	}
+	if got := Summarize(nil); got != "0 scenarios: 0 ok" {
+		t.Errorf("empty summary = %q", got)
+	}
+}

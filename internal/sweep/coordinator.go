@@ -1,0 +1,498 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"byzopt/internal/transport"
+)
+
+// CoordinatorSpec configures a distributed sweep coordinator: the grid to
+// run plus the fault-tolerance knobs of the dispatch fabric.
+type CoordinatorSpec struct {
+	// Spec is the scenario grid, exactly as Run would take it. Backend,
+	// Shard, and ProblemDef must be unset (the grid is executed in-process
+	// on the workers); Workers and Progress apply coordinator-side.
+	Spec Spec
+	// LeaseTTL bounds how long a worker may hold leased cells before the
+	// coordinator reassigns them; 0 means DefaultLeaseTTL. A crashed or
+	// wedged worker therefore delays its cells by at most one TTL.
+	LeaseTTL time.Duration
+	// LeaseCells is the number of cells handed out per lease; 0 means
+	// DefaultLeaseCells. Smaller leases rebalance and recover faster,
+	// larger ones amortize round trips on big grids.
+	LeaseCells int
+	// CheckpointPath, when non-empty, enables crash recovery: every
+	// completed cell is appended to this JSONL log (with an atomic
+	// .snapshot beside it), and a coordinator reopened on the same path
+	// resumes the grid, re-running only the cells the checkpoint is
+	// missing.
+	CheckpointPath string
+	// Progress mirrors Spec.Progress for the distributed run: called, with
+	// calls serialized, after each cell lands — including, once at startup,
+	// for cells restored from the checkpoint.
+	Progress func(done, total int)
+	// Logf, when non-nil, receives human-readable fabric events (worker
+	// arrivals, crash reassignments, lease expiries). No trailing newline.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for the dispatch fabric.
+const (
+	DefaultLeaseTTL   = time.Minute
+	DefaultLeaseCells = 4
+	// emptyLeaseRetry is how long a worker is told to wait when every
+	// remaining cell is leased elsewhere.
+	emptyLeaseRetry = 200 * time.Millisecond
+)
+
+// lease tracks one worker's outstanding cells.
+type lease struct {
+	outstanding map[int]struct{}
+	expires     time.Time
+	worker      string
+}
+
+// coordinator is the shared state behind Coordinate.
+type coordinator struct {
+	cs      CoordinatorSpec
+	jobs    []job
+	wireDoc json.RawMessage
+
+	mu        sync.Mutex
+	results   []Result
+	done      []bool
+	doneCount int
+	restored  int
+	pending   []int // unleased, uncompleted cell indices, ascending
+	leases    map[*workerConn]*lease
+	ckpt      *Checkpoint
+	finished  chan struct{} // closed when doneCount reaches the grid size
+	conns     map[*workerConn]struct{}
+	nextID    int
+}
+
+// workerConn is one accepted worker connection.
+type workerConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	name string
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	if c.cs.Logf != nil {
+		c.cs.Logf(format, args...)
+	}
+}
+
+// Coordinate serves the spec's scenario grid to a fleet of workers (Work,
+// or `abft-sweep -worker`) connecting on ln, and returns the full grid's
+// results in grid order — byte-identical, once exported, to a single-process
+// Run of the same Spec, because each cell is a pure function of the spec
+// and its grid position no matter which machine computed it.
+//
+// Cells are handed out as bounded leases; a worker that disconnects, or
+// holds a lease past its TTL, has its outstanding cells reassigned to the
+// next request, so worker crash is an expected event, not a failure. With
+// CheckpointPath set, completed cells stream to an append-only log with
+// atomic snapshots, and a coordinator restarted on the same path resumes
+// the grid, dispatching only what is missing. Duplicate completions (a
+// reassigned cell finishing twice) collapse to the first record.
+//
+// Coordinate returns when the grid is complete or ctx is cancelled; on
+// cancellation the completed cells are returned, in grid order, with an
+// error wrapping ctx.Err() — the checkpoint, if any, retains them for the
+// next resume. The listener is closed on return.
+func Coordinate(ctx context.Context, ln net.Listener, cs CoordinatorSpec) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ln == nil {
+		return nil, fmt.Errorf("coordinator: nil listener: %w", ErrSpec)
+	}
+	defer func() { _ = ln.Close() }()
+
+	// Project the spec through its wire form and expand the reconstruction:
+	// the workers expand exactly this document, so coordinator and fleet
+	// are guaranteed to agree on the grid cell for cell.
+	wire, err := NewWireSpec(cs.Spec)
+	if err != nil {
+		return nil, err
+	}
+	wireDoc, err := json.Marshal(wire)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: encode spec: %w", err)
+	}
+	spec, err := wire.Spec()
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := expand(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &coordinator{
+		cs:       cs,
+		jobs:     jobs,
+		wireDoc:  wireDoc,
+		results:  make([]Result, len(jobs)),
+		done:     make([]bool, len(jobs)),
+		leases:   make(map[*workerConn]*lease),
+		finished: make(chan struct{}),
+		conns:    make(map[*workerConn]struct{}),
+	}
+	if c.cs.LeaseTTL <= 0 {
+		c.cs.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.cs.LeaseCells <= 0 {
+		c.cs.LeaseCells = DefaultLeaseCells
+	}
+
+	if cs.CheckpointPath != "" {
+		ckpt, err := OpenCheckpoint(cs.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		scenarios := make([]Scenario, len(jobs))
+		for i, jb := range jobs {
+			scenarios[i] = jb.scn
+		}
+		if err := ckpt.Validate(scenarios); err != nil {
+			_ = ckpt.Close()
+			return nil, err
+		}
+		c.ckpt = ckpt
+		defer func() { _ = ckpt.Close() }()
+		for _, r := range ckpt.Results() {
+			c.results[r.GridIndex] = r
+			c.done[r.GridIndex] = true
+			c.doneCount++
+		}
+		c.restored = c.doneCount
+		if c.restored > 0 {
+			c.logf("resumed %d/%d cells from checkpoint %s", c.restored, len(jobs), cs.CheckpointPath)
+			if cs.Progress != nil {
+				cs.Progress(c.doneCount, len(jobs))
+			}
+		}
+	}
+	for i := range jobs {
+		if !c.done[i] {
+			c.pending = append(c.pending, i)
+		}
+	}
+	if c.doneCount == len(jobs) {
+		close(c.finished)
+		return c.results, nil
+	}
+
+	// Accept workers until the grid completes or the context ends. The
+	// expiry sweeper returns timed-out leases to the pending pool.
+	acceptDone := make(chan struct{})
+	go c.acceptLoop(ln, acceptDone)
+	sweepStop := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	sweepWG.Add(1)
+	go func() {
+		defer sweepWG.Done()
+		c.expirySweeper(sweepStop)
+	}()
+
+	var cause error
+	select {
+	case <-c.finished:
+	case <-ctx.Done():
+		cause = ctx.Err()
+	}
+	close(sweepStop)
+	sweepWG.Wait()
+	_ = ln.Close() // unblocks Accept
+	if cause != nil {
+		// Cancelled: tear worker connections down, unblocking handler reads.
+		c.closeConns()
+		<-acceptDone
+	} else {
+		// Grid complete: let connected workers finish their in-flight lease
+		// and pick up their done frames (handlers drain as each worker's
+		// next lease-request arrives), but don't let one wedged worker hold
+		// the coordinator open past a lease TTL.
+		select {
+		case <-acceptDone:
+		case <-time.After(c.cs.LeaseTTL):
+			c.logf("drain timed out; closing remaining worker connections")
+			c.closeConns()
+			<-acceptDone
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cause != nil {
+		partial := make([]Result, 0, c.doneCount)
+		for i := range c.results {
+			if c.done[i] {
+				partial = append(partial, c.results[i])
+			}
+		}
+		return partial, fmt.Errorf("coordinator: cancelled after %d of %d cells: %w", c.doneCount, len(c.jobs), cause)
+	}
+	return c.results, nil
+}
+
+func (c *coordinator) acceptLoop(ln net.Listener, done chan<- struct{}) {
+	defer close(done)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return // listener closed: coordinator is done or cancelled
+		}
+		wc := &workerConn{
+			conn: raw,
+			r:    bufio.NewReader(raw),
+			w:    bufio.NewWriter(raw),
+		}
+		c.mu.Lock()
+		c.conns[wc] = struct{}{}
+		c.nextID++
+		wc.name = fmt.Sprintf("worker-%d", c.nextID)
+		c.mu.Unlock()
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			c.handleWorker(wc)
+		}()
+	}
+}
+
+// closeConns tears down every live worker connection.
+func (c *coordinator) closeConns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for wc := range c.conns {
+		_ = wc.conn.Close()
+	}
+}
+
+// send writes one frame and flushes.
+func (wc *workerConn) send(kind string, payload any) error {
+	if err := transport.WriteSweepFrame(wc.w, kind, payload); err != nil {
+		return err
+	}
+	return wc.w.Flush()
+}
+
+// handleWorker drives one worker conversation: handshake, then a
+// read-dispatch loop over lease requests and streamed results. Any exit —
+// clean or crash — releases the worker's outstanding lease back to the
+// pending pool.
+func (c *coordinator) handleWorker(wc *workerConn) {
+	defer func() {
+		_ = wc.conn.Close()
+		c.releaseWorker(wc)
+	}()
+
+	f, err := transport.ExpectSweepFrame(wc.r, transport.SweepKindHello)
+	if err != nil {
+		c.logf("%s: handshake failed: %v", wc.name, err)
+		return
+	}
+	var hello transport.SweepHello
+	if err := f.Decode(&hello); err != nil {
+		c.logf("%s: handshake failed: %v", wc.name, err)
+		return
+	}
+	if hello.Proto != transport.SweepProtoVersion {
+		_ = wc.send(transport.SweepKindError,
+			transport.SweepError{Message: fmt.Sprintf("protocol version %d, coordinator speaks %d", hello.Proto, transport.SweepProtoVersion)})
+		return
+	}
+	if hello.Name != "" {
+		c.mu.Lock()
+		wc.name = fmt.Sprintf("%s (%s)", hello.Name, wc.name)
+		c.mu.Unlock()
+	}
+	if err := wc.send(transport.SweepKindSpec, c.wireDoc); err != nil {
+		c.logf("%s: send spec: %v", wc.name, err)
+		return
+	}
+	c.logf("%s: connected", wc.name)
+
+	for {
+		f, err := transport.ReadSweepFrame(wc.r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.logf("%s: connection lost: %v", wc.name, err)
+			}
+			return
+		}
+		switch f.Kind {
+		case transport.SweepKindLeaseRequest:
+			done, leaseMsg := c.nextLease(wc)
+			if done {
+				_ = wc.send(transport.SweepKindDone, transport.SweepDone{Reason: "grid complete"})
+				return
+			}
+			if err := wc.send(transport.SweepKindLease, leaseMsg); err != nil {
+				c.logf("%s: send lease: %v", wc.name, err)
+				return
+			}
+		case transport.SweepKindResult:
+			var res Result
+			if err := f.Decode(&res); err != nil {
+				c.logf("%s: bad result frame: %v", wc.name, err)
+				_ = wc.send(transport.SweepKindError, transport.SweepError{Message: err.Error()})
+				return
+			}
+			if err := c.record(wc, res); err != nil {
+				c.logf("%s: rejected result: %v", wc.name, err)
+				_ = wc.send(transport.SweepKindError, transport.SweepError{Message: err.Error()})
+				return
+			}
+		default:
+			c.logf("%s: unexpected %s frame", wc.name, f.Kind)
+			_ = wc.send(transport.SweepKindError,
+				transport.SweepError{Message: fmt.Sprintf("unexpected %s frame", f.Kind)})
+			return
+		}
+	}
+}
+
+// nextLease carves the next batch off the pending pool for wc. done reports
+// grid completion; an empty lease means everything left is leased elsewhere
+// and the worker should retry shortly.
+func (c *coordinator) nextLease(wc *workerConn) (done bool, msg transport.SweepLease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.doneCount == len(c.jobs) {
+		return true, transport.SweepLease{}
+	}
+	n := c.cs.LeaseCells
+	if n > len(c.pending) {
+		n = len(c.pending)
+	}
+	if n == 0 {
+		return false, transport.SweepLease{RetryMillis: emptyLeaseRetry.Milliseconds()}
+	}
+	batch := make([]int, n)
+	copy(batch, c.pending[:n])
+	c.pending = c.pending[n:]
+	ls := c.leases[wc]
+	if ls == nil {
+		ls = &lease{outstanding: make(map[int]struct{}), worker: wc.name}
+		c.leases[wc] = ls
+	}
+	for _, idx := range batch {
+		ls.outstanding[idx] = struct{}{}
+	}
+	ls.expires = time.Now().Add(c.cs.LeaseTTL)
+	return false, transport.SweepLease{Indices: batch, TTLMillis: c.cs.LeaseTTL.Milliseconds()}
+}
+
+// record lands one completed cell: validates it against the grid, releases
+// it from the worker's lease, checkpoints it, and closes finished when it
+// was the last. Duplicates — a reassigned cell computed twice — are
+// dropped; the first record wins (they are identical by construction).
+func (c *coordinator) record(wc *workerConn, res Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := res.GridIndex
+	if idx < 0 || idx >= len(c.jobs) {
+		return fmt.Errorf("cell index %d outside grid of %d: %w", idx, len(c.jobs), ErrSpec)
+	}
+	if want := c.jobs[idx].scn.Key(); res.Key() != want {
+		return fmt.Errorf("cell %d is %q, want %q: %w", idx, res.Key(), want, ErrSpec)
+	}
+	if ls := c.leases[wc]; ls != nil {
+		delete(ls.outstanding, idx)
+	}
+	if c.done[idx] {
+		return nil // duplicate from a reassigned lease
+	}
+	if c.ckpt != nil {
+		if err := c.ckpt.Append(res); err != nil {
+			// Checkpointing failure is a coordinator-side fault, not the
+			// worker's; surface it in the log but keep the cell.
+			c.logf("checkpoint: %v", err)
+		}
+	}
+	c.results[idx] = res
+	c.done[idx] = true
+	c.doneCount++
+	if c.cs.Progress != nil {
+		c.cs.Progress(c.doneCount, len(c.jobs))
+	}
+	if c.doneCount == len(c.jobs) {
+		close(c.finished)
+	}
+	return nil
+}
+
+// releaseWorker returns a departed worker's outstanding cells to the
+// pending pool.
+func (c *coordinator) releaseWorker(wc *workerConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, wc)
+	ls := c.leases[wc]
+	delete(c.leases, wc)
+	if ls == nil || len(ls.outstanding) == 0 {
+		return
+	}
+	released := c.releaseLocked(ls)
+	c.logf("%s: disconnected with %d leased cells; reassigning", wc.name, released)
+}
+
+// releaseLocked moves a lease's outstanding cells back to pending,
+// preserving ascending order. Callers hold c.mu.
+func (c *coordinator) releaseLocked(ls *lease) int {
+	n := 0
+	for idx := range ls.outstanding {
+		c.pending = append(c.pending, idx)
+		n++
+	}
+	ls.outstanding = make(map[int]struct{})
+	// Keep the pool ordered so dispatch stays roughly front-to-back.
+	sort.Ints(c.pending)
+	return n
+}
+
+// expirySweeper periodically reassigns cells from leases past their TTL, so
+// a wedged-but-connected worker cannot stall the grid either.
+func (c *coordinator) expirySweeper(stop <-chan struct{}) {
+	interval := c.cs.LeaseTTL / 4
+	if interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			c.mu.Lock()
+			for wc, ls := range c.leases {
+				if len(ls.outstanding) > 0 && now.After(ls.expires) {
+					released := c.releaseLocked(ls)
+					c.logf("%s: lease expired with %d cells outstanding; reassigning", wc.name, released)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}

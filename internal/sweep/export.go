@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -28,17 +30,47 @@ func WriteJSON(w io.Writer, results []Result, includeTiming bool) error {
 }
 
 // WriteJSONFile writes the WriteJSON export to a file, the shared export
-// path of the CLIs.
+// path of the CLIs. The write is atomic — the bytes land in a temp file in
+// the target's directory and are renamed into place — so a crash or a full
+// disk mid-write can never leave a truncated, unparseable export behind
+// where a previous good one stood (shard merging and checkpoint snapshots
+// both rely on this: a path either holds a complete export or its prior
+// contents).
 func WriteJSONFile(path string, results []Result, includeTiming bool) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := WriteJSON(f, results, includeTiming); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := WriteJSON(f, results, includeTiming); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp opens 0600; match the permissions a plain os.Create export
+	// would have carried.
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ReadJSONFile reads a WriteJSON export back, the input side of shard
@@ -150,12 +182,38 @@ func FormatTable(results []Result) string {
 	return b.String()
 }
 
-// Summarize counts results by status, for one-line sweep reports.
+// statusOrder ranks the engine's own statuses for summary lines; statuses
+// it does not know about (added by layers above, like the coordinator's
+// lease bookkeeping) sort after these, alphabetically.
+var statusOrder = []string{"ok", "skipped", "diverged", "timeout", "error"}
+
+// Summarize counts results by status, for one-line sweep reports. The
+// breakdown is derived from the statuses actually observed — never from a
+// hardcoded list, so statuses introduced later still show up and the counts
+// always add up to the total — in deterministic order: the engine's
+// canonical statuses first, then anything else alphabetically. "ok" is
+// always reported, even at zero.
 func Summarize(results []Result) string {
 	counts := map[string]int{}
 	for i := range results {
 		counts[results[i].Status()]++
 	}
-	return fmt.Sprintf("%d scenarios: %d ok, %d skipped, %d diverged, %d timeout, %d error",
-		len(results), counts["ok"], counts["skipped"], counts["diverged"], counts["timeout"], counts["error"])
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios: %d ok", len(results), counts["ok"])
+	delete(counts, "ok")
+	for _, status := range statusOrder[1:] {
+		if n, seen := counts[status]; seen {
+			fmt.Fprintf(&b, ", %d %s", n, status)
+			delete(counts, status)
+		}
+	}
+	extra := make([]string, 0, len(counts))
+	for status := range counts {
+		extra = append(extra, status)
+	}
+	sort.Strings(extra)
+	for _, status := range extra {
+		fmt.Fprintf(&b, ", %d %s", counts[status], status)
+	}
+	return b.String()
 }

@@ -221,6 +221,107 @@ func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 	return results, nil
 }
 
+// RunCells executes the named cells — full-grid indices, as recorded in
+// Result.GridIndex — of the spec, streaming each completed Result through
+// emit as soon as it is available. It is the worker half of the distributed
+// sweep fabric: a coordinator leases index batches, the worker runs them
+// here and streams the rows back. Cells run on a pool of spec.Workers
+// goroutines (the usual <= 0 means GOMAXPROCS); emit calls are serialized
+// but arrive in completion order, not index order — every Result carries
+// its grid index, so callers reassemble. An emit error, a cancelled ctx, or
+// an out-of-range index aborts the run; like RunContext, per-cell failures
+// are classified into the Result instead.
+func RunCells(ctx context.Context, spec Spec, indices []int, emit func(Result) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if emit == nil {
+		return fmt.Errorf("nil emit callback: %w", ErrSpec)
+	}
+	if spec.Shard != nil {
+		return fmt.Errorf("RunCells addresses the full grid; Spec.Shard must be nil: %w", ErrSpec)
+	}
+	jobs, err := expand(&spec)
+	if err != nil {
+		return err
+	}
+	prob, err := resolveProblem(&spec)
+	if err != nil {
+		return err
+	}
+	backend := spec.Backend
+	if backend == nil {
+		backend = dgd.InProcess{}
+	}
+	selected := make([]job, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(jobs) {
+			return fmt.Errorf("cell index %d outside grid of %d: %w", idx, len(jobs), ErrSpec)
+		}
+		selected[i] = jobs[idx]
+	}
+	workloads := buildWorkloads(&spec, prob, selected)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	if workers <= 1 {
+		for _, jb := range selected {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res, err := runScenario(ctx, &spec, prob, backend, jb, workloads)
+			if err != nil {
+				return err
+			}
+			if err := emit(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		emitMu  sync.Mutex
+		emitErr error
+	)
+	var wg sync.WaitGroup
+	next := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range next {
+				res, err := runScenario(ctx, &spec, prob, backend, jb, workloads)
+				emitMu.Lock()
+				if err == nil && emitErr == nil {
+					err = emit(res)
+				}
+				if err != nil && emitErr == nil {
+					emitErr = err
+				}
+				emitMu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for _, i := range longestFirst(selected) {
+		select {
+		case next <- selected[i]:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if emitErr != nil {
+		return emitErr
+	}
+	return ctx.Err()
+}
+
 // longestFirst returns the positions of jobs in descending order of
 // estimated cost steps·n·d (stable: equal-cost jobs keep grid order).
 // Infeasible cells (2f >= n) return immediately at run time, so their

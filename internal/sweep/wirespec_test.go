@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"byzopt/internal/dgd"
+)
+
+// TestWireSpecRoundTripExpandsIdenticalGrid is the property the distributed
+// fabric leans on: a Spec projected to the wire, JSON-round-tripped, and
+// reconstructed must expand to the exact scenario grid of the original.
+func TestWireSpecRoundTripExpandsIdenticalGrid(t *testing.T) {
+	orig := Spec{
+		Filters:   []string{"cge", "cwtm", "bulyan"},
+		Behaviors: []string{"gradient-reverse", "random"},
+		FValues:   []int{1, 2},
+		NValues:   []int{10, 20},
+		Steps:     []dgd.StepSchedule{dgd.Diminishing{C: 0.5, P: 1}, dgd.Constant{Eta: 0.01}},
+		Rounds:    50,
+		Seed:      99,
+		Noise:     0.1,
+	}
+	wire, err := NewWireSpec(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded WireSpec
+	if err := json.Unmarshal(doc, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normOrig := orig
+	normOrig.normalize()
+	wantGrid, err := expand(&normOrig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.normalize()
+	gotGrid, err := expand(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotGrid) != len(wantGrid) {
+		t.Fatalf("round-tripped grid has %d cells, want %d", len(gotGrid), len(wantGrid))
+	}
+	for i := range wantGrid {
+		if gotGrid[i].scn.Key() != wantGrid[i].scn.Key() {
+			t.Errorf("cell %d: key %q != %q", i, gotGrid[i].scn.Key(), wantGrid[i].scn.Key())
+		}
+	}
+}
+
+// TestWireSpecPinsDefaults: projecting a zero-ish Spec must bake the
+// normalized defaults into the wire form, so a worker whose binary has
+// different defaults still expands the coordinator's grid.
+func TestWireSpecPinsDefaults(t *testing.T) {
+	wire, err := NewWireSpec(Spec{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Problem == "" {
+		t.Error("default problem not pinned")
+	}
+	if len(wire.Filters) == 0 || len(wire.Behaviors) == 0 || len(wire.FValues) == 0 {
+		t.Errorf("default axes not pinned: %+v", wire)
+	}
+	if len(wire.NValues) == 0 || len(wire.Dims) == 0 || len(wire.Steps) == 0 {
+		t.Errorf("default n/dims/steps not pinned: %+v", wire)
+	}
+}
+
+func TestWireSpecRejectsProcessLocalMachinery(t *testing.T) {
+	base := Spec{Rounds: 10}
+
+	withDef := base
+	withDef.ProblemDef = &LearningProblem{ProblemName: "custom-unregistered"}
+	if _, err := NewWireSpec(withDef); !errors.Is(err, ErrSpec) {
+		t.Errorf("ProblemDef: %v", err)
+	}
+	withShard := base
+	withShard.Shard = &Shard{Index: 0, Count: 2}
+	if _, err := NewWireSpec(withShard); !errors.Is(err, ErrSpec) {
+		t.Errorf("Shard: %v", err)
+	}
+}
+
+func TestStepSpecUnknownKindRejected(t *testing.T) {
+	if _, err := (StepSpec{Kind: "warmup"}).Schedule(); !errors.Is(err, ErrSpec) {
+		t.Errorf("unknown kind: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"byzopt/internal/transport"
+)
+
+// WorkerOptions configures one sweep worker process.
+type WorkerOptions struct {
+	// Name labels the worker in coordinator logs (e.g. a hostname); purely
+	// cosmetic.
+	Name string
+	// Workers sizes the worker's own cell pool (Spec.Workers for the leased
+	// batches); <= 0 means GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Work runs one sweep worker against the coordinator at addr: it dials,
+// learns the grid spec from the coordinator, then loops leasing cell
+// batches, executing them with the in-process engine, and streaming each
+// completed Result back the moment it lands — until the coordinator reports
+// the grid complete (nil) or ctx is cancelled (ctx's error). Any number of
+// workers may serve one coordinator; each cell's result is a pure function
+// of the spec, so the fleet's merged export is byte-identical to a
+// single-process Run.
+func Work(ctx context.Context, addr string, opts WorkerOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("worker: dial %s: %w", addr, err)
+	}
+	defer func() { _ = raw.Close() }()
+
+	// Tear the connection down on cancellation so blocked reads and writes
+	// unwind, mirroring transport.ServeAgent.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = raw.Close()
+		case <-watchDone:
+		}
+	}()
+
+	r := bufio.NewReader(raw)
+	w := bufio.NewWriter(raw)
+	send := func(kind string, payload any) error {
+		if err := transport.WriteSweepFrame(w, kind, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	if err := send(transport.SweepKindHello, transport.SweepHello{Proto: transport.SweepProtoVersion, Name: opts.Name}); err != nil {
+		return fmt.Errorf("worker: hello: %w", classifyWorkerErr(ctx, err))
+	}
+	specFrame, err := transport.ExpectSweepFrame(r, transport.SweepKindSpec)
+	if err != nil {
+		return fmt.Errorf("worker: handshake: %w", classifyWorkerErr(ctx, err))
+	}
+	var wire WireSpec
+	if err := specFrame.Decode(&wire); err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	spec, err := wire.Spec()
+	if err != nil {
+		return fmt.Errorf("worker: coordinator spec: %w", err)
+	}
+	spec.Workers = opts.Workers
+	logf("serving grid: problem=%s rounds=%d", spec.Problem, spec.Rounds)
+
+	cellsDone := 0
+	for {
+		if err := send(transport.SweepKindLeaseRequest, nil); err != nil {
+			return fmt.Errorf("worker: request lease: %w", classifyWorkerErr(ctx, err))
+		}
+		f, err := transport.ReadSweepFrame(r)
+		if err != nil {
+			return fmt.Errorf("worker: await lease: %w", classifyWorkerErr(ctx, err))
+		}
+		switch f.Kind {
+		case transport.SweepKindDone:
+			logf("grid complete after %d cells here", cellsDone)
+			return nil
+		case transport.SweepKindError:
+			var se transport.SweepError
+			if err := f.Decode(&se); err != nil {
+				return fmt.Errorf("worker: %w", err)
+			}
+			return fmt.Errorf("worker: coordinator error: %s", se.Message)
+		case transport.SweepKindLease:
+		default:
+			return fmt.Errorf("worker: got %s frame while expecting lease", f.Kind)
+		}
+		var ls transport.SweepLease
+		if err := f.Decode(&ls); err != nil {
+			return fmt.Errorf("worker: %w", err)
+		}
+		if len(ls.Indices) == 0 {
+			// Everything left is leased elsewhere; back off and ask again.
+			retry := time.Duration(ls.RetryMillis) * time.Millisecond
+			if retry <= 0 {
+				retry = emptyLeaseRetry
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		logf("leased %d cells (ttl %dms)", len(ls.Indices), ls.TTLMillis)
+		err = RunCells(ctx, spec, ls.Indices, func(res Result) error {
+			doc, err := json.Marshal(&res)
+			if err != nil {
+				return fmt.Errorf("encode result %d: %w", res.GridIndex, err)
+			}
+			if err := send(transport.SweepKindResult, json.RawMessage(doc)); err != nil {
+				return fmt.Errorf("stream result %d: %w", res.GridIndex, err)
+			}
+			cellsDone++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("worker: %w", classifyWorkerErr(ctx, err))
+		}
+	}
+}
+
+// classifyWorkerErr attributes connection teardown to the cancelled ctx
+// when that is what caused it, so Work's callers see ctx.Err() rather than
+// an incidental "use of closed connection".
+func classifyWorkerErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil &&
+		(errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+		return cerr
+	}
+	return err
+}

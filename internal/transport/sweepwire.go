@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the coordinator/worker half of the transport package: the
+// wire protocol behind the distributed sweep fabric (internal/sweep's
+// Coordinate and Work). Where the gradient protocol of tcp.go moves one
+// small vector per round over gob, the sweep protocol moves whole result
+// rows and spec documents, so it uses explicit length-prefixed JSON frames:
+// a 4-byte big-endian length followed by one JSON-encoded SweepFrame. The
+// length prefix makes partial writes detectable (a truncated frame fails
+// loudly instead of desynchronizing the stream) and keeps the payloads
+// inspectable on the wire.
+//
+// Conversation shape, mirroring the Hello handshake of tcp.go:
+//
+//	worker → coordinator   hello          (SweepHello: protocol version, name)
+//	coordinator → worker   spec           (opaque spec document)
+//	worker → coordinator   lease-request
+//	coordinator → worker   lease          (SweepLease: cell indices + TTL;
+//	                                       empty Indices = nothing pending
+//	                                       right now, retry after RetryMillis)
+//	worker → coordinator   result         (one opaque result row, streamed
+//	                                       per completed cell)
+//	...                                   (lease-request/lease/result repeat)
+//	coordinator → worker   done           (grid complete: disconnect)
+//	either direction       error          (SweepError: fatal, close the conn)
+//
+// The spec and result payloads stay json.RawMessage here: the transport
+// frames and routes them, internal/sweep owns their schema.
+
+// SweepProtoVersion is the sweep wire-protocol version a worker announces in
+// its hello frame; the coordinator rejects mismatches during the handshake.
+const SweepProtoVersion = 1
+
+// MaxSweepFrame bounds a single frame (64 MiB). A length prefix beyond it is
+// treated as stream corruption rather than an allocation request.
+const MaxSweepFrame = 64 << 20
+
+// ErrFrameTooLarge is returned (wrapped) for frames exceeding MaxSweepFrame
+// in either direction.
+var ErrFrameTooLarge = errors.New("transport: sweep frame exceeds size limit")
+
+// Sweep frame kinds. Strings, not iota: the frames are JSON, and a
+// self-describing kind survives protocol evolution and debugging dumps.
+const (
+	SweepKindHello        = "hello"
+	SweepKindSpec         = "spec"
+	SweepKindLeaseRequest = "lease-request"
+	SweepKindLease        = "lease"
+	SweepKindResult       = "result"
+	SweepKindDone         = "done"
+	SweepKindError        = "error"
+)
+
+// SweepFrame is the single envelope every sweep-protocol message travels in.
+type SweepFrame struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// SweepHello is the worker's opening frame.
+type SweepHello struct {
+	// Proto is the worker's SweepProtoVersion.
+	Proto int `json:"proto"`
+	// Name labels the worker in coordinator logs; it carries no protocol
+	// meaning and need not be unique.
+	Name string `json:"name,omitempty"`
+}
+
+// SweepLease assigns grid cells to a worker.
+type SweepLease struct {
+	// Indices are full-grid cell indices the worker should run. Empty means
+	// nothing is pending right now (every remaining cell is leased
+	// elsewhere): the worker should re-request after RetryMillis.
+	Indices []int `json:"indices,omitempty"`
+	// TTLMillis is the lease deadline: cells not returned within it are
+	// reassigned, so a worker holding a lease past the TTL may find its
+	// results discarded as duplicates.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// RetryMillis, on an empty lease, tells the worker how long to wait
+	// before asking again.
+	RetryMillis int64 `json:"retry_ms,omitempty"`
+}
+
+// SweepDone ends the conversation: the grid is complete.
+type SweepDone struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// SweepError carries a fatal protocol-level failure as data before the
+// connection closes.
+type SweepError struct {
+	Message string `json:"message"`
+}
+
+// WriteSweepFrame encodes payload (pre-encoded json.RawMessage passes
+// through verbatim) and writes one length-prefixed frame. It is not safe for
+// concurrent use on one writer; callers serialize (the sweep protocol is
+// request/response per connection, with results streamed from one goroutine).
+func WriteSweepFrame(w io.Writer, kind string, payload any) error {
+	var raw json.RawMessage
+	switch p := payload.(type) {
+	case nil:
+	case json.RawMessage:
+		raw = p
+	default:
+		enc, err := json.Marshal(p)
+		if err != nil {
+			return fmt.Errorf("transport: encode %s payload: %w", kind, err)
+		}
+		raw = enc
+	}
+	body, err := json.Marshal(SweepFrame{Kind: kind, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("transport: encode %s frame: %w", kind, err)
+	}
+	if len(body) > MaxSweepFrame {
+		return fmt.Errorf("transport: %s frame is %d bytes: %w", kind, len(body), ErrFrameTooLarge)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("transport: write %s frame length: %w", kind, err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("transport: write %s frame: %w", kind, err)
+	}
+	return nil
+}
+
+// ReadSweepFrame reads one length-prefixed frame. io.EOF is returned
+// verbatim when the stream ends cleanly between frames; an EOF inside a
+// frame is io.ErrUnexpectedEOF (wrapped), distinguishing a peer that went
+// away from one that was cut off mid-message.
+func ReadSweepFrame(r io.Reader) (SweepFrame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return SweepFrame{}, io.EOF
+		}
+		return SweepFrame{}, fmt.Errorf("transport: read frame length: %w", err)
+	}
+	size := binary.BigEndian.Uint32(prefix[:])
+	if size > MaxSweepFrame {
+		return SweepFrame{}, fmt.Errorf("transport: frame length %d: %w", size, ErrFrameTooLarge)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return SweepFrame{}, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	var f SweepFrame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return SweepFrame{}, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	if f.Kind == "" {
+		return SweepFrame{}, errors.New("transport: frame without kind")
+	}
+	return f, nil
+}
+
+// Decode unmarshals the frame payload into dst, with the frame kind in the
+// error for context.
+func (f SweepFrame) Decode(dst any) error {
+	if len(f.Payload) == 0 {
+		return fmt.Errorf("transport: %s frame has no payload", f.Kind)
+	}
+	if err := json.Unmarshal(f.Payload, dst); err != nil {
+		return fmt.Errorf("transport: decode %s payload: %w", f.Kind, err)
+	}
+	return nil
+}
+
+// ExpectSweepFrame reads one frame and requires the given kind, decoding a
+// peer's error frame into a Go error — the common receive pattern on both
+// ends of the handshake.
+func ExpectSweepFrame(r io.Reader, kind string) (SweepFrame, error) {
+	f, err := ReadSweepFrame(r)
+	if err != nil {
+		return SweepFrame{}, err
+	}
+	if f.Kind == SweepKindError {
+		var se SweepError
+		if err := f.Decode(&se); err != nil {
+			return SweepFrame{}, err
+		}
+		return SweepFrame{}, fmt.Errorf("transport: peer error: %s", se.Message)
+	}
+	if f.Kind != kind {
+		return SweepFrame{}, fmt.Errorf("transport: got %s frame while expecting %s", f.Kind, kind)
+	}
+	return f, nil
+}

@@ -52,7 +52,9 @@ type tcpConn struct {
 func (c *tcpConn) AgentID() int { return c.agentID }
 
 // RequestGradient implements AgentConn. The ctx deadline is mapped onto the
-// socket's read/write deadlines; expiry surfaces as ErrTimeout so the
+// socket's read/write deadlines, and a cancellation of ctx without any
+// deadline interrupts blocked I/O by poisoning the socket deadline; both
+// surface as ErrTimeout (wrapping ctx.Err() on cancellation) so the
 // server's elimination logic treats network silence like any other missed
 // round (paper step S1).
 func (c *tcpConn) RequestGradient(ctx context.Context, round int, estimate []float64) ([]float64, error) {
@@ -65,15 +67,30 @@ func (c *tcpConn) RequestGradient(ctx context.Context, round int, estimate []flo
 	if !ok {
 		deadline = time.Time{} // no deadline
 	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	conn := c.conn
+	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("tcp set deadline: %w", err)
 	}
+	// SetDeadline only covers ctx's deadline; a ctx cancelled without one
+	// would otherwise leave the encode/decode below blocked forever. The
+	// watcher yanks the deadline to now on cancellation, which unblocks the
+	// I/O with a timeout error; the next request resets the deadline, so the
+	// connection itself stays usable.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
 	if err := c.enc.Encode(frame{Kind: frameRequest, Request: GradientRequest{Round: round, Estimate: estimate}}); err != nil {
-		return nil, wrapNetErr("tcp send round", round, err)
+		return nil, wrapReqErr(ctx, "tcp send round", round, err)
 	}
 	var reply GradientReply
 	if err := c.dec.Decode(&reply); err != nil {
-		return nil, wrapNetErr("tcp receive round", round, err)
+		return nil, wrapReqErr(ctx, "tcp receive round", round, err)
 	}
 	if reply.Err != "" {
 		return nil, fmt.Errorf("tcp agent error at round %d: %s", round, reply.Err)
@@ -99,6 +116,16 @@ func (c *tcpConn) Close() error {
 		c.conn = nil
 	})
 	return c.closeErr
+}
+
+// wrapReqErr classifies a request-path I/O failure, attributing it to the
+// request context when that is what interrupted the connection: a cancelled
+// ctx surfaces as ErrTimeout wrapping ctx.Err(), so callers can match either.
+func wrapReqErr(ctx context.Context, op string, round int, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("%s %d: %w: %w", op, round, ErrTimeout, cerr)
+	}
+	return wrapNetErr(op, round, err)
 }
 
 func wrapNetErr(op string, round int, err error) error {

@@ -313,6 +313,57 @@ func TestTCPShutdownEndsAgent(t *testing.T) {
 	}
 }
 
+// TestTCPCancelWithoutDeadlineUnblocksRequest is the regression test for
+// the hang where RequestGradient mapped only the ctx *deadline* onto the
+// socket: a ctx cancelled without any deadline left the read blocked
+// forever. Cancellation must interrupt the blocked read promptly and
+// surface as ErrTimeout wrapping ctx.Err().
+func TestTCPCancelWithoutDeadlineUnblocksRequest(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	flaky := NewFlaky(&echoProducer{scale: 1}, 0) // never replies
+	wg, cancelAgents := startAgents(t, l.Addr().String(), 1, func(int) GradientProducer {
+		return flaky
+	})
+	defer func() {
+		// Unblock the producer before waiting: ServeAgent computes
+		// synchronously, so the agent goroutine sits inside Gradient until
+		// released.
+		cancelAgents()
+		flaky.Release()
+		wg.Wait()
+	}()
+
+	conns, err := AcceptAgents(l, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conns[0].Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background()) // note: no deadline
+	time.AfterFunc(50*time.Millisecond, cancel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conns[0].RequestGradient(ctx, 0, []float64{1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("want ErrTimeout, got %v", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("want wrapped context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request never returned: read still blocked")
+	}
+}
+
 func TestTCPBadAgentCount(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
