@@ -663,6 +663,57 @@ func BenchmarkDGDRound(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncRound measures the virtual-time overlay's overhead on one
+// engine round at learning scale (n = 20, d = 2000): the synchronous
+// baseline against wait-all, first-k partial aggregation, and a
+// virtual-time deadline, all under a straggler-heavy uniform latency model.
+func BenchmarkAsyncRound(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	const n, d = 20, 2000
+	costs := make([]byzopt.Cost, n)
+	for i := range costs {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		c, err := byzopt.SingleObservationCost(row, r.NormFloat64())
+		if err != nil {
+			b.Fatal(err)
+		}
+		costs[i] = c
+	}
+	agents, err := byzopt.HonestAgents(costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := make([]float64, d)
+	latency := byzopt.LatencyModel{Kind: byzopt.LatencyUniform, Base: 0.2, Spread: 1, StragglerRate: 0.25, StragglerFactor: 8}
+	for _, c := range []struct {
+		name  string
+		async *byzopt.AsyncConfig
+	}{
+		{"sync", nil},
+		{"wait-all", &byzopt.AsyncConfig{Latency: latency, Policy: byzopt.CollectWaitAll, Stale: byzopt.StaleReuse, Seed: 7}},
+		{"first-k", &byzopt.AsyncConfig{Latency: latency, Policy: byzopt.CollectFirstK, K: 15, Stale: byzopt.StaleReuse, Seed: 7}},
+		{"deadline", &byzopt.AsyncConfig{Latency: latency, Policy: byzopt.CollectDeadline, Deadline: 0.9, Stale: byzopt.StaleWeighted, Seed: 7}},
+	} {
+		b.Run("policy="+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := byzopt.Run(byzopt.Config{
+					Agents: agents,
+					F:      2,
+					Filter: aggregate.CWTM{},
+					X0:     x0,
+					Rounds: 1,
+					Async:  c.async,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func reportFigure(b *testing.B, figs []experiments.FigureData) {
 	b.Helper()
 	for _, fd := range figs {

@@ -61,6 +61,20 @@
 // All backends honor observers, so instrumentation is portable between the
 // in-process engine and the cluster.
 //
+// # Asynchronous rounds
+//
+// Config.Async replaces the synchronous round with a deterministic
+// virtual-time model: agents take latencies from a seeded distribution
+// (AsyncConfig.Latency, optionally with persistent stragglers), the server
+// closes each round per a collection policy (wait-all, first-k partial
+// aggregation, or a virtual-time deadline), and late gradients are dropped,
+// reused, or staleness-weighted (AsyncConfig.Stale). Time is simulated, so
+// runs stay bitwise reproducible on every substrate — and a zero-latency
+// wait-all AsyncConfig is bitwise identical to the synchronous path.
+// SweepSpec.Asyncs sweeps such models as a grid axis (AsyncSpec), and
+// observers implementing AsyncObserver (TraceRecorder does) receive each
+// round's arrival count, staleness, and virtual time.
+//
 // # Scenario sweeps
 //
 // The paper's evaluation is a grid — a workload × filters × Byzantine
@@ -138,6 +152,7 @@ import (
 	"byzopt/internal/dgd"
 	"byzopt/internal/matrix"
 	"byzopt/internal/p2p"
+	"byzopt/internal/simtime"
 	"byzopt/internal/sweep"
 	"byzopt/internal/vecmath"
 )
@@ -278,8 +293,68 @@ type RoundObserver = dgd.RoundObserver
 type ObserverFunc = dgd.ObserverFunc
 
 // TraceRecorder is a RoundObserver recording the full per-round series
-// (estimates, loss, distance) for export.
+// (estimates, loss, distance) for export. It also implements AsyncObserver,
+// collecting per-round AsyncRoundStats in its Async field when the run uses
+// the asynchronous round model.
 type TraceRecorder = dgd.TraceRecorder
+
+// --- the asynchronous round model ---
+
+// AsyncConfig enables the deterministic virtual-time asynchronous round
+// model for a run (Config.Async): per-agent latencies drawn from a seeded
+// LatencyModel, a collection policy deciding when the round closes, and a
+// staleness policy deciding what happens to late gradients. A zero-latency
+// wait-all AsyncConfig is bitwise identical to leaving Config.Async nil.
+type AsyncConfig = dgd.AsyncConfig
+
+// LatencyModel is the per-agent virtual-time delay distribution of the
+// asynchronous round model: fixed, uniform, or heavy-tailed Pareto delays,
+// with an optional fraction of agents designated persistent stragglers.
+// Every draw is a pure function of (seed, round, agent), which is what
+// keeps asynchronous runs bitwise reproducible on every substrate.
+type LatencyModel = simtime.Latency
+
+// The latency distribution kinds of LatencyModel.Kind.
+const (
+	LatencyFixed   = simtime.LatencyFixed
+	LatencyUniform = simtime.LatencyUniform
+	LatencyPareto  = simtime.LatencyPareto
+)
+
+// The collection policies of AsyncConfig.Policy: wait for every live agent,
+// aggregate the k earliest arrivals (partial aggregation, with the
+// effective fault bound adjusted to the input actually collected), or close
+// the round on a virtual-time budget.
+const (
+	CollectWaitAll  = dgd.CollectWaitAll
+	CollectFirstK   = dgd.CollectFirstK
+	CollectDeadline = dgd.CollectDeadline
+)
+
+// The staleness policies of AsyncConfig.Stale: drop late gradients, reuse
+// an agent's most recent banked gradient, or reuse it scaled by
+// 1/(1 + staleness).
+const (
+	StaleDrop     = dgd.StaleDrop
+	StaleReuse    = dgd.StaleReuse
+	StaleWeighted = dgd.StaleWeighted
+)
+
+// AsyncRoundStats describes one asynchronous round: how many gradients
+// arrived fresh, how many were substituted from stale banks or dropped, the
+// worst staleness substituted, and the virtual time at the round's close.
+type AsyncRoundStats = dgd.AsyncRoundStats
+
+// AsyncObserver is the optional observer face receiving AsyncRoundStats
+// each round; implement it alongside RoundObserver (TraceRecorder does) to
+// instrument asynchronous runs.
+type AsyncObserver = dgd.AsyncObserver
+
+// AsyncSpec is one point on a sweep's asynchrony axis (SweepSpec.Asyncs) in
+// declarative, JSON-serializable form. Sync-equivalent specs collapse to
+// the synchronous path and leave scenario keys untouched, so adding the
+// axis never perturbs existing grids.
+type AsyncSpec = sweep.AsyncSpec
 
 // Run executes the configured DGD simulation on the in-process backend,
 // without cancellation (RunContext with a background context).

@@ -279,6 +279,97 @@ func TestPublicSweepAPI(t *testing.T) {
 	}
 }
 
+// TestPublicAsyncAPI exercises the asynchronous round model through the
+// facade: a zero-latency wait-all AsyncConfig reproduces the synchronous
+// run bitwise, a straggler configuration reports round stats through
+// TraceRecorder, and the sweep's Asyncs axis expands and runs.
+func TestPublicAsyncAPI(t *testing.T) {
+	costs, _ := buildRegression(t)
+	mkConfig := func(async *AsyncConfig, obs RoundObserver) Config {
+		agents, err := HonestAgents(costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter, err := NewFilter("cge")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Agents:   agents,
+			Filter:   filter,
+			Steps:    Diminishing{C: 1.5, P: 1},
+			X0:       []float64{0, 0},
+			Rounds:   80,
+			Async:    async,
+			Observer: obs,
+		}
+	}
+	sync, err := Run(mkConfig(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := Run(mkConfig(&AsyncConfig{Policy: CollectWaitAll, Seed: 9}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sync.X {
+		if sync.X[i] != async.X[i] {
+			t.Fatalf("zero-latency wait-all diverges from sync at coordinate %d", i)
+		}
+	}
+	rec := &TraceRecorder{OmitEstimates: true}
+	straggled, err := Run(mkConfig(&AsyncConfig{
+		Latency: LatencyModel{Kind: LatencyUniform, Base: 0.2, Spread: 1, StragglerRate: 0.3, StragglerFactor: 8},
+		Policy:  CollectFirstK,
+		K:       4,
+		Stale:   StaleReuse,
+		Seed:    9,
+	}, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(straggled.X) != 2 {
+		t.Fatalf("bad async result: %+v", straggled)
+	}
+	if len(rec.Async) != 80 {
+		t.Fatalf("recorded %d async rounds, want 80", len(rec.Async))
+	}
+	for tt, s := range rec.Async {
+		if s.Round != tt || s.Arrived != 4 {
+			t.Fatalf("round %d stats = %+v, want 4 fresh arrivals", tt, s)
+		}
+	}
+
+	results, err := Sweep(SweepSpec{
+		Filters:   []string{"cge"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1},
+		Rounds:    30,
+		Asyncs: []AsyncSpec{
+			{},
+			{Latency: LatencyFixed, Base: 1, StragglerRate: 0.25, StragglerFactor: 5,
+				Policy: CollectDeadline, Deadline: 2, Stale: StaleWeighted},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("async sweep expanded %d cells, want 2", len(results))
+	}
+	if results[0].Async != "" || results[1].Async == "" {
+		t.Fatalf("async key components wrong: %q / %q", results[0].Async, results[1].Async)
+	}
+	for _, r := range results {
+		if r.Status() != "ok" {
+			t.Errorf("%s: %s", r.Key(), r.Err)
+		}
+	}
+	if results[1].AsyncMeanArrived <= 0 {
+		t.Errorf("async cell reported mean arrived %v", results[1].AsyncMeanArrived)
+	}
+}
+
 // TestPublicProblemRegistry exercises the sweep-workload registry through
 // the public API: the built-in names are listed, lookups resolve, a
 // learning sweep runs with its accuracy metric, and a user problem

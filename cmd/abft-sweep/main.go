@@ -18,6 +18,8 @@
 //	abft-sweep -progress                              # live done/total reporting on stderr
 //	abft-sweep -coordinator :7600 -checkpoint g.ckpt -json full.json  # serve the grid to a worker fleet
 //	abft-sweep -worker host:7600                      # one fleet worker (start any number)
+//	abft-sweep -async-latency uniform:0.5:1.5 -async-policy first-k:4,deadline:2 \
+//	    -straggler-rate 0,0.25 -async-stale reuse-last -async-with-sync   # asynchronous round models
 //
 // -problem accepts any name in the problem registry (see byzopt.Problem /
 // RegisterProblem). Scenario seeds are derived by hashing each scenario's
@@ -35,6 +37,21 @@
 // results in the table and JSON rather than failing the sweep. An
 // interrupt (Ctrl-C) stops the sweep within one scenario and still prints
 // and exports the scenarios that completed, in grid order.
+//
+// -async-latency enables the asynchronous round model as a grid axis: each
+// scenario's agents take virtual-time delays from the given distribution
+// (fixed:BASE, uniform:MIN:WIDTH, or pareto:SCALE:SHAPE), the server closes
+// each round per -async-policy (wait-all; first-k:K, partial aggregation
+// over the k earliest arrivals; deadline:BUDGET, a virtual-time budget), and
+// late gradients are handled per -async-stale (drop, reuse-last, weighted;
+// -async-max-stale bounds reuse age). -straggler-rate designates that
+// fraction of agents persistent stragglers whose every delay is multiplied
+// by -straggler-factor. The straggler-rate, policy, and staleness lists
+// cross with the filter axes like every other grid dimension, and
+// -async-with-sync adds the synchronous round model as a reference point.
+// Everything stays virtual: delays are hash-derived from each scenario's
+// seed, so async sweeps keep full byte-determinism at any -workers value
+// and over a -coordinator fleet.
 //
 // -coordinator serves the grid over TCP to any number of -worker processes
 // instead of computing it locally: workers lease cell batches, stream
@@ -61,6 +78,7 @@ import (
 	"byzopt/internal/dgd"
 	"byzopt/internal/linreg"
 	"byzopt/internal/p2p"
+	"byzopt/internal/simtime"
 	"byzopt/internal/sweep"
 )
 
@@ -105,6 +123,14 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		leaseCells = fs.Int("lease-cells", 0, "with -coordinator: cells handed out per lease (0 = 4)")
 		addrFile   = fs.String("addr-file", "", "with -coordinator: write the bound listen address to this file (for :0 port discovery)")
 		name       = fs.String("name", "", "with -worker: label reported to the coordinator (default: hostname)")
+
+		asyncLatency = fs.String("async-latency", "", "enable the async round-model axis with this virtual-time latency model: fixed:BASE, uniform:MIN:WIDTH, or pareto:SCALE:SHAPE")
+		asyncPolicy  = fs.String("async-policy", "wait-all", "comma-separated collection policies to sweep: wait-all, first-k:K, deadline:BUDGET")
+		asyncStale   = fs.String("async-stale", "drop", "comma-separated staleness policies to sweep: drop, reuse-last, weighted")
+		asyncMaxSt   = fs.Int("async-max-stale", 0, "oldest round age a stale gradient may be substituted at (0 = unbounded)")
+		stragRates   = fs.String("straggler-rate", "0", "comma-separated fractions of agents designated persistent stragglers, swept as an axis")
+		stragFactor  = fs.Float64("straggler-factor", 10, "delay multiplier applied to every straggler's latency")
+		asyncSync    = fs.Bool("async-with-sync", false, "add the synchronous round model as a reference point on the async axis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,6 +221,22 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		}
 		spec.Steps = schedules
 	}
+	if *asyncLatency == "" {
+		asyncTouched := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "async-policy", "async-stale", "async-max-stale", "straggler-rate", "straggler-factor", "async-with-sync":
+				asyncTouched = f.Name
+			}
+		})
+		if asyncTouched != "" {
+			return fmt.Errorf("-%s needs -async-latency to enable the async axis", asyncTouched)
+		}
+	} else {
+		if spec.Asyncs, err = buildAsyncAxis(*asyncLatency, *asyncPolicy, *asyncStale, *stragRates, *stragFactor, *asyncMaxSt, *asyncSync); err != nil {
+			return err
+		}
+	}
 
 	var results []sweep.Result
 	var runErr error
@@ -283,6 +325,112 @@ func runMerge(paths []string, jsonPath string, timings, quiet bool, out *os.File
 	return nil
 }
 
+// buildAsyncAxis crosses the straggler-rate, collection-policy, and
+// staleness-policy lists under one latency model into the sweep's Asyncs
+// axis, optionally prefixed by the synchronous reference point. Semantic
+// validation (positive scales, K bounds) is the sweep's job — this only
+// parses.
+func buildAsyncAxis(latency, policies, stales, rates string, factor float64, maxStale int, withSync bool) ([]sweep.AsyncSpec, error) {
+	base, err := parseAsyncLatency(latency)
+	if err != nil {
+		return nil, err
+	}
+	rateVals, err := parseFloats(rates)
+	if err != nil {
+		return nil, fmt.Errorf("-straggler-rate: %w", err)
+	}
+	var out []sweep.AsyncSpec
+	if withSync {
+		out = append(out, sweep.AsyncSpec{})
+	}
+	for _, rate := range rateVals {
+		for _, ptok := range splitList(policies) {
+			pol, k, deadline, err := parseAsyncPolicy(ptok)
+			if err != nil {
+				return nil, err
+			}
+			for _, stale := range splitList(stales) {
+				a := base
+				a.StragglerRate = rate
+				if rate > 0 {
+					a.StragglerFactor = factor
+				}
+				a.Policy, a.K, a.Deadline = pol, k, deadline
+				a.Stale = stale
+				a.MaxStale = maxStale
+				out = append(out, a)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseAsyncLatency parses fixed:BASE, uniform:MIN:WIDTH, or
+// pareto:SCALE:SHAPE into the latency fields of an AsyncSpec.
+func parseAsyncLatency(s string) (sweep.AsyncSpec, error) {
+	parts := strings.Split(s, ":")
+	bad := func() (sweep.AsyncSpec, error) {
+		return sweep.AsyncSpec{}, fmt.Errorf("-async-latency %q: want fixed:BASE, uniform:MIN:WIDTH, or pareto:SCALE:SHAPE", s)
+	}
+	var vals []float64
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return bad()
+		}
+		vals = append(vals, v)
+	}
+	a := sweep.AsyncSpec{Latency: parts[0]}
+	switch parts[0] {
+	case simtime.LatencyFixed:
+		if len(vals) != 1 {
+			return bad()
+		}
+		a.Base = vals[0]
+	case simtime.LatencyUniform:
+		if len(vals) != 2 {
+			return bad()
+		}
+		a.Base, a.Spread = vals[0], vals[1]
+	case simtime.LatencyPareto:
+		if len(vals) != 2 {
+			return bad()
+		}
+		a.Base, a.Alpha = vals[0], vals[1]
+	default:
+		return bad()
+	}
+	return a, nil
+}
+
+// parseAsyncPolicy parses wait-all, first-k:K, or deadline:BUDGET.
+func parseAsyncPolicy(s string) (policy string, k int, deadline float64, err error) {
+	name, arg, hasArg := strings.Cut(s, ":")
+	switch name {
+	case dgd.CollectWaitAll:
+		if hasArg {
+			return "", 0, 0, fmt.Errorf("-async-policy %q: wait-all takes no argument", s)
+		}
+	case dgd.CollectFirstK:
+		if !hasArg {
+			return "", 0, 0, fmt.Errorf("-async-policy %q: want first-k:K", s)
+		}
+		if k, err = strconv.Atoi(arg); err != nil {
+			return "", 0, 0, fmt.Errorf("-async-policy %q: %w", s, err)
+		}
+	case dgd.CollectDeadline:
+		if !hasArg {
+			return "", 0, 0, fmt.Errorf("-async-policy %q: want deadline:BUDGET", s)
+		}
+		if deadline, err = strconv.ParseFloat(arg, 64); err != nil {
+			return "", 0, 0, fmt.Errorf("-async-policy %q: %w", s, err)
+		}
+	default:
+		return "", 0, 0, fmt.Errorf("-async-policy %q: want wait-all, first-k:K, or deadline:BUDGET", s)
+	}
+	return name, k, deadline, nil
+}
+
 // parseShard parses "i/m" into a sweep.Shard.
 func parseShard(s string) (*sweep.Shard, error) {
 	idx := strings.IndexByte(s, '/')
@@ -318,6 +466,18 @@ func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, tok := range splitList(s) {
 		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range splitList(s) {
+		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
 			return nil, err
 		}

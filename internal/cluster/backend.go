@@ -85,6 +85,7 @@ func (b *Backend) Run(ctx context.Context, cfg dgd.Config) (*dgd.Result, error) 
 		TrackLoss:    cfg.TrackLoss,
 		Reference:    cfg.Reference,
 		Observer:     cfg.Observer,
+		Async:        cfg.Async,
 	})
 	if err != nil {
 		return nil, err

@@ -56,6 +56,17 @@ type Config struct {
 	// instrumentation is portable between the in-process engine and the
 	// cluster.
 	Observer dgd.RoundObserver
+
+	// Async mirrors dgd.Config.Async: a non-nil value layers the
+	// virtual-time asynchronous collection model over the round loop. The
+	// overlay acts on the replies the server actually collected — an agent
+	// eliminated by the step-S1 rule leaves the overlay permanently — and
+	// the zero-latency wait-all configuration is bitwise identical to a nil
+	// Async. Note the two timing layers are distinct: RoundTimeout is a
+	// wall-clock transport deadline (missing it is Byzantine evidence),
+	// while Async delays are simulated virtual time (missing a virtual
+	// close is mere slowness, handled by the staleness policy).
+	Async *dgd.AsyncConfig
 }
 
 // Result extends the dgd result with cluster-level accounting.
@@ -107,6 +118,11 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.TrackLoss != nil && cfg.TrackLoss.Dim() != len(cfg.X0) {
 		return nil, fmt.Errorf("loss dim %d vs x0 dim %d: %w", cfg.TrackLoss.Dim(), len(cfg.X0), ErrConfig)
+	}
+	if cfg.Async != nil {
+		if err := cfg.Async.Validate(); err != nil {
+			return nil, fmt.Errorf("async: %v: %w", err, ErrConfig)
+		}
 	}
 	return &Server{cfg: cfg}, nil
 }
@@ -160,6 +176,22 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	if hasInto {
 		scratch = new(aggregate.Scratch)
 		dirBuf = make([]float64, len(x))
+	}
+
+	// The async overlay consumes a full-n slot table (nil marks an
+	// eliminated agent, which removes it from the overlay permanently) and
+	// selects which collected reply values reach the filter.
+	var async *dgd.AsyncState
+	var asyncObs dgd.AsyncObserver
+	var asyncSlots [][]float64
+	if cfg.Async != nil {
+		var err error
+		async, err = dgd.NewAsyncState(*cfg.Async, len(cfg.Conns), len(x))
+		if err != nil {
+			return nil, err
+		}
+		asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+		asyncSlots = make([][]float64, len(cfg.Conns))
 	}
 
 	res := &Result{}
@@ -219,18 +251,40 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			res.Eliminated = append(res.Eliminated, silent...)
 			live = removeAll(live, silent)
 		}
-		grads = grads[:0]
-		for _, idx := range live {
-			grads = append(grads, slots[idx])
+		var input [][]float64
+		fUse := f
+		if async != nil {
+			for i := range asyncSlots {
+				asyncSlots[i] = nil
+			}
+			for _, idx := range live {
+				asyncSlots[idx] = slots[idx]
+			}
+			in, fEff, stats, err := async.Round(t, f, asyncSlots)
+			if err != nil {
+				return nil, err
+			}
+			input, fUse = in, fEff
+			if asyncObs != nil {
+				if err := asyncObs.ObserveAsyncRound(stats); err != nil {
+					return nil, fmt.Errorf("observer at round %d: %w", t, err)
+				}
+			}
+		} else {
+			grads = grads[:0]
+			for _, idx := range live {
+				grads = append(grads, slots[idx])
+			}
+			input = grads
 		}
 
 		var dir []float64
 		var err error
 		if hasInto {
-			err = intoFilter.AggregateInto(dirBuf, grads, f, scratch)
+			err = intoFilter.AggregateInto(dirBuf, input, fUse, scratch)
 			dir = dirBuf
 		} else {
-			dir, err = cfg.Filter.Aggregate(grads, f)
+			dir, err = cfg.Filter.Aggregate(input, fUse)
 		}
 		if err != nil {
 			if errors.Is(err, aggregate.ErrNonFinite) {

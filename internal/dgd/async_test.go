@@ -1,0 +1,308 @@
+package dgd
+
+import (
+	"strings"
+	"testing"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/byzantine"
+	"byzopt/internal/simtime"
+)
+
+// asyncTestConfig builds a 6-agent regression run (one gradient-reversing
+// Byzantine agent) with the given async overlay.
+func asyncTestConfig(t *testing.T, filter aggregate.Filter, async *AsyncConfig) Config {
+	t.Helper()
+	xstar := []float64{1, 1}
+	agents, _, sum := regressionAgents(t, testRows, xstar)
+	fa, err := NewFaulty(agents[0], byzantine.GradientReverse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents[0] = fa
+	return Config{
+		Agents:    agents,
+		F:         1,
+		Filter:    filter,
+		Box:       testBox(t),
+		X0:        []float64{-0.3, 0.4},
+		Rounds:    60,
+		TrackLoss: sum,
+		Reference: xstar,
+		Async:     async,
+	}
+}
+
+func bitwiseEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: index %d differs bitwise: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// The tentpole invariant: a zero-latency wait-all async run is bitwise
+// identical to the synchronous path — same estimates, same traces — for
+// every filter family and staleness policy (which never engages).
+func TestAsyncZeroLatencyWaitAllBitwiseMatchesSync(t *testing.T) {
+	filters := []aggregate.Filter{aggregate.Mean{}, aggregate.CGE{}, aggregate.CWTM{}, aggregate.Krum{}}
+	for _, filter := range filters {
+		sync, err := Run(asyncTestConfig(t, filter, nil))
+		if err != nil {
+			t.Fatalf("%s sync: %v", filter.Name(), err)
+		}
+		for _, stale := range []string{StaleDrop, StaleReuse, StaleWeighted} {
+			async, err := Run(asyncTestConfig(t, filter, &AsyncConfig{
+				Policy: CollectWaitAll,
+				Stale:  stale,
+				Seed:   7,
+			}))
+			if err != nil {
+				t.Fatalf("%s async stale=%s: %v", filter.Name(), stale, err)
+			}
+			bitwiseEqual(t, filter.Name()+"/"+stale+" X", async.X, sync.X)
+			bitwiseEqual(t, filter.Name()+"/"+stale+" loss", async.Trace.Loss, sync.Trace.Loss)
+			bitwiseEqual(t, filter.Name()+"/"+stale+" dist", async.Trace.Dist, sync.Trace.Dist)
+		}
+	}
+}
+
+func TestAsyncRunsAreDeterministic(t *testing.T) {
+	mk := func() *AsyncConfig {
+		return &AsyncConfig{
+			Latency: simtime.Latency{Kind: simtime.LatencyPareto, Base: 0.5, Alpha: 1.5, StragglerRate: 0.3, StragglerFactor: 5},
+			Policy:  CollectFirstK,
+			K:       4,
+			Stale:   StaleWeighted,
+			Seed:    99,
+		}
+	}
+	a, err := Run(asyncTestConfig(t, aggregate.CGE{}, mk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(asyncTestConfig(t, aggregate.CGE{}, mk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "replay X", a.X, b.X)
+	bitwiseEqual(t, "replay loss", a.Trace.Loss, b.Trace.Loss)
+
+	// A different seed draws different arrival orders, so first-k picks a
+	// different partial set and the trajectory moves.
+	other := mk()
+	other.Seed = 100
+	c, err := Run(asyncTestConfig(t, aggregate.CGE{}, other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X {
+		if a.X[i] != c.X[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed change left the trajectory bitwise identical")
+	}
+}
+
+func TestAsyncFirstKStatsAndObserver(t *testing.T) {
+	rec := &TraceRecorder{OmitEstimates: true}
+	cfg := asyncTestConfig(t, aggregate.CGE{}, &AsyncConfig{
+		Latency: simtime.Latency{Kind: simtime.LatencyUniform, Base: 0.5, Spread: 2},
+		Policy:  CollectFirstK,
+		K:       4,
+		Stale:   StaleDrop,
+		Seed:    3,
+	})
+	cfg.Observer = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Async) != cfg.Rounds {
+		t.Fatalf("recorded %d async rounds, want %d", len(rec.Async), cfg.Rounds)
+	}
+	for i, s := range rec.Async {
+		if s.Round != i {
+			t.Fatalf("stats %d has round %d", i, s.Round)
+		}
+		// Continuous uniform draws: ties are measure-zero, so exactly k
+		// arrive fresh; drop policy never substitutes stale entries.
+		if s.Arrived != 4 || s.Reused != 0 || s.Dropped != 2 || s.MaxStaleness != 0 {
+			t.Fatalf("round %d stats = %+v, want 4 arrived / 2 dropped", i, s)
+		}
+	}
+	// Virtual time is strictly increasing under positive latency.
+	for i := 1; i < len(rec.Async); i++ {
+		if rec.Async[i].VirtualTime <= rec.Async[i-1].VirtualTime {
+			t.Fatalf("virtual time not increasing: %v then %v", rec.Async[i-1].VirtualTime, rec.Async[i].VirtualTime)
+		}
+	}
+}
+
+func TestAsyncStalenessPolicies(t *testing.T) {
+	// Under seed 2 this model designates agents 4 and 5 persistent
+	// stragglers: fast agents draw delays in [0.1, 0.5] and always make the
+	// 0.6 deadline, stragglers draw [1, 5] and never do — so every round has
+	// 4 fresh arrivals and the three staleness policies diverge on the rest.
+	mk := func(stale string, maxStale int) *AsyncConfig {
+		return &AsyncConfig{
+			Latency:  simtime.Latency{Kind: simtime.LatencyUniform, Base: 0.1, Spread: 0.4, StragglerRate: 0.4, StragglerFactor: 10},
+			Policy:   CollectDeadline,
+			Deadline: 0.6,
+			Stale:    stale,
+			MaxStale: maxStale,
+			Seed:     2,
+		}
+	}
+	run := func(stale string, maxStale int) (*Result, *TraceRecorder) {
+		rec := &TraceRecorder{OmitEstimates: true}
+		cfg := asyncTestConfig(t, aggregate.CGE{}, mk(stale, maxStale))
+		cfg.Observer = rec
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("stale=%s: %v", stale, err)
+		}
+		return res, rec
+	}
+
+	drop, recDrop := run(StaleDrop, 0)
+	reuse, recReuse := run(StaleReuse, 0)
+	weighted, _ := run(StaleWeighted, 0)
+
+	reusedTotal, maxStaleSeen := 0, 0
+	for _, s := range recReuse.Async {
+		reusedTotal += s.Reused
+		if s.MaxStaleness > maxStaleSeen {
+			maxStaleSeen = s.MaxStaleness
+		}
+	}
+	if reusedTotal == 0 || maxStaleSeen == 0 {
+		t.Fatalf("reuse-last never substituted a stale gradient (reused=%d maxStale=%d)", reusedTotal, maxStaleSeen)
+	}
+	for _, s := range recDrop.Async {
+		if s.Reused != 0 || s.MaxStaleness != 0 {
+			t.Fatalf("drop policy substituted stale gradients: %+v", s)
+		}
+	}
+	// The policies actually change the trajectory.
+	if drop.X[0] == reuse.X[0] && drop.X[1] == reuse.X[1] {
+		t.Fatal("drop and reuse-last produced identical trajectories")
+	}
+	if weighted.X[0] == reuse.X[0] && weighted.X[1] == reuse.X[1] {
+		t.Fatal("weighted and reuse-last produced identical trajectories")
+	}
+
+	// MaxStale bounds the staleness a substituted gradient may carry.
+	_, recBounded := run(StaleReuse, 1)
+	for _, s := range recBounded.Async {
+		if s.MaxStaleness > 1 {
+			t.Fatalf("MaxStale=1 violated: %+v", s)
+		}
+	}
+}
+
+// A deadline shorter than every delay closes on nothing; the round must
+// extend to the first fresh arrival (with fixed latency, all agents tie at
+// that instant) instead of feeding the filter an empty set.
+func TestAsyncDeadlineExtendsToFirstArrival(t *testing.T) {
+	rec := &TraceRecorder{OmitEstimates: true}
+	cfg := asyncTestConfig(t, aggregate.CGE{}, &AsyncConfig{
+		Latency:  simtime.Latency{Kind: simtime.LatencyFixed, Base: 5},
+		Policy:   CollectDeadline,
+		Deadline: 0.25,
+		Stale:    StaleDrop,
+		Seed:     1,
+	})
+	cfg.Observer = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range rec.Async {
+		if s.Arrived != len(cfg.Agents) {
+			t.Fatalf("round %d: extension should pull the fixed-latency tie of all %d agents, got %+v", i, len(cfg.Agents), s)
+		}
+	}
+	// With every round receiving the full set, the trajectory equals sync.
+	sync, err := Run(asyncTestConfig(t, aggregate.CGE{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "extended-deadline X", res.X, sync.X)
+}
+
+func TestAsyncStateEffectiveFAndElimination(t *testing.T) {
+	st, err := NewAsyncState(AsyncConfig{Policy: CollectFirstK, K: 2, Seed: 5}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	input, fEff, stats, err := st.Round(0, 3, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero latency: first-k's close-time tie pulls in everyone.
+	if len(input) != 4 || stats.Arrived != 4 {
+		t.Fatalf("tie at close should include all 4, got %d (%+v)", len(input), stats)
+	}
+	if fEff != 3 {
+		t.Fatalf("fEff = %d, want 3", fEff)
+	}
+
+	// A nil slot eliminates the agent permanently.
+	grads[1] = nil
+	input, fEff, stats, err = st.Round(1, 4, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != 3 || stats.Arrived != 3 {
+		t.Fatalf("eliminated agent still in input: %d (%+v)", len(input), stats)
+	}
+	if fEff != 3 {
+		t.Fatalf("fEff = %d, want min(f=4, m=3) = 3", fEff)
+	}
+	grads[1] = []float64{9, 9}
+	input, _, _, err = st.Round(2, 1, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != 3 {
+		t.Fatalf("eliminated agent resurrected: %d inputs", len(input))
+	}
+
+	// The input rows are copies, not aliases of the caller's slices.
+	grads[0][0] = -100
+	if input[0][0] == -100 {
+		t.Fatal("async input aliases the caller's gradient row")
+	}
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	bad := []AsyncConfig{
+		{Policy: "sometimes"},
+		{Policy: CollectFirstK, K: 0},
+		{Policy: CollectDeadline, Deadline: 0},
+		{Policy: CollectDeadline, Deadline: -1},
+		{Stale: "maybe"},
+		{MaxStale: -1},
+		{Latency: simtime.Latency{Kind: "gamma"}},
+	}
+	for _, a := range bad {
+		a := a
+		cfg := asyncTestConfig(t, aggregate.Mean{}, &a)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run accepted invalid async config %+v", a)
+		} else if !strings.Contains(err.Error(), "async") && a.Latency.Kind == "" {
+			t.Errorf("error for %+v not attributed to async: %v", a, err)
+		}
+	}
+	if err := (AsyncConfig{}).Validate(); err != nil {
+		t.Fatalf("zero-value AsyncConfig must validate: %v", err)
+	}
+}

@@ -316,6 +316,15 @@ type Config struct {
 	// in-process engine works unchanged over the cluster stack.
 	Observer RoundObserver
 
+	// Async, when non-nil, switches the round loop from lockstep-synchronous
+	// collection to the asynchronous model: per-agent arrival times drawn
+	// from a seeded virtual-latency model, a collection policy closing each
+	// round, and staleness handling for reports that miss the close. Timing
+	// is simulated (virtual time, never the wall clock), so runs stay
+	// deterministic. The zero-latency wait-all configuration is bitwise
+	// identical to a nil Async.
+	Async *AsyncConfig
+
 	// Workers opts into concurrent gradient collection: the number of
 	// goroutines querying agents each round. 0 and 1 keep the sequential
 	// path; negative means GOMAXPROCS. Honest agents are still collected
@@ -377,9 +386,15 @@ type TraceRecorder struct {
 	// Loss[t] and Dist[t] are the tracked values; NaN when untracked.
 	Loss []float64
 	Dist []float64
+	// Async[t] is the round's asynchronous collection stats; nil unless the
+	// run had Config.Async set.
+	Async []AsyncRoundStats
 }
 
-var _ RoundObserver = (*TraceRecorder)(nil)
+var (
+	_ RoundObserver = (*TraceRecorder)(nil)
+	_ AsyncObserver = (*TraceRecorder)(nil)
+)
 
 // ObserveRound implements RoundObserver.
 func (r *TraceRecorder) ObserveRound(t int, x []float64, loss, dist float64) error {
@@ -388,6 +403,12 @@ func (r *TraceRecorder) ObserveRound(t int, x []float64, loss, dist float64) err
 	}
 	r.Loss = append(r.Loss, loss)
 	r.Dist = append(r.Dist, dist)
+	return nil
+}
+
+// ObserveAsyncRound implements AsyncObserver.
+func (r *TraceRecorder) ObserveAsyncRound(stats AsyncRoundStats) error {
+	r.Async = append(r.Async, stats)
 	return nil
 }
 
@@ -502,6 +523,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		dirBuf = make([]float64, len(x))
 	}
 
+	// The async overlay selects which of the round's gradient values reach
+	// the filter; the values themselves come from the same collector either
+	// way, which is what keeps zero-latency wait-all bitwise synchronous.
+	var async *AsyncState
+	var asyncObs AsyncObserver
+	if cfg.Async != nil {
+		var err error
+		async, err = NewAsyncState(*cfg.Async, len(cfg.Agents), len(x))
+		if err != nil {
+			return nil, err
+		}
+		asyncObs, _ = cfg.Observer.(AsyncObserver)
+	}
+
 	for t := 0; t < cfg.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
@@ -512,13 +547,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err := col.collect(t, x); err != nil {
 			return nil, err
 		}
+		input, fEff := col.grads, cfg.F
+		if async != nil {
+			var stats AsyncRoundStats
+			var err error
+			input, fEff, stats, err = async.Round(t, cfg.F, col.grads)
+			if err != nil {
+				return nil, err
+			}
+			if asyncObs != nil {
+				if err := asyncObs.ObserveAsyncRound(stats); err != nil {
+					return nil, fmt.Errorf("observer at round %d: %w", t, err)
+				}
+			}
+		}
 		var dir []float64
 		var err error
 		if hasInto {
-			err = intoFilter.AggregateInto(dirBuf, col.grads, cfg.F, scratch)
+			err = intoFilter.AggregateInto(dirBuf, input, fEff, scratch)
 			dir = dirBuf
 		} else {
-			dir, err = cfg.Filter.Aggregate(col.grads, cfg.F)
+			dir, err = cfg.Filter.Aggregate(input, fEff)
 		}
 		if err != nil {
 			if errors.Is(err, aggregate.ErrNonFinite) {
@@ -736,6 +785,11 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.TrackLoss != nil && cfg.TrackLoss.Dim() != len(cfg.X0) {
 		return fmt.Errorf("loss dim %d vs x0 dim %d: %w", cfg.TrackLoss.Dim(), len(cfg.X0), ErrConfig)
+	}
+	if cfg.Async != nil {
+		if err := cfg.Async.Validate(); err != nil {
+			return fmt.Errorf("async: %v: %w", err, ErrConfig)
+		}
 	}
 	return nil
 }

@@ -50,6 +50,14 @@ type Config struct {
 	// as dgd.Config.Observer does on the other substrates (the shared
 	// dgd.RecordRound path feeds it).
 	Observer dgd.RoundObserver
+	// Async mirrors dgd.Config.Async: a non-nil value layers the
+	// virtual-time asynchronous collection model over every honest peer's
+	// local aggregation. Each honest peer runs its own overlay instance
+	// over its agreed gradient set; the overlays share the configuration
+	// and seed, so they draw identical arrival times and the honest
+	// estimates stay in agreement. Zero-latency wait-all is bitwise
+	// identical to a nil Async.
+	Async *dgd.AsyncConfig
 }
 
 // Result is the outcome of a decentralized run.
@@ -199,6 +207,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		dirBuf = make([]float64, dim)
 	}
 
+	// One async overlay per honest peer: every peer applies the filter to
+	// its own agreed set, so each keeps its own virtual clock. Identical
+	// configuration and seed mean identical arrival draws, preserving the
+	// agreement invariant. Stats are reported once, from the reference peer.
+	var asyncStates []*dgd.AsyncState
+	var asyncObs dgd.AsyncObserver
+	if cfg.Async != nil {
+		asyncStates = make([]*dgd.AsyncState, n)
+		for p := 0; p < n; p++ {
+			if _, bad := byz[p]; bad {
+				continue
+			}
+			st, err := dgd.NewAsyncState(*cfg.Async, n, dim)
+			if err != nil {
+				return nil, err
+			}
+			asyncStates[p] = st
+		}
+		asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+	}
+
 	for t := 0; t < cfg.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("run cancelled at round %d: %w", t, err)
@@ -289,13 +318,26 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			for sender := 0; sender < n; sender++ {
 				DecodeVectorInto(decided[sender], agreed[p][sender])
 			}
+			input, fUse := decided, cfg.F
+			if asyncStates != nil {
+				in, fEff, stats, err := asyncStates[p].Round(t, cfg.F, decided)
+				if err != nil {
+					return nil, err
+				}
+				input, fUse = in, fEff
+				if p == honestIdx && asyncObs != nil {
+					if err := asyncObs.ObserveAsyncRound(stats); err != nil {
+						return nil, fmt.Errorf("observer at round %d: %w", t, err)
+					}
+				}
+			}
 			var dir []float64
 			var err error
 			if hasInto {
-				err = intoFilter.AggregateInto(dirBuf, decided, cfg.F, scratch)
+				err = intoFilter.AggregateInto(dirBuf, input, fUse, scratch)
 				dir = dirBuf
 			} else {
-				dir, err = cfg.Filter.Aggregate(decided, cfg.F)
+				dir, err = cfg.Filter.Aggregate(input, fUse)
 			}
 			if err != nil {
 				// All honest peers hold the identical agreed set, so the

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"byzopt/internal/dgd"
 )
 
 // smallResults runs a tiny grid to get genuine results for store tests.
@@ -193,6 +195,64 @@ func TestCheckpointValidateDetectsForeignSpec(t *testing.T) {
 	swapped[2], swapped[3] = swapped[3], swapped[2]
 	if err := ckpt.Validate(swapped); !errors.Is(err, ErrSpec) {
 		t.Errorf("foreign (reordered) grid: %v", err)
+	}
+}
+
+// TestCheckpointValidateDetectsAsyncAxisChange: a checkpoint written under
+// one async round model must not resume a sweep whose async axis differs —
+// the async component is part of every scenario key.
+func TestCheckpointValidateDetectsAsyncAxisChange(t *testing.T) {
+	spec := Spec{
+		Filters:   []string{"cge"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1},
+		Rounds:    10,
+		Asyncs: []AsyncSpec{
+			{Base: 1, Policy: dgd.CollectFirstK, K: 4, Stale: dgd.StaleReuse},
+		},
+	}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ckpt.Close() }()
+	if err := ckpt.Append(results[0]); err != nil {
+		t.Fatal(err)
+	}
+	same, err := Scenarios(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Validate(same); err != nil {
+		t.Fatalf("matching async axis rejected: %v", err)
+	}
+	// Same grid shape, different collection policy: the keys differ, so the
+	// checkpoint must refuse to resume.
+	retuned := spec
+	retuned.Asyncs = []AsyncSpec{
+		{Base: 1, Policy: dgd.CollectFirstK, K: 5, Stale: dgd.StaleReuse},
+	}
+	foreign, err := Scenarios(retuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Validate(foreign); !errors.Is(err, ErrSpec) {
+		t.Errorf("foreign async axis: %v", err)
+	}
+	// Dropping the axis entirely (a synchronous resume) must refuse too.
+	syncSpec := spec
+	syncSpec.Asyncs = nil
+	foreign, err = Scenarios(syncSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Validate(foreign); !errors.Is(err, ErrSpec) {
+		t.Errorf("sync resume of an async checkpoint: %v", err)
 	}
 }
 

@@ -157,11 +157,29 @@ func MergeJSONFiles(paths ...string) ([]Result, error) {
 
 // FormatTable renders the results as an aligned text table, one scenario
 // per row, with skipped/diverged/error rows showing their status instead
-// of metrics.
+// of metrics. An ASYNC column appears only when the grid carries the async
+// axis, so purely synchronous tables are unchanged.
 func FormatTable(results []Result) string {
+	asyncCol := false
+	for i := range results {
+		if results[i].Async != "" {
+			asyncCol = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %-18s %3s %4s %5s %-20s %10s %12s %9s %s\n",
-		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", "WALL_MS", "STATUS")
+	writeRow := func(async string, rest string) {
+		if asyncCol {
+			if async == "" {
+				async = "sync"
+			}
+			fmt.Fprintf(&b, "%-38s %s", async, rest)
+		} else {
+			b.WriteString(rest)
+		}
+	}
+	writeRow("ASYNC", fmt.Sprintf("%-14s %-18s %3s %4s %5s %-20s %10s %12s %9s %s\n",
+		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", "WALL_MS", "STATUS"))
 	for i := range results {
 		r := &results[i]
 		behavior := r.Behavior
@@ -170,14 +188,14 @@ func FormatTable(results []Result) string {
 		}
 		status := r.Status()
 		if status == "ok" {
-			fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f %9.1f %s\n",
+			writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f %9.1f %s\n",
 				r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
-				r.FinalDist, r.LossFinal, r.WallMS, status)
+				r.FinalDist, r.LossFinal, r.WallMS, status))
 			continue
 		}
-		fmt.Fprintf(&b, "%-14s %-18s %3d %4d %5d %-20s %10s %12s %9.1f %s (%s)\n",
+		writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10s %12s %9.1f %s (%s)\n",
 			r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
-			"-", "-", r.WallMS, status, r.Err)
+			"-", "-", r.WallMS, status, r.Err))
 	}
 	return b.String()
 }

@@ -48,6 +48,19 @@ type Result struct {
 	TraceLoss   []float64 `json:"trace_loss,omitempty"`
 	TraceDist   []float64 `json:"trace_dist,omitempty"`
 	TraceMetric []float64 `json:"trace_metric,omitempty"`
+	// AsyncMeanArrived, AsyncMaxStale, and AsyncVirtualTime summarize an
+	// asynchronous cell's round stats: the mean per-round fresh-arrival
+	// count, the worst staleness ever substituted into a filter input, and
+	// the total virtual time the run consumed. All zero (and omitted from
+	// exports) on synchronous cells.
+	AsyncMeanArrived float64 `json:"async_mean_arrived,omitempty"`
+	AsyncMaxStale    int     `json:"async_max_stale,omitempty"`
+	AsyncVirtualTime float64 `json:"async_virtual_time,omitempty"`
+	// TraceArrived and TraceMaxStale are the per-round fresh-arrival and
+	// max-staleness series of an asynchronous cell, recorded only when
+	// Spec.RecordTrace is set.
+	TraceArrived  []int `json:"trace_arrived,omitempty"`
+	TraceMaxStale []int `json:"trace_max_stale,omitempty"`
 	// Diverged reports that the estimate (or a gradient) left the finite
 	// floats — the engine's dgd.ErrDiverged.
 	Diverged bool `json:"diverged,omitempty"`
@@ -375,6 +388,19 @@ func (m multiObserver) ObserveRound(t int, x []float64, loss, dist float64) erro
 	return nil
 }
 
+// ObserveAsyncRound implements dgd.AsyncObserver, forwarding the async round
+// stats to every member that consumes them.
+func (m multiObserver) ObserveAsyncRound(stats dgd.AsyncRoundStats) error {
+	for _, o := range m {
+		if ao, ok := o.(dgd.AsyncObserver); ok {
+			if err := ao.ObserveAsyncRound(stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // runScenario executes one grid point end to end through the backend.
 // Failures are data, not control flow: infeasible points come back Skipped,
 // non-finite runs come back Diverged, scenarios exceeding
@@ -471,6 +497,12 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		metrics = &metricRecorder{metric: wl.Metric, rounds: scn.Rounds}
 		observers = append(observers, metrics)
 	}
+	asyncCfg := jb.async.Config(res.Seed)
+	var asyncStats *asyncStatsRecorder
+	if asyncCfg != nil {
+		asyncStats = &asyncStatsRecorder{trace: spec.RecordTrace}
+		observers = append(observers, asyncStats)
+	}
 	var observer dgd.RoundObserver
 	if len(observers) > 0 {
 		observer = observers
@@ -488,6 +520,7 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		Reference: wl.XH,
 		Observer:  observer,
 		Workers:   spec.DGDWorkers,
+		Async:     asyncCfg,
 	})
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
@@ -541,6 +574,15 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		}
 		if wl.XH != nil {
 			res.TraceDist = recorder.Dist
+		}
+	}
+	if asyncStats != nil {
+		res.AsyncMeanArrived = asyncStats.meanArrived()
+		res.AsyncMaxStale = asyncStats.maxStale
+		res.AsyncVirtualTime = asyncStats.virtualTime
+		if spec.RecordTrace {
+			res.TraceArrived = asyncStats.arrived
+			res.TraceMaxStale = asyncStats.maxStales
 		}
 	}
 	return res, nil

@@ -112,6 +112,12 @@ type Spec struct {
 	// Steps are the step-size schedules; nil means the paper's diminishing
 	// 1.5/(t+1).
 	Steps []dgd.StepSchedule
+	// Asyncs are the asynchronous round models to sweep; nil means the
+	// synchronous round model only (the zero AsyncSpec). Entries that are
+	// synchronous-equivalent (AsyncSpec.IsSync) run without the overlay and
+	// add no async component to scenario keys, so adding this axis never
+	// perturbs existing grids; duplicate canonical points are dropped.
+	Asyncs []AsyncSpec
 	// Rounds is the iteration count T; 0 means 500 (the paper's x_out).
 	Rounds int
 	// Seed is the base seed mixed into every scenario hash; change it to
@@ -198,6 +204,9 @@ type Scenario struct {
 	// Baseline marks the fault-free variant: the F would-be Byzantine
 	// agents are omitted entirely and the run executes with f = 0.
 	Baseline bool `json:"baseline,omitempty"`
+	// Async is the canonical asynchronous round model of the cell
+	// (AsyncSpec.String); empty for the synchronous round model.
+	Async string `json:"async,omitempty"`
 }
 
 // Key returns the stable scenario identifier used for seeding, logging,
@@ -209,6 +218,11 @@ func (s Scenario) Key() string {
 		// Appended only when set so pre-baseline scenario keys (and the
 		// seeds derived from them) stay stable.
 		key += " baseline=true"
+	}
+	if s.Async != "" {
+		// Same stability rule as the baseline axis: synchronous cells keep
+		// their pre-async keys, seeds, and golden exports byte for byte.
+		key += " async=" + s.Async
 	}
 	return key
 }
@@ -231,6 +245,7 @@ func (s Scenario) DeriveSeed(base int64) int64 {
 type job struct {
 	scn   Scenario
 	steps dgd.StepSchedule
+	async AsyncSpec
 	idx   int
 	total int
 }
@@ -264,6 +279,10 @@ func (spec *Spec) normalize() {
 	if spec.Steps == nil {
 		spec.Steps = []dgd.StepSchedule{dgd.Diminishing{C: linreg.StepC, P: 1}}
 	}
+	if spec.Asyncs == nil {
+		spec.Asyncs = []AsyncSpec{{}}
+	}
+	spec.Asyncs = dedupeAsyncs(spec.Asyncs)
 	if spec.Rounds == 0 {
 		spec.Rounds = linreg.Rounds
 	}
@@ -337,6 +356,11 @@ func validateSpec(spec *Spec) error {
 			return fmt.Errorf("nil step schedule %d: %w", i, ErrSpec)
 		}
 	}
+	for _, a := range spec.Asyncs {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
 	if spec.Rounds < 1 {
 		return fmt.Errorf("rounds = %d must be positive: %w", spec.Rounds, ErrSpec)
 	}
@@ -353,7 +377,7 @@ func validateSpec(spec *Spec) error {
 }
 
 // expand normalizes the spec and enumerates the grid in a fixed order
-// (filter, f, baseline, behavior, n, d, step). Scenarios with f = 0 — and
+// (filter, f, baseline, behavior, n, d, step, async). Scenarios with f = 0 — and
 // baseline scenarios, whose would-be Byzantine agents are omitted — collapse
 // the behavior axis to BehaviorNone, and baseline cells at f = 0 are dropped
 // as duplicates, so the grid never contains the same scenario twice. When
@@ -379,21 +403,25 @@ func expand(spec *Spec) ([]job, error) {
 					for _, n := range spec.NValues {
 						for _, d := range spec.Dims {
 							for _, steps := range spec.Steps {
-								jobs = append(jobs, job{
-									scn: Scenario{
-										Problem:  spec.Problem,
-										Filter:   filter,
-										Behavior: behavior,
-										F:        f,
-										N:        n,
-										Dim:      d,
-										Step:     steps.Name(),
-										Rounds:   spec.Rounds,
-										Baseline: baseline,
-									},
-									steps: steps,
-									idx:   len(jobs),
-								})
+								for _, async := range spec.Asyncs {
+									jobs = append(jobs, job{
+										scn: Scenario{
+											Problem:  spec.Problem,
+											Filter:   filter,
+											Behavior: behavior,
+											F:        f,
+											N:        n,
+											Dim:      d,
+											Step:     steps.Name(),
+											Rounds:   spec.Rounds,
+											Baseline: baseline,
+											Async:    async.String(),
+										},
+										steps: steps,
+										async: async,
+										idx:   len(jobs),
+									})
+								}
 							}
 						}
 					}

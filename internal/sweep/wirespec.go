@@ -13,21 +13,26 @@ import (
 // workers always run the in-process engine on registry problems, which is
 // exactly the regime whose exports are byte-identical everywhere.
 type WireSpec struct {
-	Problem         string     `json:"problem"`
-	Filters         []string   `json:"filters"`
-	Behaviors       []string   `json:"behaviors"`
-	FValues         []int      `json:"f_values"`
-	Baselines       []bool     `json:"baselines"`
-	NValues         []int      `json:"n_values"`
-	Dims            []int      `json:"dims"`
-	Steps           []StepSpec `json:"steps"`
-	Rounds          int        `json:"rounds"`
-	Seed            int64      `json:"seed"`
-	PinBehaviorSeed bool       `json:"pin_behavior_seed,omitempty"`
-	Noise           float64    `json:"noise"`
-	BoxRadius       float64    `json:"box_radius"`
-	DGDWorkers      int        `json:"dgd_workers,omitempty"`
-	RecordTrace     bool       `json:"record_trace,omitempty"`
+	Problem   string     `json:"problem"`
+	Filters   []string   `json:"filters"`
+	Behaviors []string   `json:"behaviors"`
+	FValues   []int      `json:"f_values"`
+	Baselines []bool     `json:"baselines"`
+	NValues   []int      `json:"n_values"`
+	Dims      []int      `json:"dims"`
+	Steps     []StepSpec `json:"steps"`
+	// Asyncs is the asynchronous-round-model axis; omitted (and nil) for
+	// purely synchronous sweeps, so their wire bytes are identical to
+	// pre-async ones and old coordinators/workers interoperate unchanged.
+	// AsyncSpec is already pure data, so it travels as is.
+	Asyncs          []AsyncSpec `json:"asyncs,omitempty"`
+	Rounds          int         `json:"rounds"`
+	Seed            int64       `json:"seed"`
+	PinBehaviorSeed bool        `json:"pin_behavior_seed,omitempty"`
+	Noise           float64     `json:"noise"`
+	BoxRadius       float64     `json:"box_radius"`
+	DGDWorkers      int         `json:"dgd_workers,omitempty"`
+	RecordTrace     bool        `json:"record_trace,omitempty"`
 }
 
 // StepSpec is the serializable form of the two built-in step schedules.
@@ -91,6 +96,12 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		}
 		steps[i] = ss
 	}
+	asyncs := spec.Asyncs
+	if len(asyncs) == 1 && asyncs[0].IsSync() {
+		// A purely synchronous axis (the normalized default) leaves the wire
+		// form, keeping sync sweeps' wire bytes identical to pre-async ones.
+		asyncs = nil
+	}
 	return WireSpec{
 		Problem:         spec.Problem,
 		Filters:         spec.Filters,
@@ -100,6 +111,7 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		NValues:         spec.NValues,
 		Dims:            spec.Dims,
 		Steps:           steps,
+		Asyncs:          asyncs,
 		Rounds:          spec.Rounds,
 		Seed:            spec.Seed,
 		PinBehaviorSeed: spec.PinBehaviorSeed,
@@ -130,6 +142,7 @@ func (w WireSpec) Spec() (Spec, error) {
 		NValues:         w.NValues,
 		Dims:            w.Dims,
 		Steps:           steps,
+		Asyncs:          w.Asyncs,
 		Rounds:          w.Rounds,
 		Seed:            w.Seed,
 		PinBehaviorSeed: w.PinBehaviorSeed,

@@ -21,12 +21,69 @@ type WorkerOptions struct {
 	// Workers sizes the worker's own cell pool (Spec.Workers for the leased
 	// batches); <= 0 means GOMAXPROCS.
 	Workers int
+	// DialRetry bounds how long Work keeps retrying the initial dial —
+	// fleet workers routinely start before their coordinator finishes
+	// binding. Zero means the default budget (15s); a negative value
+	// disables retrying (one attempt, the pre-retry behavior). Attempts
+	// back off exponentially from 50ms to 1s between dials.
+	DialRetry time.Duration
 	// Logf, when non-nil, receives human-readable progress lines.
 	Logf func(format string, args ...any)
 }
 
-// Work runs one sweep worker against the coordinator at addr: it dials,
-// learns the grid spec from the coordinator, then loops leasing cell
+// The dial-retry schedule: exponential backoff between attempts, bounded by
+// WorkerOptions.DialRetry's overall budget.
+const (
+	defaultDialRetry   = 15 * time.Second
+	dialBackoffInitial = 50 * time.Millisecond
+	dialBackoffMax     = time.Second
+)
+
+// dialCoordinator dials addr, retrying with exponential backoff until the
+// budget elapses or ctx is cancelled. The last dial error is returned when
+// the budget runs out, so callers see why the coordinator never answered.
+func dialCoordinator(ctx context.Context, addr string, budget time.Duration, logf func(format string, args ...any)) (net.Conn, error) {
+	var d net.Dialer
+	if budget < 0 {
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	if budget == 0 {
+		budget = defaultDialRetry
+	}
+	deadline := time.Now().Add(budget)
+	backoff := dialBackoffInitial
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, err
+		}
+		wait := backoff
+		if wait > remain {
+			wait = remain
+		}
+		logf("dial %s failed (%v); retrying in %v", addr, err, wait)
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(wait):
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+// Work runs one sweep worker against the coordinator at addr: it dials
+// (retrying within opts.DialRetry's budget, so workers may start before the
+// coordinator binds), learns the grid spec from the coordinator, then loops
+// leasing cell
 // batches, executing them with the in-process engine, and streaming each
 // completed Result back the moment it lands — until the coordinator reports
 // the grid complete (nil) or ctx is cancelled (ctx's error). Any number of
@@ -41,10 +98,9 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	var d net.Dialer
-	raw, err := d.DialContext(ctx, "tcp", addr)
+	raw, err := dialCoordinator(ctx, addr, opts.DialRetry, logf)
 	if err != nil {
-		return fmt.Errorf("worker: dial %s: %w", addr, err)
+		return fmt.Errorf("worker: dial %s: %w", addr, classifyWorkerErr(ctx, err))
 	}
 	defer func() { _ = raw.Close() }()
 

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// A worker started before its coordinator must retry the dial and serve the
+// grid once the coordinator comes up — the normal fleet launch order is not
+// guaranteed.
+func TestWorkerDialRetriesUntilCoordinatorUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := testGridSpec()
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	type outcome struct {
+		results []Result
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		// Bind the coordinator only after the worker has certainly dialed at
+		// least once and entered its backoff loop.
+		time.Sleep(300 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			ch <- outcome{nil, err}
+			return
+		}
+		results, err := Coordinate(ctx, ln2, CoordinatorSpec{Spec: spec, LeaseCells: 4})
+		ch <- outcome{results, err}
+	}()
+
+	if err := Work(ctx, addr, WorkerOptions{Name: "early", Workers: 1}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	o := <-ch
+	if o.err != nil {
+		t.Fatalf("coordinator: %v", o.err)
+	}
+	if !bytes.Equal(exportBytes(t, o.results), exportBytes(t, want)) {
+		t.Error("export after retried dial differs from single-process export")
+	}
+}
+
+// A negative DialRetry restores the single-attempt behavior: no listener
+// means an immediate error, not a retry loop.
+func TestWorkerDialRetryDisabledFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = Work(context.Background(), addr, WorkerOptions{DialRetry: -1})
+	if err == nil {
+		t.Fatal("worker connected to a closed address")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("single-attempt dial took %v", elapsed)
+	}
+}
+
+// An exhausted retry budget surfaces the last dial error rather than
+// spinning forever.
+func TestWorkerDialRetryBudgetExhausts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = Work(context.Background(), addr, WorkerOptions{DialRetry: 150 * time.Millisecond})
+	if err == nil {
+		t.Fatal("worker connected to a closed address")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("bounded retry took %v", elapsed)
+	}
+}
+
+// Cancelling the context during the backoff sleep must stop the retry loop
+// promptly.
+func TestWorkerDialRetryStopsOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := Work(ctx, addr, WorkerOptions{DialRetry: time.Hour}); err == nil {
+		t.Fatal("worker connected to a closed address")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled retry loop ran %v", elapsed)
+	}
+}
