@@ -183,6 +183,18 @@ func BenchmarkFilters(b *testing.B) {
 
 // --- parallelism baselines (sequential vs concurrent hot paths) ---
 
+// benchWorkerCounts is the sequential-vs-parallel workers axis of the
+// seq-vs-par benchmarks. On a single-core machine GOMAXPROCS is 1 and the
+// two points coincide; the duplicate is dropped so the benchmark namespace
+// never emits the same configuration twice (the test runner would rename
+// the repeat "…#01", polluting name-keyed trajectories).
+func benchWorkerCounts() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
 // benchGrid is the (n, d) grid shared by the parallelism baselines, so
 // future PRs can diff like against like.
 var benchGrid = []struct{ n, d int }{
@@ -212,7 +224,7 @@ func BenchmarkCollectGradients(b *testing.B) {
 			b.Fatal(err)
 		}
 		x0 := make([]float64, g.d)
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n=%d/d=%d/workers=%d", g.n, g.d, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := byzopt.Run(byzopt.Config{
@@ -244,7 +256,7 @@ func BenchmarkKrumScores(b *testing.B) {
 				grads[i][j] = r.NormFloat64()
 			}
 		}
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n=%d/d=%d/workers=%d", g.n, g.d, workers), func(b *testing.B) {
 				filter := aggregate.Krum{Workers: workers}
 				for i := 0; i < b.N; i++ {
@@ -268,7 +280,7 @@ func BenchmarkForEachSubset(b *testing.B) {
 	for i := range weights {
 		weights[i] = 1 + float64(i)/n
 	}
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("n=%d/k=%d/workers=%d", n, k, workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sums := make([]float64, workers)
@@ -297,7 +309,7 @@ func BenchmarkForEachSubset(b *testing.B) {
 // equivocation axis included — over the peer-to-peer backend at one worker
 // and at GOMAXPROCS, measuring the sweep engine against the EIG substrate.
 func BenchmarkP2PSweep(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				results, err := byzopt.Sweep(byzopt.SweepSpec{
@@ -324,7 +336,7 @@ func BenchmarkP2PSweep(b *testing.B) {
 // × 2 f-values = 64 scenarios on the paper's regression benchmark — at one
 // worker and at GOMAXPROCS, so the speedup is a reported baseline.
 func BenchmarkSweepEngine(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				results, err := byzopt.Sweep(byzopt.SweepSpec{

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEmitsSchema drives the command end to end on a small instance and
+// checks the artifact schema.
+func TestRunEmitsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-n", "12", "-d", "16", "-f", "1", "-rounds", "5", "-sketch-dim", "4", "-pairs", "4", "-seed", "9"}
+	if err := run(args, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Schema != "byzopt-approx/1" {
+		t.Errorf("schema %q, want byzopt-approx/1", rep.Schema)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("%d rows, want 4", len(rep.Rows))
+	}
+	if rep.Config.N != 12 || rep.Config.SketchDim != 4 {
+		t.Errorf("config not echoed: %+v", rep.Config)
+	}
+}
+
+// TestRunRejectsBadConfig: an infeasible f must surface as an error, not a
+// malformed artifact.
+func TestRunRejectsBadConfig(t *testing.T) {
+	out, err := os.Create(filepath.Join(t.TempDir(), "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = out.Close() }()
+	if err := run([]string{"-n", "9", "-f", "3"}, out); err == nil {
+		t.Error("n=9 f=3 must be rejected (n <= 3f)")
+	}
+}

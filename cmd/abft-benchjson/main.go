@@ -81,8 +81,23 @@ type event struct {
 // Convert reads benchmark output (raw or test2json) and builds the
 // document. It fails when the input yields no benchmark results at all —
 // the converted file must be populated to be worth uploading.
+//
+// Benchmarks whose canonical name repeats are recorded once, keeping the
+// first measurement: the test runner disambiguates same-named runs with a
+// "#01" suffix (e.g. a workers axis of {1, GOMAXPROCS} on a single-core
+// machine emits both "…/workers=1" and "…/workers=1#01"), and a trajectory
+// keyed by name must not carry two rows for one configuration.
 func Convert(r io.Reader) (*Document, error) {
 	doc := &Document{Schema: Schema}
+	seen := make(map[string]bool)
+	add := func(b Benchmark) {
+		b.Name = canonicalName(b.Name)
+		if seen[b.Name] {
+			return
+		}
+		seen[b.Name] = true
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for scanner.Scan() {
@@ -94,19 +109,19 @@ func Convert(r io.Reader) (*Document, error) {
 			}
 			line = strings.TrimSuffix(ev.Output, "\n")
 			if b, ok := parseBenchLine(line); ok {
-				doc.Benchmarks = append(doc.Benchmarks, b)
+				add(b)
 				continue
 			}
 			// Name-less result line: re-attach the name the event carries.
 			if ev.Test != "" {
 				if b, ok := parseBenchLine(ev.Test + "\t" + line); ok {
-					doc.Benchmarks = append(doc.Benchmarks, b)
+					add(b)
 				}
 			}
 			continue
 		}
 		if b, ok := parseBenchLine(line); ok {
-			doc.Benchmarks = append(doc.Benchmarks, b)
+			add(b)
 		}
 	}
 	if err := scanner.Err(); err != nil {
@@ -116,6 +131,32 @@ func Convert(r io.Reader) (*Document, error) {
 		return nil, fmt.Errorf("no benchmark results in input")
 	}
 	return doc, nil
+}
+
+// canonicalName strips the "#NN" duplicate-run counters the test runner
+// inserts after any path segment when a benchmark name repeats, so
+// re-measurements of the same configuration collapse onto one key.
+func canonicalName(name string) string {
+	if !strings.Contains(name, "#") {
+		return name
+	}
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i := 0; i < len(name); {
+		if name[i] == '#' {
+			j := i + 1
+			for j < len(name) && name[j] >= '0' && name[j] <= '9' {
+				j++
+			}
+			if j > i+1 {
+				i = j
+				continue
+			}
+		}
+		sb.WriteByte(name[i])
+		i++
+	}
+	return sb.String()
 }
 
 // parseBenchLine parses one benchmark result line,

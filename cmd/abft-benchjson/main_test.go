@@ -97,6 +97,46 @@ func TestConvertTest2JSONSplitNameResult(t *testing.T) {
 	}
 }
 
+// TestConvertDeduplicatesRepeatedNames covers the single-core-runner shape
+// that produced duplicate trajectory rows: a workers axis of
+// {1, GOMAXPROCS} collapses to {1, 1} when GOMAXPROCS is 1, and the test
+// runner emits the second run as "…/workers=1#01". The converter must keep
+// one row per canonical configuration, first measurement winning.
+func TestConvertDeduplicatesRepeatedNames(t *testing.T) {
+	raw := `BenchmarkKrumScores/n=50/d=1000/workers=1-1     	       1	  11111111 ns/op	     100 B/op	       2 allocs/op
+BenchmarkKrumScores/n=50/d=1000/workers=1#01-1  	       1	  22222222 ns/op	     200 B/op	       4 allocs/op
+BenchmarkKrumScores/n=50/d=1000/workers=8-1     	       1	  33333333 ns/op	     300 B/op	       6 allocs/op
+`
+	doc, err := Convert(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (duplicate dropped): %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkKrumScores/n=50/d=1000/workers=1-1" || first.NsPerOp != 11111111 {
+		t.Errorf("first measurement must win: %+v", first)
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkKrumScores/n=50/d=1000/workers=8-1" {
+		t.Errorf("distinct configuration lost: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX/workers=1-8":        "BenchmarkX/workers=1-8",
+		"BenchmarkX/workers=1#01-8":     "BenchmarkX/workers=1-8",
+		"BenchmarkX/a#12/b=2#03-16":     "BenchmarkX/a/b=2-16",
+		"BenchmarkX/note=#hash-8":       "BenchmarkX/note=#hash-8", // '#' not followed by digits survives
+		"BenchmarkKrumScores/n=50#01-1": "BenchmarkKrumScores/n=50-1",
+	} {
+		if got := canonicalName(in); got != want {
+			t.Errorf("canonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestConvertRejectsEmptyInput(t *testing.T) {
 	if _, err := Convert(strings.NewReader("PASS\nok byzopt 0.1s\n")); err == nil {
 		t.Error("want an error for input without benchmark results")

@@ -101,6 +101,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		fvals      = fs.String("f", "1", "comma-separated fault-tolerance values")
 		nvals      = fs.String("n", "", "comma-separated system sizes (default 6)")
 		dims       = fs.String("d", "", "comma-separated dimensions (default 2)")
+		sketchDims = fs.String("sketch-dims", "", "comma-separated approximation dimensions swept for the sketch-configurable filters (0 = filter default); other filters collapse this axis")
 		steps      = fs.String("steps", "", "comma-separated constant step sizes to sweep in addition to the paper's diminishing schedule (e.g. 0.05,0.01)")
 		rounds     = fs.Int("rounds", 0, "iterations per scenario (0 = paper's 500)")
 		seed       = fs.Int64("seed", 0, "base seed mixed into every scenario hash")
@@ -208,6 +209,11 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *dims != "" {
 		if spec.Dims, err = parseInts(*dims); err != nil {
 			return fmt.Errorf("-d: %w", err)
+		}
+	}
+	if *sketchDims != "" {
+		if spec.SketchDims, err = parseInts(*sketchDims); err != nil {
+			return fmt.Errorf("-sketch-dims: %w", err)
 		}
 	}
 	if *steps != "" {

@@ -329,13 +329,7 @@ func (kr Krum) into(dst []float64, grads [][]float64, n, f int, s *Scratch) erro
 	if err != nil {
 		return err
 	}
-	best := 0
-	for i := 1; i < len(scores); i++ {
-		if scores[i] < scores[best] {
-			best = i
-		}
-	}
-	copy(dst, grads[best])
+	copy(dst, grads[argMinScore(scores)])
 	return nil
 }
 
@@ -371,27 +365,7 @@ func (m MultiKrum) into(dst []float64, grads [][]float64, n, f int, s *Scratch) 
 	if err != nil {
 		return err
 	}
-	if m.M < 1 || m.M > n-f {
-		return fmt.Errorf("multi-krum M=%d out of [1, n-f]=[1, %d]: %w", m.M, n-f, ErrInput)
-	}
-	s.idx = growInts(s.idx, n)
-	idx := s.idx
-	for i := range idx {
-		idx[i] = i
-	}
-	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(scores[a], scores[b]) })
-	// Mean of the M best, accumulated in score order exactly as the
-	// allocating path fed them to vecmath.Mean.
-	for j := range dst {
-		dst[j] = 0
-	}
-	for _, i := range idx[:m.M] {
-		for j, v := range grads[i] {
-			dst[j] += v
-		}
-	}
-	vecmath.ScaleInPlace(1/float64(m.M), dst)
-	return nil
+	return meanOfBestScores(dst, grads, scores, m.M, n, f, s)
 }
 
 // krumScores fills s.scores with the Krum score of every gradient, computing
@@ -408,6 +382,15 @@ func krumScores(grads [][]float64, f, workers int, s *Scratch) ([]float64, error
 	}
 	d2 := s.distMatrix(n)
 	pairwiseDistSqInto(d2, grads, resolvePairwiseWorkers(workers, n, d))
+	return scoreFromDists(d2, n, f, s), nil
+}
+
+// scoreFromDists fills s.scores with Krum scores from an already-filled
+// n×n distance matrix: per point, the sum of the n-f-2 smallest distances
+// to the others, summed in ascending order. The neighbor-scoring half of
+// krumScores, shared with the sketched filters, which fill the matrix from
+// projected rows instead. Callers must have checked n >= 2f+3.
+func scoreFromDists(d2 [][]float64, n, f int, s *Scratch) []float64 {
 	k := n - f - 2 // number of closest neighbors scored
 	s.scores = growFloats(s.scores, n)
 	s.row = growFloats(s.row, n)
@@ -426,7 +409,7 @@ func krumScores(grads [][]float64, f, workers int, s *Scratch) ([]float64, error
 		}
 		scores[i] = sum
 	}
-	return scores, nil
+	return scores
 }
 
 // --- Bulyan ---
@@ -460,6 +443,18 @@ func (bl Bulyan) AggregateInto(dst []float64, grads [][]float64, f int, s *Scrat
 }
 
 func (bl Bulyan) into(dst []float64, grads [][]float64, n, f int, s *Scratch) error {
+	return bulyanInto(dst, grads, n, f, s, func(remaining [][]float64) ([]float64, error) {
+		return krumScores(remaining, f, bl.Workers, s)
+	})
+}
+
+// bulyanInto is the Bulyan skeleton — iterated Krum selection of theta =
+// n-2f gradients followed by the beta-trimmed mean around the
+// coordinate-wise median — parameterized over the scoring function so the
+// exact filter and its sketched/sampled variants share one selection and
+// trimming sequence. scores is called on the shrinking candidate table and
+// must return per-candidate Krum scores (lowest = best).
+func bulyanInto(dst []float64, grads [][]float64, n, f int, s *Scratch, scores func([][]float64) ([]float64, error)) error {
 	if n < 4*f+3 {
 		return fmt.Errorf("bulyan needs n >= 4f+3, got n=%d f=%d: %w", n, f, ErrTooManyFaults)
 	}
@@ -480,16 +475,11 @@ func (bl Bulyan) into(dst []float64, grads [][]float64, n, f int, s *Scratch) er
 			selected = append(selected, remaining[:theta-len(selected)]...)
 			break
 		}
-		scores, err := krumScores(remaining, f, bl.Workers, s)
+		sc, err := scores(remaining)
 		if err != nil {
 			return err
 		}
-		best := 0
-		for i := 1; i < len(scores); i++ {
-			if scores[i] < scores[best] {
-				best = i
-			}
-		}
+		best := argMinScore(sc)
 		selected = append(selected, remaining[best])
 		// In-place removal: remaining owns its backing table (a scratch
 		// copy), so shifting left cannot clobber the caller's slice.
@@ -676,8 +666,13 @@ func allocVia(fl IntoFilter, grads [][]float64, f int) ([]float64, error) {
 
 // New returns the filter registered under the given name. Recognized names:
 // mean, cge, cge-avg, cwtm, cwmedian, krum, multikrum (M=3), bulyan,
-// geomedian, gmom (Groups=3), centeredclip. Every registered filter also
-// implements IntoFilter.
+// geomedian, gmom (Groups=3), centeredclip, plus the sub-quadratic
+// approximate variants krum-sketch, multikrum-sketch (M=3), bulyan-sketch,
+// krum-sampled, multikrum-sampled (M=3), and bulyan-sampled. Every
+// registered filter also implements IntoFilter. The approximate filters
+// additionally implement RoundKeyed and SketchConfigurable; New returns
+// them with default dimension/sample size and seed 0 — callers wanting
+// scenario-specific keys configure via ConfigureSketch.
 func New(name string) (Filter, error) {
 	switch name {
 	case "mean":
@@ -702,6 +697,18 @@ func New(name string) (Filter, error) {
 		return GeoMedianOfMeans{Groups: 3}, nil
 	case "centeredclip":
 		return CenteredClip{}, nil
+	case "krum-sketch":
+		return &KrumSketch{}, nil
+	case "multikrum-sketch":
+		return &MultiKrumSketch{M: 3}, nil
+	case "bulyan-sketch":
+		return &BulyanSketch{}, nil
+	case "krum-sampled":
+		return &KrumSampled{}, nil
+	case "multikrum-sampled":
+		return &MultiKrumSampled{M: 3}, nil
+	case "bulyan-sampled":
+		return &BulyanSampled{}, nil
 	default:
 		return nil, fmt.Errorf("aggregate: unknown filter %q: %w", name, ErrInput)
 	}
@@ -709,5 +716,10 @@ func New(name string) (Filter, error) {
 
 // Names lists the registry names accepted by New, in stable order.
 func Names() []string {
-	return []string{"mean", "cge", "cge-avg", "cwtm", "cwmedian", "krum", "multikrum", "bulyan", "geomedian", "gmom", "centeredclip"}
+	return []string{
+		"mean", "cge", "cge-avg", "cwtm", "cwmedian", "krum", "multikrum",
+		"bulyan", "geomedian", "gmom", "centeredclip",
+		"krum-sketch", "multikrum-sketch", "bulyan-sketch",
+		"krum-sampled", "multikrum-sampled", "bulyan-sampled",
+	}
 }

@@ -1,0 +1,72 @@
+package aggregate
+
+// Benchmarks pinning the sub-quadratic claim: the sketched and sampled
+// Krum-family filters against their exact twins on the warm-scratch Into
+// path, at d = 1000 and n stepping through learning scale. Workers is
+// forced to 1 so every row is the sequential kernel (the artifact's
+// allocs/op column is then the zero-alloc gate, and speedups are
+// kernel-vs-kernel, not parallelism). Exact Bulyan recomputes the pairwise
+// pass per selection, so its exact row is limited to n = 100.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkApproxFilters measures AggregateInto with a warm Scratch for
+// exact krum/multikrum/bulyan vs sketch (k = 64), sampled (m = 64), and
+// float32-storage sketch variants at n in {100, 500, 1000}, d = 1000.
+func BenchmarkApproxFilters(b *testing.B) {
+	const d, f, k = 1000, 5, 64
+	for _, n := range []int{100, 500, 1000} {
+		r := rand.New(rand.NewSource(int64(n)))
+		grads := make([][]float64, n)
+		for i := range grads {
+			grads[i] = make([]float64, d)
+			for j := range grads[i] {
+				grads[i][j] = r.NormFloat64()
+			}
+		}
+		variants := []struct {
+			name   string
+			filter IntoFilter
+		}{
+			{"krum/exact", Krum{Workers: 1}},
+			{"krum/sketch-k64", &KrumSketch{SketchParams: SketchParams{Dim: k, Seed: 1, Workers: 1}}},
+			{"krum/sketch-k64-f32", &KrumSketch{SketchParams: SketchParams{Dim: k, Seed: 1, Float32: true, Workers: 1}}},
+			{"krum/sampled-m64", &KrumSampled{SampleParams: SampleParams{Pairs: k, Seed: 1, Workers: 1}}},
+			{"multikrum/exact", MultiKrum{M: 3, Workers: 1}},
+			{"multikrum/sketch-k64", &MultiKrumSketch{M: 3, SketchParams: SketchParams{Dim: k, Seed: 1, Workers: 1}}},
+		}
+		if n == 100 {
+			variants = append(variants,
+				struct {
+					name   string
+					filter IntoFilter
+				}{"bulyan/exact", Bulyan{Workers: 1}},
+			)
+		}
+		variants = append(variants,
+			struct {
+				name   string
+				filter IntoFilter
+			}{"bulyan/sketch-k64", &BulyanSketch{SketchParams: SketchParams{Dim: k, Seed: 1, Workers: 1}}},
+		)
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/n=%d", v.name, n), func(b *testing.B) {
+				scratch := &Scratch{}
+				dst := make([]float64, d)
+				if err := v.filter.AggregateInto(dst, grads, f, scratch); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := v.filter.AggregateInto(dst, grads, f, scratch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

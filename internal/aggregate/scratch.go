@@ -42,6 +42,29 @@ type Scratch struct {
 
 	meansBuf []float64   // GeoMedianOfMeans bucket-mean arena
 	means    [][]float64 // rows into meansBuf
+
+	// Sketch-filter state: the SRHT plan (per-column sign words and the k
+	// sampled Hadamard coordinates), cached by content key so Bulyan's
+	// iterated selection re-derives it only once per (seed, round), the
+	// P-length padded transform buffer, plus the n×k sketched-row arenas in
+	// both storage modes and the sampled-pairs index/rank buffers.
+	srhtWords []uint64
+	srhtIdx   []int
+	srhtRank  []float64
+	srhtTmp   []int
+	srhtPad   []float64
+	srhtK     int
+	srhtD     int
+	srhtKey   uint64 // content key of the current plan; see srhtPlan
+	srhtValid bool
+
+	skBuf    []float64
+	skRows   [][]float64
+	sk32Buf  []float32
+	sk32Rows [][]float32
+
+	sampleU   []float64 // per-neighbor hash ranks of the sampled-pairs mode
+	sampleIdx []int     // candidate neighbor indices under rank selection
 }
 
 // growFloats returns buf resliced to length n, reallocating only when the
@@ -83,6 +106,56 @@ func (s *Scratch) distMatrix(n int) [][]float64 {
 	}
 	s.distN = n
 	return s.distRows
+}
+
+// srhtPlan returns the SRHT plan buffers — the per-column sign words and
+// the k sampled Hadamard-coordinate indices — reshaping only when the shape
+// changes. key identifies the contents the caller is about to fill (a hash
+// of seed, round, and shape); the third return reports whether the buffers
+// already hold that fill, letting Bulyan's iterated selection skip
+// re-deriving the identical plan every iteration. Callers that fill must do
+// so before the next srhtPlan call.
+func (s *Scratch) srhtPlan(k, d int, key uint64) ([]uint64, []int, bool) {
+	words := (d + 63) >> 6
+	if s.srhtK != k || s.srhtD != d || len(s.srhtIdx) != k {
+		if cap(s.srhtWords) < words {
+			s.srhtWords = make([]uint64, words)
+		}
+		s.srhtWords = s.srhtWords[:words]
+		s.srhtIdx = growInts(s.srhtIdx, k)
+		s.srhtK, s.srhtD = k, d
+		s.srhtValid = false
+	}
+	filled := s.srhtValid && s.srhtKey == key
+	s.srhtKey, s.srhtValid = key, true
+	return s.srhtWords, s.srhtIdx, filled
+}
+
+// sketchRowsBuf returns the n×k sketched-gradient table backed by one
+// arena. Entries are unspecified; callers overwrite every row they use.
+func (s *Scratch) sketchRowsBuf(n, k int) [][]float64 {
+	s.skBuf = growFloats(s.skBuf, n*k)
+	s.skRows = growHeads(s.skRows, n)
+	for i := 0; i < n; i++ {
+		s.skRows[i] = s.skBuf[i*k : (i+1)*k : (i+1)*k]
+	}
+	return s.skRows
+}
+
+// sketchRows32Buf is sketchRowsBuf for the float32 storage mode.
+func (s *Scratch) sketchRows32Buf(n, k int) [][]float32 {
+	if cap(s.sk32Buf) < n*k {
+		s.sk32Buf = make([]float32, n*k)
+	}
+	s.sk32Buf = s.sk32Buf[:n*k]
+	if cap(s.sk32Rows) < n {
+		s.sk32Rows = make([][]float32, n)
+	}
+	s.sk32Rows = s.sk32Rows[:n]
+	for i := 0; i < n; i++ {
+		s.sk32Rows[i] = s.sk32Buf[i*k : (i+1)*k : (i+1)*k]
+	}
+	return s.sk32Rows
 }
 
 // meanRows returns a groups×d table of bucket-mean rows backed by one arena.

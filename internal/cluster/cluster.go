@@ -171,6 +171,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	replies := make(chan roundReply, len(cfg.Conns))
 	silent := make([]int, 0, len(cfg.Conns))
 	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	roundKeyed, _ := cfg.Filter.(aggregate.RoundKeyed)
 	var scratch *aggregate.Scratch
 	var dirBuf []float64
 	if hasInto {
@@ -278,6 +279,11 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			input = grads
 		}
 
+		if roundKeyed != nil {
+			// Round-keyed filters (the approximate Krum variants) re-draw
+			// their projection or sample per round; the engine owns the clock.
+			roundKeyed.SetRound(t)
+		}
 		var dir []float64
 		var err error
 		if hasInto {

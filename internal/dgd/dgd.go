@@ -516,6 +516,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// Together they make the steady-state loop free of heap allocations.
 	col := newCollector(cfg.Agents, len(x), workers)
 	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	roundKeyed, _ := cfg.Filter.(aggregate.RoundKeyed)
 	var scratch *aggregate.Scratch
 	var dirBuf []float64
 	if hasInto {
@@ -560,6 +561,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					return nil, fmt.Errorf("observer at round %d: %w", t, err)
 				}
 			}
+		}
+		if roundKeyed != nil {
+			// Round-keyed filters (the approximate Krum variants) re-draw
+			// their projection or sample per round; the engine owns the clock.
+			roundKeyed.SetRound(t)
 		}
 		var dir []float64
 		var err error

@@ -213,9 +213,7 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 			}
 			brow := b.data[k*b.cols : (k+1)*b.cols]
 			orow := out.data[i*out.cols : (i+1)*out.cols]
-			for j := range brow {
-				orow[j] += a * brow[j]
-			}
+			axpyRow(orow, a, brow)
 		}
 	}
 	return out, nil
@@ -234,6 +232,11 @@ func (m *Matrix) MulVec(v []float64) ([]float64, error) {
 // have length Rows. Each entry is the same ascending-index dot product
 // MulVec computes, so the result is bitwise identical; no memory is
 // allocated. dst must not alias v.
+//
+// Rows run four at a time: one pass over v drives four independent
+// accumulator chains, hiding the floating-point add latency a lone dot
+// product is bound by. Each accumulator still sums its own row in ascending
+// index order, so every dst[i] matches dotRow bit for bit.
 func (m *Matrix) MulVecInto(dst, v []float64) error {
 	if m.cols != len(v) {
 		return fmt.Errorf("matrix: mulvec %dx%d by %d: %w", m.rows, m.cols, len(v), ErrShape)
@@ -241,15 +244,50 @@ func (m *Matrix) MulVecInto(dst, v []float64) error {
 	if len(dst) != m.rows {
 		return fmt.Errorf("matrix: mulvec into %d, want %d: %w", len(dst), m.rows, ErrShape)
 	}
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, a := range row {
-			s += a * v[j]
+	c := m.cols
+	i := 0
+	for ; i <= m.rows-4; i += 4 {
+		r0 := m.data[i*c : i*c+c]
+		r1 := m.data[(i+1)*c : (i+1)*c+c]
+		r2 := m.data[(i+2)*c : (i+2)*c+c]
+		r3 := m.data[(i+3)*c : (i+3)*c+c]
+		var s0, s1, s2, s3 float64
+		for j, vj := range v {
+			s0 += r0[j] * vj
+			s1 += r1[j] * vj
+			s2 += r2[j] * vj
+			s3 += r3[j] * vj
 		}
-		dst[i] = s
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < m.rows; i++ {
+		dst[i] = dotRow(m.data[i*c:(i+1)*c], v)
 	}
 	return nil
+}
+
+// dotRow is the bounds-check-free inner product behind MulVecInto: one
+// accumulator in ascending index order (the exact addition sequence the
+// straight-line loop used, so results are bitwise unchanged), four-way
+// unrolled with an equal-length re-slice so the unrolled body carries no
+// per-access checks.
+func dotRow(row, v []float64) float64 {
+	v = v[:len(row)]
+	var s float64
+	j := 0
+	for ; j <= len(row)-4; j += 4 {
+		s += row[j] * v[j]
+		s += row[j+1] * v[j+1]
+		s += row[j+2] * v[j+2]
+		s += row[j+3] * v[j+3]
+	}
+	for ; j < len(row); j++ {
+		s += row[j] * v[j]
+	}
+	return s
 }
 
 // MulTVecInto writes mᵀ * v into dst, which must have length Cols, without
@@ -269,13 +307,26 @@ func (m *Matrix) MulTVecInto(dst, v []float64) error {
 	// Row-major traversal: dst[j] accumulates m[i][j]*v[i] with i ascending,
 	// the same addition sequence as a per-column dot product.
 	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		vi := v[i]
-		for j, a := range row {
-			dst[j] += a * vi
-		}
+		axpyRow(dst, v[i], m.data[i*m.cols:(i+1)*m.cols])
 	}
 	return nil
+}
+
+// axpyRow computes dst[j] += a*row[j], the unrolled bounds-check-free axpy
+// behind MulTVecInto and Mul; element-wise, so unrolling cannot reorder any
+// addition into a given dst entry.
+func axpyRow(dst []float64, a float64, row []float64) {
+	row = row[:len(dst)]
+	j := 0
+	for ; j <= len(dst)-4; j += 4 {
+		dst[j] += a * row[j]
+		dst[j+1] += a * row[j+1]
+		dst[j+2] += a * row[j+2]
+		dst[j+3] += a * row[j+3]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += a * row[j]
+	}
 }
 
 // Gram returns mᵀ m, the Gram matrix (symmetric positive semi-definite).

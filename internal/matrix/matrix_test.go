@@ -174,6 +174,37 @@ func TestMulVec(t *testing.T) {
 	}
 }
 
+// TestMulVecIntoBlockedBitwise pins the four-row register blocking of
+// MulVecInto against the per-row dot product, bitwise, across row-count
+// remainders (1..9 exercise the blocked body and its tail) and column
+// lengths through the dot kernel's own unroll remainders.
+func TestMulVecIntoBlockedBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, rows := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 32} {
+		for _, cols := range []int{1, 3, 4, 17, 100} {
+			data := make([]float64, rows*cols)
+			for i := range data {
+				data[i] = r.NormFloat64() * 10
+			}
+			v := make([]float64, cols)
+			for i := range v {
+				v[i] = r.NormFloat64()
+			}
+			m := mustNew(t, rows, cols, data)
+			dst := make([]float64, rows)
+			if err := m.MulVecInto(dst, v); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < rows; i++ {
+				want := dotRow(data[i*cols:(i+1)*cols], v)
+				if math.Float64bits(dst[i]) != math.Float64bits(want) {
+					t.Fatalf("rows=%d cols=%d: MulVecInto[%d] = %v, dotRow = %v", rows, cols, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
 func TestGram(t *testing.T) {
 	a := mustNew(t, 3, 2, []float64{1, 0, 0, 1, 1, 1})
 	g := a.Gram()

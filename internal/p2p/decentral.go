@@ -200,6 +200,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		decided[i] = decodeArena[i*dim : (i+1)*dim : (i+1)*dim]
 	}
 	intoFilter, hasInto := cfg.Filter.(aggregate.IntoFilter)
+	roundKeyed, _ := cfg.Filter.(aggregate.RoundKeyed)
 	var scratch *aggregate.Scratch
 	var dirBuf []float64
 	if hasInto {
@@ -310,6 +311,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		eta := steps.At(t)
 		if eta <= 0 {
 			return nil, fmt.Errorf("step size %v at round %d must be positive: %w", eta, t, dgd.ErrConfig)
+		}
+		if roundKeyed != nil {
+			// Round-keyed filters (the approximate Krum variants) draw per
+			// round, not per invocation: every honest peer of this round sees
+			// the same key, preserving the agreement invariant, and the
+			// projection cache makes the repeat invocations refill-free.
+			roundKeyed.SetRound(t)
 		}
 		for p := 0; p < n; p++ {
 			if _, bad := byz[p]; bad {

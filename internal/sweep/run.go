@@ -478,6 +478,12 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 	if err != nil {
 		return fail(err)
 	}
+	if sc, ok := filter.(aggregate.SketchConfigurable); ok {
+		// Key the approximate filters on the per-scenario seed so grid cells
+		// draw independent projections/samples; SketchDim 0 selects the
+		// filter default dimension.
+		sc.ConfigureSketch(scn.SketchDim, res.Seed)
+	}
 	scnCtx := ctx
 	if spec.ScenarioTimeout > 0 {
 		var cancel context.CancelFunc

@@ -118,6 +118,14 @@ type Spec struct {
 	// add no async component to scenario keys, so adding this axis never
 	// perturbs existing grids; duplicate canonical points are dropped.
 	Asyncs []AsyncSpec
+	// SketchDims are the approximation-dimension values to sweep for the
+	// sketch-configurable filters (krum-sketch and friends): the projection
+	// dimension k for the sketched family, the neighbor sample size m for
+	// the sampled family. nil means {0}, the filter's built-in default.
+	// Filters that are not sketch-configurable collapse this axis to the
+	// single value 0 and add no sketch component to their scenario keys, so
+	// adding the axis never perturbs existing grids.
+	SketchDims []int
 	// Rounds is the iteration count T; 0 means 500 (the paper's x_out).
 	Rounds int
 	// Seed is the base seed mixed into every scenario hash; change it to
@@ -207,6 +215,10 @@ type Scenario struct {
 	// Async is the canonical asynchronous round model of the cell
 	// (AsyncSpec.String); empty for the synchronous round model.
 	Async string `json:"async,omitempty"`
+	// SketchDim is the approximation dimension handed to sketch-configurable
+	// filters; 0 (also the value for every non-configurable filter) means
+	// the filter default and adds no key component.
+	SketchDim int `json:"sketch_dim,omitempty"`
 }
 
 // Key returns the stable scenario identifier used for seeding, logging,
@@ -223,6 +235,11 @@ func (s Scenario) Key() string {
 		// Same stability rule as the baseline axis: synchronous cells keep
 		// their pre-async keys, seeds, and golden exports byte for byte.
 		key += " async=" + s.Async
+	}
+	if s.SketchDim != 0 {
+		// Same stability rule again: default-dimension cells (and every
+		// non-sketchable filter) keep their pre-sketch keys and seeds.
+		key += fmt.Sprintf(" sketch=%d", s.SketchDim)
 	}
 	return key
 }
@@ -283,6 +300,9 @@ func (spec *Spec) normalize() {
 		spec.Asyncs = []AsyncSpec{{}}
 	}
 	spec.Asyncs = dedupeAsyncs(spec.Asyncs)
+	if spec.SketchDims == nil {
+		spec.SketchDims = []int{0}
+	}
 	if spec.Rounds == 0 {
 		spec.Rounds = linreg.Rounds
 	}
@@ -361,6 +381,11 @@ func validateSpec(spec *Spec) error {
 			return err
 		}
 	}
+	for _, k := range spec.SketchDims {
+		if k < 0 {
+			return fmt.Errorf("negative sketch dim %d: %w", k, ErrSpec)
+		}
+	}
 	if spec.Rounds < 1 {
 		return fmt.Errorf("rounds = %d must be positive: %w", spec.Rounds, ErrSpec)
 	}
@@ -377,12 +402,14 @@ func validateSpec(spec *Spec) error {
 }
 
 // expand normalizes the spec and enumerates the grid in a fixed order
-// (filter, f, baseline, behavior, n, d, step, async). Scenarios with f = 0 — and
-// baseline scenarios, whose would-be Byzantine agents are omitted — collapse
-// the behavior axis to BehaviorNone, and baseline cells at f = 0 are dropped
-// as duplicates, so the grid never contains the same scenario twice. When
-// spec.Shard is set, the enumerated grid is sliced to the shard's contiguous
-// index range after expansion; job indices always refer to the full grid.
+// (filter, f, baseline, behavior, n, d, step, async, sketch). Scenarios with
+// f = 0 — and baseline scenarios, whose would-be Byzantine agents are omitted
+// — collapse the behavior axis to BehaviorNone, baseline cells at f = 0 are
+// dropped as duplicates, and filters that are not sketch-configurable
+// collapse the sketch axis to {0}, so the grid never contains the same
+// scenario twice. When spec.Shard is set, the enumerated grid is sliced to
+// the shard's contiguous index range after expansion; job indices always
+// refer to the full grid.
 func expand(spec *Spec) ([]job, error) {
 	spec.normalize()
 	if err := validateSpec(spec); err != nil {
@@ -390,6 +417,14 @@ func expand(spec *Spec) ([]job, error) {
 	}
 	var jobs []job
 	for _, filter := range spec.Filters {
+		sketchDims := spec.SketchDims
+		if fl, err := aggregate.New(filter); err == nil {
+			if _, ok := fl.(aggregate.SketchConfigurable); !ok {
+				// The dimension never reaches a non-configurable filter; one
+				// cell with the keyless value 0 stands for them all.
+				sketchDims = []int{0}
+			}
+		}
 		for _, f := range spec.FValues {
 			for _, baseline := range spec.Baselines {
 				if baseline && f == 0 {
@@ -404,23 +439,26 @@ func expand(spec *Spec) ([]job, error) {
 						for _, d := range spec.Dims {
 							for _, steps := range spec.Steps {
 								for _, async := range spec.Asyncs {
-									jobs = append(jobs, job{
-										scn: Scenario{
-											Problem:  spec.Problem,
-											Filter:   filter,
-											Behavior: behavior,
-											F:        f,
-											N:        n,
-											Dim:      d,
-											Step:     steps.Name(),
-											Rounds:   spec.Rounds,
-											Baseline: baseline,
-											Async:    async.String(),
-										},
-										steps: steps,
-										async: async,
-										idx:   len(jobs),
-									})
+									for _, sk := range sketchDims {
+										jobs = append(jobs, job{
+											scn: Scenario{
+												Problem:   spec.Problem,
+												Filter:    filter,
+												Behavior:  behavior,
+												F:         f,
+												N:         n,
+												Dim:       d,
+												Step:      steps.Name(),
+												Rounds:    spec.Rounds,
+												Baseline:  baseline,
+												Async:     async.String(),
+												SketchDim: sk,
+											},
+											steps: steps,
+											async: async,
+											idx:   len(jobs),
+										})
+									}
 								}
 							}
 						}

@@ -25,14 +25,19 @@ type WireSpec struct {
 	// purely synchronous sweeps, so their wire bytes are identical to
 	// pre-async ones and old coordinators/workers interoperate unchanged.
 	// AsyncSpec is already pure data, so it travels as is.
-	Asyncs          []AsyncSpec `json:"asyncs,omitempty"`
-	Rounds          int         `json:"rounds"`
-	Seed            int64       `json:"seed"`
-	PinBehaviorSeed bool        `json:"pin_behavior_seed,omitempty"`
-	Noise           float64     `json:"noise"`
-	BoxRadius       float64     `json:"box_radius"`
-	DGDWorkers      int         `json:"dgd_workers,omitempty"`
-	RecordTrace     bool        `json:"record_trace,omitempty"`
+	Asyncs []AsyncSpec `json:"asyncs,omitempty"`
+	// SketchDims is the approximation-dimension axis of the
+	// sketch-configurable filters; omitted (and nil) when every cell uses
+	// the default dimension, so pre-sketch wire bytes are reproduced exactly
+	// and old coordinators/workers interoperate unchanged.
+	SketchDims      []int   `json:"sketch_dims,omitempty"`
+	Rounds          int     `json:"rounds"`
+	Seed            int64   `json:"seed"`
+	PinBehaviorSeed bool    `json:"pin_behavior_seed,omitempty"`
+	Noise           float64 `json:"noise"`
+	BoxRadius       float64 `json:"box_radius"`
+	DGDWorkers      int     `json:"dgd_workers,omitempty"`
+	RecordTrace     bool    `json:"record_trace,omitempty"`
 }
 
 // StepSpec is the serializable form of the two built-in step schedules.
@@ -102,6 +107,12 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		// form, keeping sync sweeps' wire bytes identical to pre-async ones.
 		asyncs = nil
 	}
+	sketchDims := spec.SketchDims
+	if len(sketchDims) == 1 && sketchDims[0] == 0 {
+		// Same rule as the async axis: the normalized default travels as an
+		// absent field, reproducing pre-sketch wire bytes.
+		sketchDims = nil
+	}
 	return WireSpec{
 		Problem:         spec.Problem,
 		Filters:         spec.Filters,
@@ -112,6 +123,7 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		Dims:            spec.Dims,
 		Steps:           steps,
 		Asyncs:          asyncs,
+		SketchDims:      sketchDims,
 		Rounds:          spec.Rounds,
 		Seed:            spec.Seed,
 		PinBehaviorSeed: spec.PinBehaviorSeed,
@@ -143,6 +155,7 @@ func (w WireSpec) Spec() (Spec, error) {
 		Dims:            w.Dims,
 		Steps:           steps,
 		Asyncs:          w.Asyncs,
+		SketchDims:      w.SketchDims,
 		Rounds:          w.Rounds,
 		Seed:            w.Seed,
 		PinBehaviorSeed: w.PinBehaviorSeed,

@@ -1,0 +1,69 @@
+package vecmath
+
+import "math"
+
+// Float32 storage helpers: the opt-in half-bandwidth gradient mode of the
+// sketched aggregation path. Values are stored as float32 (one rounding per
+// entry, Go's float32 conversion = IEEE round-to-nearest-even) and every
+// arithmetic consumer widens back to float64 before accumulating, so the
+// only precision loss is the storage rounding itself — deterministic and
+// platform-independent.
+
+// ToFloat32 converts src into dst entry-wise. Values beyond the float32
+// range overflow to ±Inf and NaN stays NaN, exactly as Go's conversion
+// defines, so non-finite inputs remain detectable via IsFinite32. Lengths
+// must match; a shorter dst or src panics.
+func ToFloat32(dst []float32, src []float64) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] = float32(src[i])
+	}
+}
+
+// FromFloat32 widens src into dst entry-wise (exact — every float32 is
+// representable as a float64). Lengths must match.
+func FromFloat32(dst []float64, src []float32) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] = float64(src[i])
+	}
+}
+
+// IsFinite32 reports whether every entry of v is neither NaN nor infinite —
+// the float32 face of IsFinite, used to keep the aggregate package's
+// non-finite rejection consistent across storage modes.
+func IsFinite32(v []float32) bool {
+	for _, x := range v {
+		f := float64(x)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// DistSqKernel32 returns the squared Euclidean distance between
+// equal-dimension float32 vectors, widening each entry to float64 before
+// subtracting and accumulating — the same single-accumulator ascending
+// order as DistSqKernel, so the result depends only on the stored values.
+// Dimensions must already be validated; a shorter b panics.
+func DistSqKernel32(a, b []float32) float64 {
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		s += d0 * d0
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		s += d1 * d1
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		s += d2 * d2
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		dv := float64(a[i]) - float64(b[i])
+		s += dv * dv
+	}
+	return s
+}

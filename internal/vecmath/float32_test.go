@@ -1,0 +1,97 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFloat32RoundTrip pins the storage contract of the half-bandwidth
+// mode: narrowing rounds to nearest-even once, widening back is exact, so a
+// double round-trip is the identity on the once-rounded values.
+func TestFloat32RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 257) // odd length exercises the kernel remainders
+	for i := range src {
+		src[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(9)-4))
+	}
+	src[0], src[1], src[2] = 0, math.Copysign(0, -1), 1.5 // exactly representable
+	narrow := make([]float32, len(src))
+	wide := make([]float64, len(src))
+	ToFloat32(narrow, src)
+	FromFloat32(wide, narrow)
+	for i := range src {
+		if want := float64(float32(src[i])); math.Float64bits(wide[i]) != math.Float64bits(want) {
+			t.Fatalf("entry %d: round-trip %v -> %v, want %v", i, src[i], wide[i], want)
+		}
+	}
+	// Second trip must be exact: the rounding already happened.
+	narrow2 := make([]float32, len(src))
+	ToFloat32(narrow2, wide)
+	for i := range narrow {
+		if math.Float32bits(narrow[i]) != math.Float32bits(narrow2[i]) {
+			t.Fatalf("entry %d: second narrowing changed %v -> %v", i, narrow[i], narrow2[i])
+		}
+	}
+}
+
+// TestFloat32NonFinite pins the NaN/Inf contract the aggregate package's
+// ErrNonFinite rejection relies on: overflow becomes ±Inf, NaN stays NaN,
+// and IsFinite32 classifies stored values exactly as IsFinite classifies
+// their widened images — non-finite inputs stay detectable across the
+// storage mode.
+func TestFloat32NonFinite(t *testing.T) {
+	cases := []struct {
+		in     float64
+		finite bool
+	}{
+		{0, true},
+		{1e30, true},
+		{math.MaxFloat32, true},
+		{1e39, false}, // beyond float32 range: overflows to +Inf
+		{-1e39, false},
+		{math.MaxFloat64, false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+		{math.NaN(), false},
+	}
+	for _, c := range cases {
+		narrow := make([]float32, 1)
+		wide := make([]float64, 1)
+		ToFloat32(narrow, []float64{c.in})
+		FromFloat32(wide, narrow)
+		if got := IsFinite32(narrow); got != c.finite {
+			t.Errorf("IsFinite32([%v as float32]) = %v, want %v", c.in, got, c.finite)
+		}
+		if got := IsFinite(wide); got != c.finite {
+			t.Errorf("IsFinite(widened %v) = %v, want IsFinite32 agreement (%v)", c.in, got, c.finite)
+		}
+		if math.IsNaN(c.in) != math.IsNaN(float64(narrow[0])) {
+			t.Errorf("NaN not preserved through narrowing: %v -> %v", c.in, narrow[0])
+		}
+	}
+}
+
+// TestDistSqKernel32MatchesWidened checks the float32 distance kernel
+// against the float64 kernel over the widened values: storage is the only
+// difference, the arithmetic (and its summation order) is identical.
+func TestDistSqKernel32MatchesWidened(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 33, 64, 129} {
+		a32 := make([]float32, d)
+		b32 := make([]float32, d)
+		for i := 0; i < d; i++ {
+			a32[i] = float32(r.NormFloat64())
+			b32[i] = float32(r.NormFloat64())
+		}
+		a64 := make([]float64, d)
+		b64 := make([]float64, d)
+		FromFloat32(a64, a32)
+		FromFloat32(b64, b32)
+		got := DistSqKernel32(a32, b32)
+		want := DistSqKernel(a64, b64)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("d=%d: DistSqKernel32 = %v, widened DistSqKernel = %v (must be bitwise equal)", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package vecmath
+
+// Hot-path kernels: the inner loops behind Dot, the element-wise updates,
+// and the Krum family's pairwise squared distances, restructured for the
+// compiler — four-way unrolled with an explicit equal-length re-slice up
+// front so every access in the unrolled body is provably in bounds and the
+// loop is free of per-iteration checks.
+//
+// Bitwise contract: every kernel accumulates into a single accumulator in
+// ascending index order, exactly the sequence the straight-line loops used
+// before. Floating-point addition is not reassociated, so results — and
+// therefore every golden export pinned on them — are bit-for-bit unchanged;
+// the unrolling only removes loop and bounds-check overhead.
+
+// DotKernel returns the inner product <a, b> for equal-dimension vectors.
+// It is the check-free kernel behind Dot for hot paths whose dimensions are
+// already validated; a shorter b panics.
+func DotKernel(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// DistSqKernel returns the squared Euclidean distance between
+// equal-dimension vectors — the plain single-pass sum the Krum family's
+// pairwise matrix is built from (distances are only compared, so the
+// overflow-guarded two-pass form of Dist is not needed). Dimensions must
+// already be validated; a shorter b panics.
+func DistSqKernel(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		d0 := a[i] - b[i]
+		s += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		s += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		s += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		dv := a[i] - b[i]
+		s += dv * dv
+	}
+	return s
+}
+
+// normSqKernel is DistSqKernel against the origin.
+func normSqKernel(a []float64) float64 {
+	var s float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		s += a[i] * a[i]
+		s += a[i+1] * a[i+1]
+		s += a[i+2] * a[i+2]
+		s += a[i+3] * a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * a[i]
+	}
+	return s
+}
+
+// addKernel computes dst[i] += b[i]; lengths must match.
+func addKernel(dst, b []float64) {
+	b = b[:len(dst)]
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		dst[i] += b[i]
+		dst[i+1] += b[i+1]
+		dst[i+2] += b[i+2]
+		dst[i+3] += b[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += b[i]
+	}
+}
+
+// axpyKernel computes dst[i] += alpha*x[i]; lengths must match.
+func axpyKernel(dst []float64, alpha float64, x []float64) {
+	x = x[:len(dst)]
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		dst[i] += alpha * x[i]
+		dst[i+1] += alpha * x[i+1]
+		dst[i+2] += alpha * x[i+2]
+		dst[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// scaleKernel computes v[i] *= alpha.
+func scaleKernel(alpha float64, v []float64) {
+	i := 0
+	for ; i <= len(v)-4; i += 4 {
+		v[i] *= alpha
+		v[i+1] *= alpha
+		v[i+2] *= alpha
+		v[i+3] *= alpha
+	}
+	for ; i < len(v); i++ {
+		v[i] *= alpha
+	}
+}
+
+// subKernel computes dst[i] = a[i] - b[i]; lengths must match. dst may alias
+// a or b (pure element-wise writes).
+func subKernel(dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		dst[i] = a[i] - b[i]
+		dst[i+1] = a[i+1] - b[i+1]
+		dst[i+2] = a[i+2] - b[i+2]
+		dst[i+3] = a[i+3] - b[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] - b[i]
+	}
+}

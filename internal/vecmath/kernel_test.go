@@ -1,0 +1,80 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelsMatchStraightLoops pins the bitwise contract of the unrolled
+// kernels: one accumulator, ascending index order — so every unrolled
+// kernel must reproduce the naive loop exactly, at every length through the
+// unroll remainders. Goldens across the repo depend on this equality.
+func TestKernelsMatchStraightLoops(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 100, 1001} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = r.NormFloat64() * 100
+			b[i] = r.NormFloat64() * 100
+		}
+
+		var dot, dist, norm float64
+		for i := 0; i < n; i++ {
+			dot += a[i] * b[i]
+			d := a[i] - b[i]
+			dist += d * d
+			norm += a[i] * a[i]
+		}
+		if got := DotKernel(a, b); math.Float64bits(got) != math.Float64bits(dot) {
+			t.Fatalf("n=%d: DotKernel = %v, straight loop = %v", n, got, dot)
+		}
+		if got := DistSqKernel(a, b); math.Float64bits(got) != math.Float64bits(dist) {
+			t.Fatalf("n=%d: DistSqKernel = %v, straight loop = %v", n, got, dist)
+		}
+		if got := normSqKernel(a); math.Float64bits(got) != math.Float64bits(norm) {
+			t.Fatalf("n=%d: normSqKernel = %v, straight loop = %v", n, got, norm)
+		}
+
+		check := func(name string, got, want []float64) {
+			t.Helper()
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d: %s entry %d = %v, straight loop = %v", n, name, i, got[i], want[i])
+				}
+			}
+		}
+		dst := append([]float64(nil), a...)
+		want := append([]float64(nil), a...)
+		addKernel(dst, b)
+		for i := range want {
+			want[i] += b[i]
+		}
+		check("addKernel", dst, want)
+
+		dst = append(dst[:0:0], a...)
+		want = append(want[:0:0], a...)
+		axpyKernel(dst, 1.75, b)
+		for i := range want {
+			want[i] += 1.75 * b[i]
+		}
+		check("axpyKernel", dst, want)
+
+		dst = append(dst[:0:0], a...)
+		want = append(want[:0:0], a...)
+		scaleKernel(0.3, dst)
+		for i := range want {
+			want[i] *= 0.3
+		}
+		check("scaleKernel", dst, want)
+
+		dst = make([]float64, n)
+		want = make([]float64, n)
+		subKernel(dst, a, b)
+		for i := range want {
+			want[i] = a[i] - b[i]
+		}
+		check("subKernel", dst, want)
+	}
+}

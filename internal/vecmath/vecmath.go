@@ -70,9 +70,7 @@ func AddInPlace(dst, b []float64) error {
 	if len(dst) != len(b) {
 		return fmt.Errorf("add in place %d vs %d: %w", len(dst), len(b), ErrDimensionMismatch)
 	}
-	for i := range dst {
-		dst[i] += b[i]
-	}
+	addKernel(dst, b)
 	return nil
 }
 
@@ -81,9 +79,7 @@ func AxpyInPlace(dst []float64, alpha float64, x []float64) error {
 	if len(dst) != len(x) {
 		return fmt.Errorf("axpy %d vs %d: %w", len(dst), len(x), ErrDimensionMismatch)
 	}
-	for i := range dst {
-		dst[i] += alpha * x[i]
-	}
+	axpyKernel(dst, alpha, x)
 	return nil
 }
 
@@ -98,9 +94,7 @@ func Scale(alpha float64, v []float64) []float64 {
 
 // ScaleInPlace multiplies v by alpha in place.
 func ScaleInPlace(alpha float64, v []float64) {
-	for i := range v {
-		v[i] *= alpha
-	}
+	scaleKernel(alpha, v)
 }
 
 // Neg returns -v.
@@ -111,11 +105,7 @@ func Dot(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
 		return 0, fmt.Errorf("dot %d vs %d: %w", len(a), len(b), ErrDimensionMismatch)
 	}
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s, nil
+	return DotKernel(a, b), nil
 }
 
 // Norm returns the Euclidean (L2) norm of v.
@@ -146,11 +136,7 @@ func Norm(v []float64) float64 {
 
 // NormSq returns the squared Euclidean norm of v.
 func NormSq(v []float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return s
+	return normSqKernel(v)
 }
 
 // Norm1 returns the L1 norm of v.
@@ -235,9 +221,7 @@ func MeanInto(dst []float64, vs [][]float64) error {
 		if len(v) != d {
 			return fmt.Errorf("mean entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
 		}
-		for i := range v {
-			dst[i] += v[i]
-		}
+		addKernel(dst, v)
 	}
 	ScaleInPlace(1/float64(len(vs)), dst)
 	return nil
@@ -274,9 +258,7 @@ func SumInto(dst []float64, vs [][]float64) error {
 		if len(v) != d {
 			return fmt.Errorf("sum entry %d vs %d: %w", len(v), d, ErrDimensionMismatch)
 		}
-		for i := range v {
-			dst[i] += v[i]
-		}
+		addKernel(dst, v)
 	}
 	return nil
 }
@@ -290,9 +272,7 @@ func SubInto(dst, a, b []float64) error {
 	if len(dst) != len(a) {
 		return fmt.Errorf("sub into %d vs %d: %w", len(dst), len(a), ErrDimensionMismatch)
 	}
-	for i := range a {
-		dst[i] = a[i] - b[i]
-	}
+	subKernel(dst, a, b)
 	return nil
 }
 
