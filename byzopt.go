@@ -162,14 +162,39 @@ import (
 // Filter is a gradient aggregation rule ("gradient filter", Section 4).
 type Filter = aggregate.Filter
 
-// NewFilter returns the filter registered under the given name; see
-// FilterNames for the registry.
+// NewFilter returns the filter registered under the given name. Fixed names
+// are listed by FilterNames; additionally, the parameterized families of
+// FilterFamilyPrefixes resolve spellings like "multikrum-7" or "gmom-5" to a
+// family member with that parameter. Unknown names fail with an error
+// listing the full registry.
 func NewFilter(name string) (Filter, error) { return aggregate.New(name) }
 
-// FilterNames lists the built-in filters: the paper's cge and cwtm, the
-// plain mean baseline, and the literature baselines (cwmedian, krum,
-// multikrum, bulyan, geomedian, gmom).
+// FilterNames lists the built-in filters in registration order: the paper's
+// cge and cwtm, the plain mean baseline, the literature baselines (cwmedian,
+// krum, multikrum, bulyan, geomedian, gmom, centeredclip), their
+// sub-quadratic sketch/sampled variants, and the REDGRAF family (sdmmfd,
+// r-sdmmfd, sdfd, rvo) — plus anything added via RegisterFilter.
 func FilterNames() []string { return aggregate.Names() }
+
+// RegisterFilter adds a constructor to the filter registry under a fixed
+// name, making it reachable from NewFilter, SweepSpec.Filters, and the CLIs'
+// -filters flags. Empty and duplicate names are rejected, so built-ins
+// cannot be silently shadowed.
+func RegisterFilter(name string, ctor func() Filter) error { return aggregate.Register(name, ctor) }
+
+// RegisterFilterParam adds a parameterized filter family under a name
+// prefix: NewFilter("<prefix>-<k>") calls ctor(k) for any positive integer
+// k. Fixed names always win over family spellings, so a family never
+// shadows a registered name.
+func RegisterFilterParam(prefix string, ctor func(param int) (Filter, error)) error {
+	return aggregate.RegisterParam(prefix, ctor)
+}
+
+// FilterFamilyPrefixes lists the parameterized family prefixes in
+// registration order (multikrum, gmom, multikrum-sketch, multikrum-sampled,
+// plus anything added via RegisterFilterParam): each accepts "<prefix>-<k>"
+// spellings in every place a filter name is accepted.
+func FilterFamilyPrefixes() []string { return aggregate.FamilyPrefixes() }
 
 // IntoFilter is the allocation-free face every built-in filter implements:
 // AggregateInto writes the aggregate into a caller buffer and draws every
@@ -192,6 +217,37 @@ type CWTM = aggregate.CWTM
 
 // Mean is plain averaging, the fault-intolerant baseline.
 type Mean = aggregate.Mean
+
+// MultiKrum is the multi-Krum filter family; the registry resolves
+// "multikrum" to the M = 3 default and "multikrum-<k>" to MultiKrum{M: k}.
+type MultiKrum = aggregate.MultiKrum
+
+// SDMMFD is the REDGRAF distance-then-mixmax filter adapted to server-side
+// gradient filtering (registered as "sdmmfd"): a distance stage drops the f
+// reports farthest from an auxiliary center carried across rounds, then a
+// coordinate-wise f-trimmed mean aggregates the survivors. Requires
+// n > 3f.
+type SDMMFD = aggregate.SDMMFD
+
+// RSDMMFD is the reduced, stateless SDMMFD variant (registered as
+// "r-sdmmfd"): the per-round coordinate-wise median plays the auxiliary
+// center. Requires n > 3f.
+type RSDMMFD = aggregate.RSDMMFD
+
+// SDFD is the REDGRAF distance-only filter (registered as "sdfd"): the
+// SDMMFD distance stage followed by a plain mean of the survivors. Requires
+// n > 2f.
+type SDFD = aggregate.SDFD
+
+// RVO is the REDGRAF resilient-vector-optimization filter (registered as
+// "rvo"): the coordinate-wise trimmed midrange. Requires n > 2f.
+type RVO = aggregate.RVO
+
+// SeedConfigurable is the optional filter face for filters carrying
+// cross-round auxiliary state (the stateful REDGRAF filters): the engines
+// hand each run's scenario seed to ConfigureSeed so the state chain is keyed
+// to the run and reproduces bitwise on every substrate and worker count.
+type SeedConfigurable = aggregate.SeedConfigurable
 
 // --- Byzantine behaviors ---
 
@@ -510,6 +566,49 @@ func ProblemNames() []string { return sweep.ProblemNames() }
 
 // LookupProblem returns the problem registered under the given name.
 func LookupProblem(name string) (Problem, error) { return sweep.LookupProblem(name) }
+
+// --- trace metrics ---
+
+// TraceMetric is a pluggable post-hoc metric evaluated on a scenario's
+// recorded trace after the run completes (SweepSpec.TraceMetrics selects
+// them by name). Metrics never influence the dynamics, scenario keys, or
+// seeds — they are pure functions of the trace — so adding one to a sweep
+// never perturbs its results. The built-ins are the REDGRAF
+// convergence-geometry metrics (TraceMetricConvergenceRate,
+// TraceMetricConvergenceRadius, TraceMetricConsensusDiameter) and
+// "test_accuracy" for problems exposing that task metric.
+type TraceMetric = sweep.TraceMetric
+
+// TraceMetricInput is the recorded material a TraceMetric evaluates: the
+// per-round loss and distance series, the estimates (when the metric
+// declares NeedEstimates), the workload, and the round count.
+type TraceMetricInput = sweep.TraceInput
+
+// The built-in REDGRAF convergence-geometry metric names.
+const (
+	// TraceMetricConvergenceRate is the per-round geometric contraction
+	// rate of the distance series, fit by least squares on its log.
+	TraceMetricConvergenceRate = sweep.TraceMetricConvergenceRate
+	// TraceMetricConvergenceRadius is the radius of the ball the iterates
+	// settle into: the maximum distance to x_H over the trailing quarter
+	// of the run.
+	TraceMetricConvergenceRadius = sweep.TraceMetricConvergenceRadius
+	// TraceMetricConsensusDiameter is the diameter of the bounding box the
+	// trailing-quarter estimates sweep — how tightly the dynamics have
+	// contracted in space.
+	TraceMetricConsensusDiameter = sweep.TraceMetricConsensusDiameter
+)
+
+// RegisterTraceMetric adds a metric to the trace-metric registry under
+// m.Name, making it selectable from SweepSpec.TraceMetrics. Empty and
+// duplicate names are rejected.
+func RegisterTraceMetric(m TraceMetric) error { return sweep.RegisterTraceMetric(m) }
+
+// LookupTraceMetric returns the metric registered under the given name.
+func LookupTraceMetric(name string) (TraceMetric, bool) { return sweep.LookupTraceMetric(name) }
+
+// TraceMetricNames lists the registered trace-metric names in sorted order.
+func TraceMetricNames() []string { return sweep.TraceMetricNames() }
 
 // WriteSweepJSON exports sweep results as indented JSON; wall-clock
 // timings are stripped unless includeTiming is set, making the output a

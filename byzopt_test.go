@@ -441,3 +441,122 @@ func TestPublicProblemRegistry(t *testing.T) {
 		t.Fatalf("registered problem did not sweep: %+v", again)
 	}
 }
+
+// TestPublicFilterRegistry exercises the redesigned filter-registry facade:
+// parameterized spellings resolve, the REDGRAF filters and their aliases are
+// live, family prefixes are listed, extension registers work, and unknown
+// names fail with the full vocabulary in the message.
+func TestPublicFilterRegistry(t *testing.T) {
+	fl, err := NewFilter("multikrum-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk, ok := fl.(MultiKrum); !ok || mk.M != 7 {
+		t.Fatalf("NewFilter(multikrum-7) = %#v", fl)
+	}
+	for _, name := range []string{"sdmmfd", "r-sdmmfd", "sdfd", "rvo"} {
+		if _, err := NewFilter(name); err != nil {
+			t.Errorf("NewFilter(%q): %v", name, err)
+		}
+	}
+	var _ Filter = &SDMMFD{}
+	var _ Filter = &RSDMMFD{}
+	var _ Filter = &SDFD{}
+	var _ Filter = RVO{}
+	var _ SeedConfigurable = &SDMMFD{}
+
+	prefixes := FilterFamilyPrefixes()
+	haveFamily := map[string]bool{}
+	for _, p := range prefixes {
+		haveFamily[p] = true
+	}
+	if !haveFamily["multikrum"] || !haveFamily["gmom"] {
+		t.Errorf("family prefixes missing built-ins: %v", prefixes)
+	}
+
+	if err := RegisterFilter("public-api-mean", func() Filter { return Mean{} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFilter("public-api-mean"); err != nil {
+		t.Errorf("registered filter not constructible: %v", err)
+	}
+	if err := RegisterFilterParam("public-api-mk", func(m int) (Filter, error) {
+		return MultiKrum{M: m}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fl, err := NewFilter("public-api-mk-4"); err != nil {
+		t.Errorf("registered family not constructible: %v", err)
+	} else if mk, ok := fl.(MultiKrum); !ok || mk.M != 4 {
+		t.Errorf("public-api-mk-4 = %#v", fl)
+	}
+
+	_, err = NewFilter("no-such-filter")
+	if err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "registered:") || !strings.Contains(msg, "parameterized:") {
+		t.Errorf("unknown-filter error does not list the registry: %s", msg)
+	}
+}
+
+// TestPublicTraceMetrics exercises the trace-metric facade end to end: the
+// built-in convergence-geometry metrics are listed and resolvable, a sweep
+// run through the facade reports them, and a custom registered metric shows
+// up in the same export.
+func TestPublicTraceMetrics(t *testing.T) {
+	names := TraceMetricNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{TraceMetricConvergenceRate, TraceMetricConvergenceRadius, TraceMetricConsensusDiameter} {
+		if !have[want] {
+			t.Fatalf("trace-metric registry missing %q (have %v)", want, names)
+		}
+		if _, ok := LookupTraceMetric(want); !ok {
+			t.Fatalf("LookupTraceMetric(%q) failed", want)
+		}
+	}
+	if _, ok := LookupTraceMetric("no-such-metric"); ok {
+		t.Error("unknown metric lookup should fail")
+	}
+
+	if err := RegisterTraceMetric(TraceMetric{
+		Name: "public-api-final-dist",
+		Eval: func(in TraceMetricInput) (float64, []float64, error) {
+			return in.Dist[len(in.Dist)-1], nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := Sweep(SweepSpec{
+		Filters:   []string{"cwtm", "sdmmfd"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1},
+		Rounds:    40,
+		TraceMetrics: []string{
+			TraceMetricConvergenceRate, TraceMetricConvergenceRadius,
+			TraceMetricConsensusDiameter, "public-api-final-dist",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Status() != "ok" {
+			t.Fatalf("%s: %s", r.Key(), r.Err)
+		}
+		if len(r.TraceMetrics) != 4 {
+			t.Fatalf("%s: got metrics %v, want 4 entries", r.Key(), r.TraceMetrics)
+		}
+		if got := r.TraceMetrics["public-api-final-dist"]; math.Float64bits(got) != math.Float64bits(r.FinalDist) {
+			t.Errorf("%s: custom metric %v != FinalDist %v", r.Key(), got, r.FinalDist)
+		}
+		rate := r.TraceMetrics[TraceMetricConvergenceRate]
+		if math.IsNaN(rate) || rate <= 0 {
+			t.Errorf("%s: implausible convergence rate %v", r.Key(), rate)
+		}
+	}
+}

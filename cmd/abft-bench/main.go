@@ -29,7 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"byzopt/internal/dgd"
 	"byzopt/internal/experiments"
 	"byzopt/internal/linreg"
 	"byzopt/internal/sweep"
@@ -44,11 +47,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("abft-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, grid, fig2, fig3, fig4, fig5, svm, appj, all")
+	exp := fs.String("exp", "all", "experiment: table1, grid, stepsweep, fig2, fig3, fig4, fig5, svm, appj, all")
 	rounds := fs.Int("rounds", 0, "override iteration count (0 = paper default)")
 	csvPrefix := fs.String("csv", "", "write full series to CSV files with this prefix")
 	workers := fs.Int("workers", 0, "sweep worker pool for grid experiments (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write grid results JSON to this file")
+	etas := fs.String("etas", "0.005,0.02,0.05", "constant step sizes for the stepsweep experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +63,8 @@ func run(args []string) error {
 			return runTable1(*rounds, *workers)
 		case "grid":
 			return runGrid(*rounds, *workers, *jsonPath)
+		case "stepsweep":
+			return runStepSweep(*rounds, *workers, *jsonPath, *etas)
 		case "fig2":
 			r := *rounds
 			if r == 0 {
@@ -83,7 +89,7 @@ func run(args []string) error {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"appj", "table1", "grid", "fig2", "fig3", "fig4", "fig5", "svm"} {
+		for _, name := range []string{"appj", "table1", "grid", "stepsweep", "fig2", "fig3", "fig4", "fig5", "svm"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -166,6 +172,69 @@ func runGrid(rounds, workers int, jsonPath string) error {
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
+}
+
+// runStepSweep runs the REDGRAF-style filtering-dynamics grid: the four
+// REDGRAF filters plus the paper's CWTM reference under constant step sizes
+// on the paper instance, with the convergence-geometry metrics
+// (convergence_rate, convergence_radius, consensus_diameter) evaluated
+// post hoc on every cell's trace. The SDMMFD pair needs n > 3f, so at f = 2
+// on the paper instance (n = 6) those cells report skipped — the grid shows
+// exactly where each filter's resilience condition gives out.
+func runStepSweep(rounds, workers int, jsonPath, etas string) error {
+	steps, err := parseEtas(etas)
+	if err != nil {
+		return err
+	}
+	if rounds == 0 {
+		rounds = 400
+	}
+	results, err := sweep.Run(sweep.Spec{
+		Problem:   sweep.ProblemPaper,
+		Filters:   []string{"cwtm", "sdmmfd", "r-sdmmfd", "sdfd", "rvo"},
+		Behaviors: []string{"gradient-reverse", "random"},
+		FValues:   []int{1, 2},
+		Steps:     steps,
+		Rounds:    rounds,
+		Workers:   workers,
+		TraceMetrics: []string{
+			sweep.TraceMetricConvergenceRate,
+			sweep.TraceMetricConvergenceRadius,
+			sweep.TraceMetricConsensusDiameter,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(sweep.FormatTable(results))
+	fmt.Println(sweep.Summarize(results))
+	if jsonPath != "" {
+		if err := sweep.WriteJSONFile(jsonPath, results, false); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// parseEtas turns the -etas list into constant step schedules.
+func parseEtas(etas string) ([]dgd.StepSchedule, error) {
+	var steps []dgd.StepSchedule
+	for _, part := range strings.Split(etas, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eta, err := strconv.ParseFloat(part, 64)
+		if err != nil || eta <= 0 {
+			return nil, fmt.Errorf("invalid step size %q (want a positive number)", part)
+		}
+		steps = append(steps, dgd.Constant{Eta: eta})
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("empty -etas list")
+	}
+	return steps, nil
 }
 
 // runFigure produces Figures 2-3 via the two sweep Specs of

@@ -74,6 +74,7 @@ import (
 	"strings"
 	"syscall"
 
+	"byzopt/internal/aggregate"
 	"byzopt/internal/cluster"
 	"byzopt/internal/dgd"
 	"byzopt/internal/linreg"
@@ -96,7 +97,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	var (
 		problem = fs.String("problem", sweep.ProblemSynthetic,
 			"workload from the problem registry: "+strings.Join(sweep.ProblemNames(), ", "))
-		filters    = fs.String("filters", "all", "comma-separated filter names, or all")
+		filters    = fs.String("filters", "all", "comma-separated filter names (fixed registry names or parameterized ones like multikrum-7, gmom-5), or all")
 		behaviors  = fs.String("behaviors", "all", "comma-separated behavior names, or all")
 		fvals      = fs.String("f", "1", "comma-separated fault-tolerance values")
 		nvals      = fs.String("n", "", "comma-separated system sizes (default 6)")
@@ -193,6 +194,14 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	if *filters != "all" {
 		spec.Filters = splitList(*filters)
+		// Resolve every name now, so a typo fails at the flag with the full
+		// registry listing (including the parameterized families) instead of
+		// surfacing later from spec validation.
+		for _, fname := range spec.Filters {
+			if _, err := aggregate.New(fname); err != nil {
+				return fmt.Errorf("-filters: %w", err)
+			}
+		}
 	}
 	if *behaviors != "all" {
 		spec.Behaviors = splitList(*behaviors)

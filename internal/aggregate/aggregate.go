@@ -661,65 +661,3 @@ func allocVia(fl IntoFilter, grads [][]float64, f int) ([]float64, error) {
 	}
 	return out, nil
 }
-
-// --- registry ---
-
-// New returns the filter registered under the given name. Recognized names:
-// mean, cge, cge-avg, cwtm, cwmedian, krum, multikrum (M=3), bulyan,
-// geomedian, gmom (Groups=3), centeredclip, plus the sub-quadratic
-// approximate variants krum-sketch, multikrum-sketch (M=3), bulyan-sketch,
-// krum-sampled, multikrum-sampled (M=3), and bulyan-sampled. Every
-// registered filter also implements IntoFilter. The approximate filters
-// additionally implement RoundKeyed and SketchConfigurable; New returns
-// them with default dimension/sample size and seed 0 — callers wanting
-// scenario-specific keys configure via ConfigureSketch.
-func New(name string) (Filter, error) {
-	switch name {
-	case "mean":
-		return Mean{}, nil
-	case "cge":
-		return CGE{}, nil
-	case "cge-avg":
-		return CGE{Averaged: true}, nil
-	case "cwtm":
-		return CWTM{}, nil
-	case "cwmedian":
-		return CWMedian{}, nil
-	case "krum":
-		return Krum{}, nil
-	case "multikrum":
-		return MultiKrum{M: 3}, nil
-	case "bulyan":
-		return Bulyan{}, nil
-	case "geomedian":
-		return GeoMedian{}, nil
-	case "gmom":
-		return GeoMedianOfMeans{Groups: 3}, nil
-	case "centeredclip":
-		return CenteredClip{}, nil
-	case "krum-sketch":
-		return &KrumSketch{}, nil
-	case "multikrum-sketch":
-		return &MultiKrumSketch{M: 3}, nil
-	case "bulyan-sketch":
-		return &BulyanSketch{}, nil
-	case "krum-sampled":
-		return &KrumSampled{}, nil
-	case "multikrum-sampled":
-		return &MultiKrumSampled{M: 3}, nil
-	case "bulyan-sampled":
-		return &BulyanSampled{}, nil
-	default:
-		return nil, fmt.Errorf("aggregate: unknown filter %q: %w", name, ErrInput)
-	}
-}
-
-// Names lists the registry names accepted by New, in stable order.
-func Names() []string {
-	return []string{
-		"mean", "cge", "cge-avg", "cwtm", "cwmedian", "krum", "multikrum",
-		"bulyan", "geomedian", "gmom", "centeredclip",
-		"krum-sketch", "multikrum-sketch", "bulyan-sketch",
-		"krum-sampled", "multikrum-sampled", "bulyan-sampled",
-	}
-}

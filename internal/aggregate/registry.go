@@ -1,0 +1,198 @@
+package aggregate
+
+// The filter registry: every built-in filter registers a constructor under
+// a stable name, parameterized families (multikrum-<M>, gmom-<G>, ...)
+// register a prefix, and New resolves either form. External packages extend
+// the vocabulary with Register/RegisterParam — the sweep engine, the CLIs,
+// and the public byzopt facade all resolve filters exclusively through this
+// table, so a registered filter is immediately sweepable by name.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	// registry maps a fixed name to its constructor; registryOrder preserves
+	// registration order so Names() is stable run to run.
+	registry      = map[string]func() Filter{}
+	registryOrder []string
+	// paramFamilies maps a family prefix to its parameterized constructor;
+	// "<prefix>-<k>" resolves through it when no fixed name matches.
+	paramFamilies = map[string]func(param int) (Filter, error){}
+	paramOrder    []string
+)
+
+// Register adds a filter constructor under a fixed name. The constructor
+// must return a fresh, ready-to-use Filter on every call (stateful filters
+// return pointers so per-run round/seed keying never aliases across runs).
+// Registering an empty name, a nil constructor, or a name already taken by
+// a fixed registration is an error; built-ins register during package init,
+// so callers extending the registry from their own init functions cannot
+// collide with them accidentally.
+func Register(name string, ctor func() Filter) error {
+	if name == "" {
+		return fmt.Errorf("empty filter name: %w", ErrInput)
+	}
+	if ctor == nil {
+		return fmt.Errorf("nil constructor for filter %q: %w", name, ErrInput)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("filter %q already registered: %w", name, ErrInput)
+	}
+	registry[name] = ctor
+	registryOrder = append(registryOrder, name)
+	return nil
+}
+
+// RegisterParam adds a parameterized filter family under a prefix: the name
+// "<prefix>-<k>" (k a positive integer) resolves to ctor(k). Fixed names
+// always win — "multikrum" yields the registered M=3 default even though
+// the "multikrum" family is also registered — so a family never shadows a
+// registration. The constructor validates its own parameter range.
+func RegisterParam(prefix string, ctor func(param int) (Filter, error)) error {
+	if prefix == "" {
+		return fmt.Errorf("empty filter family prefix: %w", ErrInput)
+	}
+	if ctor == nil {
+		return fmt.Errorf("nil constructor for filter family %q: %w", prefix, ErrInput)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := paramFamilies[prefix]; dup {
+		return fmt.Errorf("filter family %q already registered: %w", prefix, ErrInput)
+	}
+	paramFamilies[prefix] = ctor
+	paramOrder = append(paramOrder, prefix)
+	return nil
+}
+
+// New returns the filter registered under the given name: first an exact
+// registry match, then parameterized-family resolution of "<prefix>-<k>"
+// (multikrum-7, gmom-5, multikrum-sketch-4, ...). Unknown names report the
+// full registry so a caller sees every accepted spelling. Every registered
+// filter also implements IntoFilter; the approximate families additionally
+// implement RoundKeyed and SketchConfigurable and come with default
+// dimension/sample size and seed 0 — callers wanting scenario-specific keys
+// configure via ConfigureSketch. The stateful REDGRAF filters implement
+// RoundKeyed and SeedConfigurable the same way.
+func New(name string) (Filter, error) {
+	registryMu.RLock()
+	ctor, ok := registry[name]
+	registryMu.RUnlock()
+	if ok {
+		return ctor(), nil
+	}
+	if fl, ok, err := newParam(name); ok {
+		return fl, err
+	}
+	return nil, fmt.Errorf("aggregate: unknown filter %q (registered: %s; parameterized: %s): %w",
+		name, strings.Join(Names(), ", "), strings.Join(familySpellings(), ", "), ErrInput)
+}
+
+// newParam attempts parameterized-family resolution; ok reports whether the
+// name matched some family's "<prefix>-<positive int>" shape.
+func newParam(name string) (Filter, bool, error) {
+	cut := strings.LastIndexByte(name, '-')
+	if cut <= 0 || cut == len(name)-1 {
+		return nil, false, nil
+	}
+	param, err := strconv.Atoi(name[cut+1:])
+	if err != nil || param <= 0 {
+		return nil, false, nil
+	}
+	registryMu.RLock()
+	ctor, ok := paramFamilies[name[:cut]]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	fl, err := ctor(param)
+	return fl, true, err
+}
+
+// Names lists the fixed registry names accepted by New, in registration
+// order (built-ins first, in their canonical order). Parameterized
+// spellings ("multikrum-<M>", ...) are additional accepted inputs not
+// enumerated here; see RegisterParam.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// FamilyPrefixes lists the parameterized family prefixes accepted by New as
+// "<prefix>-<k>", in registration order.
+func FamilyPrefixes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, len(paramOrder))
+	copy(out, paramOrder)
+	return out
+}
+
+// familySpellings renders the parameterized vocabulary for error messages.
+func familySpellings() []string {
+	prefixes := FamilyPrefixes()
+	out := make([]string, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = p + "-<k>"
+	}
+	return out
+}
+
+// mustRegister panics on a failed built-in registration: a clash here is a
+// programmer error caught by any test.
+func mustRegister(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	// Fixed names, in the registry's canonical order. The constructors
+	// reproduce the exact values the retired hardcoded switch returned, so
+	// every pre-registry call site resolves to a bitwise-identical filter.
+	mustRegister(Register("mean", func() Filter { return Mean{} }))
+	mustRegister(Register("cge", func() Filter { return CGE{} }))
+	mustRegister(Register("cge-avg", func() Filter { return CGE{Averaged: true} }))
+	mustRegister(Register("cwtm", func() Filter { return CWTM{} }))
+	mustRegister(Register("cwmedian", func() Filter { return CWMedian{} }))
+	mustRegister(Register("krum", func() Filter { return Krum{} }))
+	mustRegister(Register("multikrum", func() Filter { return MultiKrum{M: 3} }))
+	mustRegister(Register("bulyan", func() Filter { return Bulyan{} }))
+	mustRegister(Register("geomedian", func() Filter { return GeoMedian{} }))
+	mustRegister(Register("gmom", func() Filter { return GeoMedianOfMeans{Groups: 3} }))
+	mustRegister(Register("centeredclip", func() Filter { return CenteredClip{} }))
+	mustRegister(Register("krum-sketch", func() Filter { return &KrumSketch{} }))
+	mustRegister(Register("multikrum-sketch", func() Filter { return &MultiKrumSketch{M: 3} }))
+	mustRegister(Register("bulyan-sketch", func() Filter { return &BulyanSketch{} }))
+	mustRegister(Register("krum-sampled", func() Filter { return &KrumSampled{} }))
+	mustRegister(Register("multikrum-sampled", func() Filter { return &MultiKrumSampled{M: 3} }))
+	mustRegister(Register("bulyan-sampled", func() Filter { return &BulyanSampled{} }))
+	mustRegister(Register("sdmmfd", func() Filter { return &SDMMFD{} }))
+	mustRegister(Register("r-sdmmfd", func() Filter { return &RSDMMFD{} }))
+	mustRegister(Register("sdfd", func() Filter { return &SDFD{} }))
+	mustRegister(Register("rvo", func() Filter { return RVO{} }))
+
+	// Parameterized families.
+	mustRegister(RegisterParam("multikrum", func(m int) (Filter, error) {
+		return MultiKrum{M: m}, nil
+	}))
+	mustRegister(RegisterParam("gmom", func(g int) (Filter, error) {
+		return GeoMedianOfMeans{Groups: g}, nil
+	}))
+	mustRegister(RegisterParam("multikrum-sketch", func(m int) (Filter, error) {
+		return &MultiKrumSketch{M: m}, nil
+	}))
+	mustRegister(RegisterParam("multikrum-sampled", func(m int) (Filter, error) {
+		return &MultiKrumSampled{M: m}, nil
+	}))
+}

@@ -65,6 +65,16 @@ type Scratch struct {
 
 	sampleU   []float64 // per-neighbor hash ranks of the sampled-pairs mode
 	sampleIdx []int     // candidate neighbor indices under rank selection
+
+	// REDGRAF filter state: the d-sized auxiliary center the stateful
+	// filtering dynamics (SDMMFD, SDFD) carry between rounds — cached by
+	// content key like the SRHT plan, so a chain only ever continues its own
+	// (seed, round) trajectory — plus the surviving-index table of the
+	// distance-filtering stage.
+	rgAux      []float64
+	rgAuxKey   uint64
+	rgAuxValid bool
+	rgKeep     []int
 }
 
 // growFloats returns buf resliced to length n, reallocating only when the
@@ -156,6 +166,26 @@ func (s *Scratch) sketchRows32Buf(n, k int) [][]float32 {
 		s.sk32Rows[i] = s.sk32Buf[i*k : (i+1)*k : (i+1)*k]
 	}
 	return s.sk32Rows
+}
+
+// redgrafAux returns the d-sized auxiliary-state buffer of the stateful
+// REDGRAF dynamics and whether it still holds the contents written under
+// key (a hash of the filter's seed, the previous round, the dimension, and
+// the filter's domain tag; see auxKey). A dimension change invalidates the
+// cache; contents are unspecified on a miss.
+func (s *Scratch) redgrafAux(d int, key uint64) ([]float64, bool) {
+	if len(s.rgAux) != d {
+		s.rgAux = growFloats(s.rgAux, d)
+		s.rgAuxValid = false
+	}
+	hit := s.rgAuxValid && s.rgAuxKey == key
+	return s.rgAux, hit
+}
+
+// commitRedgrafAux records the content key of the auxiliary state a filter
+// just wrote into the buffer returned by redgrafAux.
+func (s *Scratch) commitRedgrafAux(key uint64) {
+	s.rgAuxKey, s.rgAuxValid = key, true
 }
 
 // meanRows returns a groups×d table of bucket-mean rows backed by one arena.

@@ -167,6 +167,34 @@ func FormatTable(results []Result) string {
 			break
 		}
 	}
+	// Trace-metric columns appear only when some result carries the metric
+	// (the same conditional-column rule as ASYNC), sorted for stability.
+	var metricCols []string
+	seenMetric := map[string]bool{}
+	for i := range results {
+		for name := range results[i].TraceMetrics {
+			if !seenMetric[name] {
+				seenMetric[name] = true
+				metricCols = append(metricCols, name)
+			}
+		}
+	}
+	sort.Strings(metricCols)
+	metricCells := func(r *Result) string {
+		var m strings.Builder
+		for _, name := range metricCols {
+			if v, ok := r.TraceMetrics[name]; ok {
+				fmt.Fprintf(&m, " %18.6g", v)
+			} else {
+				fmt.Fprintf(&m, " %18s", "-")
+			}
+		}
+		return m.String()
+	}
+	var metricHeader strings.Builder
+	for _, name := range metricCols {
+		fmt.Fprintf(&metricHeader, " %18s", strings.ToUpper(name))
+	}
 	var b strings.Builder
 	writeRow := func(async string, rest string) {
 		if asyncCol {
@@ -178,8 +206,8 @@ func FormatTable(results []Result) string {
 			b.WriteString(rest)
 		}
 	}
-	writeRow("ASYNC", fmt.Sprintf("%-14s %-18s %3s %4s %5s %-20s %10s %12s %9s %s\n",
-		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", "WALL_MS", "STATUS"))
+	writeRow("ASYNC", fmt.Sprintf("%-14s %-18s %3s %4s %5s %-20s %10s %12s%s %9s %s\n",
+		"FILTER", "BEHAVIOR", "F", "N", "D", "STEP", "DIST", "LOSS", metricHeader.String(), "WALL_MS", "STATUS"))
 	for i := range results {
 		r := &results[i]
 		behavior := r.Behavior
@@ -188,14 +216,14 @@ func FormatTable(results []Result) string {
 		}
 		status := r.Status()
 		if status == "ok" {
-			writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f %9.1f %s\n",
+			writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10.4f %12.4f%s %9.1f %s\n",
 				r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
-				r.FinalDist, r.LossFinal, r.WallMS, status))
+				r.FinalDist, r.LossFinal, metricCells(r), r.WallMS, status))
 			continue
 		}
-		writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10s %12s %9.1f %s (%s)\n",
+		writeRow(r.Async, fmt.Sprintf("%-14s %-18s %3d %4d %5d %-20s %10s %12s%s %9.1f %s (%s)\n",
 			r.Filter, behavior, r.F, r.N, r.Dim, r.Step,
-			"-", "-", r.WallMS, status, r.Err))
+			"-", "-", metricCells(r), r.WallMS, status, r.Err))
 	}
 	return b.String()
 }

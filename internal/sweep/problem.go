@@ -158,6 +158,7 @@ func init() {
 	mustRegister(&LearningProblem{ProblemName: ProblemLearningMLP, Preset: "a", UseMLP: true})
 	mustRegister(sensingProblem{})
 	mustRegister(robustMeanProblem{})
+	mustRegister(&banknoteProblem{})
 }
 
 // BehaviorDeclarer is the optional Problem extension for workloads with

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"byzopt/internal/cluster"
+	"byzopt/internal/dgd"
+	"byzopt/internal/p2p"
+)
+
+// TestBackendParityRedgraf extends the cross-substrate byte-parity
+// guarantee to the REDGRAF filters with their stateful machinery genuinely
+// engaged: SDMMFD and SDFD carry an auxiliary center across rounds through
+// the engine scratch, keyed only on (seed, round), so in-process, cluster,
+// and p2p runs — and any scenario worker-pool size — must export
+// byte-identical JSON, trace metrics included.
+func TestBackendParityRedgraf(t *testing.T) {
+	base := Spec{
+		Filters:     []string{"sdmmfd", "r-sdmmfd", "sdfd", "rvo"},
+		Behaviors:   []string{"gradient-reverse", "random"},
+		FValues:     []int{1},
+		NValues:     []int{10},
+		Dims:        []int{16},
+		Rounds:      30,
+		RecordTrace: true,
+		TraceMetrics: []string{
+			TraceMetricConvergenceRate, TraceMetricConvergenceRadius, TraceMetricConsensusDiameter,
+		},
+	}
+	inProcess := encodeSweep(t, base)
+
+	pool1 := base
+	pool1.Workers = 1
+	if got := encodeSweep(t, pool1); !bytes.Equal(got, inProcess) {
+		t.Error("single-worker pool JSON differs from default pool for REDGRAF filters")
+	}
+	for name, backend := range map[string]dgd.Backend{
+		"cluster": &cluster.Backend{},
+		"p2p":     p2p.Backend{},
+	} {
+		over := base
+		over.Backend = backend
+		if got := encodeSweep(t, over); !bytes.Equal(got, inProcess) {
+			t.Errorf("%s-backed JSON differs from in-process JSON for REDGRAF filters", name)
+		}
+	}
+}
+
+// TestWireSpecTraceMetrics mirrors the sketch-axis wire test: the metric
+// selection is absent from the wire bytes when empty (old coordinators and
+// workers interoperate unchanged) and survives a marshal round-trip when
+// set.
+func TestWireSpecTraceMetrics(t *testing.T) {
+	plain := Spec{Filters: []string{"cge"}, Rounds: 10}
+	w, err := NewWireSpec(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("trace_metrics")) {
+		t.Errorf("empty metric selection must be absent from wire bytes, got %s", raw)
+	}
+
+	metered := Spec{
+		Filters:      []string{"sdmmfd"},
+		Rounds:       10,
+		TraceMetrics: []string{TraceMetricConvergenceRate, TraceMetricConsensusDiameter},
+	}
+	w2, err := NewWireSpec(metered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := json.Marshal(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireSpec
+	if err := json.Unmarshal(round, &back); err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := back.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec2.TraceMetrics, metered.TraceMetrics) {
+		t.Errorf("round-tripped TraceMetrics = %v, want %v", spec2.TraceMetrics, metered.TraceMetrics)
+	}
+}
+
+// TestBanknoteDataset pins the deterministic reconstruction: the published
+// table size and class balance, the every-fifth holdout split, and
+// regeneration identity (the dataset is a pure function of the pinned
+// seed).
+func TestBanknoteDataset(t *testing.T) {
+	p := &banknoteProblem{}
+	train, test := p.datasets()
+	if train.Len() != 1098 || test.Len() != 274 {
+		t.Fatalf("split %d/%d, want 1098/274", train.Len(), test.Len())
+	}
+	counts := map[int]int{}
+	full := banknoteGenerate()
+	if full.Len() != 1372 {
+		t.Fatalf("reconstruction has %d points, want 1372", full.Len())
+	}
+	for _, y := range full.Labels {
+		counts[y]++
+	}
+	if counts[0] != 762 || counts[1] != 610 {
+		t.Errorf("class balance %v, want 762 genuine / 610 forged", counts)
+	}
+	again := banknoteGenerate()
+	if !reflect.DeepEqual(full, again) {
+		t.Error("reconstruction is not deterministic across calls")
+	}
+	if err := (&banknoteProblem{}).Validate(&Spec{Dims: []int{5}}); err == nil {
+		t.Error("Validate accepted a non-banknote dimension")
+	}
+	if err := (&banknoteProblem{}).Validate(&Spec{Dims: []int{4}, NValues: []int{2000}}); err == nil {
+		t.Error("Validate accepted more shards than training points")
+	}
+}
+
+// TestBanknoteSweep runs a small banknote grid end to end: honest and
+// label-flipped cells complete, the test_accuracy hook reports a real
+// accuracy, and an honest CWTM run beats coin-flipping on the held-out
+// split even in a short sweep.
+func TestBanknoteSweep(t *testing.T) {
+	results, err := Run(Spec{
+		Problem:      ProblemBanknote,
+		Filters:      []string{"cwtm", "sdmmfd"},
+		Behaviors:    []string{BehaviorLabelFlip, "gradient-reverse"},
+		FValues:      []int{1},
+		NValues:      []int{10},
+		Dims:         []int{4},
+		Steps:        []dgd.StepSchedule{dgd.Constant{Eta: 0.05}},
+		Rounds:       60,
+		Seed:         7,
+		TraceMetrics: []string{"test_accuracy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty grid")
+	}
+	for _, r := range results {
+		if r.Status() != "ok" {
+			t.Fatalf("%s: %s (%s)", r.Key(), r.Status(), r.Err)
+		}
+		if r.MetricName != "test_accuracy" {
+			t.Fatalf("%s: metric %q, want test_accuracy", r.Key(), r.MetricName)
+		}
+		acc, ok := r.TraceMetrics["test_accuracy"]
+		if !ok {
+			t.Fatalf("%s: post-hoc accuracy missing", r.Key())
+		}
+		if acc != r.MetricFinal {
+			t.Errorf("%s: post-hoc accuracy %v != in-loop %v", r.Key(), acc, r.MetricFinal)
+		}
+		if acc < 0.55 || acc > 1 {
+			t.Errorf("%s: accuracy %v outside a plausible range", r.Key(), acc)
+		}
+	}
+}
+
+// redgrafBaselineSpec is the checked-in REDGRAF regression sweep: the four
+// filters on the paper instance with the convergence-geometry metrics
+// attached, including the f = 2 cells where the SDMMFD pair's n > 3f
+// condition fails and the cells classify as skipped.
+func redgrafBaselineSpec() Spec {
+	return Spec{
+		Filters:   []string{"cwtm", "sdmmfd", "r-sdmmfd", "sdfd", "rvo"},
+		Behaviors: []string{"gradient-reverse"},
+		FValues:   []int{1, 2},
+		Rounds:    40,
+		Seed:      7,
+		TraceMetrics: []string{
+			TraceMetricConvergenceRate, TraceMetricConvergenceRadius, TraceMetricConsensusDiameter,
+		},
+	}
+}
+
+// TestGoldenRedgrafSweep byte-compares the REDGRAF baseline against
+// testdata/baseline_redgraf.json — the committed reproduction of the three
+// convergence-geometry metrics. Regenerate intentional changes with
+//
+//	go test ./internal/sweep -run TestGoldenRedgrafSweep -update
+func TestGoldenRedgrafSweep(t *testing.T) {
+	checkGolden(t, redgrafBaselineSpec(), "baseline_redgraf.json")
+}

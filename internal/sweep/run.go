@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -48,6 +49,13 @@ type Result struct {
 	TraceLoss   []float64 `json:"trace_loss,omitempty"`
 	TraceDist   []float64 `json:"trace_dist,omitempty"`
 	TraceMetric []float64 `json:"trace_metric,omitempty"`
+	// TraceMetrics holds the final value of every Spec.TraceMetrics entry
+	// the cell could evaluate (metrics inapplicable to the cell's workload
+	// are skipped, not errors); TraceMetricSeries holds the matching
+	// per-round series, exported only when Spec.RecordTrace is set. Both
+	// are absent on pre-metric sweeps, so their wire bytes are unchanged.
+	TraceMetrics      map[string]float64   `json:"trace_metrics,omitempty"`
+	TraceMetricSeries map[string][]float64 `json:"trace_metric_series,omitempty"`
 	// AsyncMeanArrived, AsyncMaxStale, and AsyncVirtualTime summarize an
 	// asynchronous cell's round stats: the mean per-round fresh-arrival
 	// count, the worst staleness ever substituted into a filter input, and
@@ -484,6 +492,12 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		// filter default dimension.
 		sc.ConfigureSketch(scn.SketchDim, res.Seed)
 	}
+	if sk, ok := filter.(aggregate.SeedConfigurable); ok {
+		// Key the stateful REDGRAF filters' auxiliary chain on the
+		// per-scenario seed so pooled Scratches can never leak auxiliary
+		// state between grid cells.
+		sk.ConfigureSeed(res.Seed)
+	}
 	scnCtx := ctx
 	if spec.ScenarioTimeout > 0 {
 		var cancel context.CancelFunc
@@ -492,10 +506,19 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 	}
 	var observers multiObserver
 	var recorder *dgd.TraceRecorder
-	if spec.RecordTrace {
-		// Only the loss/distance series are exported; estimate copies
-		// would dominate the recorder's memory at high dimension.
-		recorder = &dgd.TraceRecorder{OmitEstimates: true}
+	needEstimates := false
+	for _, name := range spec.TraceMetrics {
+		if m, ok := LookupTraceMetric(name); ok && m.NeedEstimates {
+			needEstimates = true
+			break
+		}
+	}
+	if spec.RecordTrace || len(spec.TraceMetrics) > 0 {
+		// Estimate copies would dominate the recorder's memory at high
+		// dimension, so they are kept only when a selected trace metric
+		// reads the trajectory itself; the exported loss/distance series
+		// never include them.
+		recorder = &dgd.TraceRecorder{OmitEstimates: !needEstimates}
 		observers = append(observers, recorder)
 	}
 	var metrics *metricRecorder
@@ -572,7 +595,7 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 			res.TraceMetric = metrics.series
 		}
 	}
-	if recorder != nil {
+	if recorder != nil && spec.RecordTrace {
 		// Untracked series record as NaN, which JSON cannot carry; export
 		// only the series the workload actually tracks.
 		if wl.HonestLoss != nil {
@@ -580,6 +603,39 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		}
 		if wl.XH != nil {
 			res.TraceDist = recorder.Dist
+		}
+	}
+	if recorder != nil && len(spec.TraceMetrics) > 0 {
+		in := TraceInput{
+			Loss:     recorder.Loss,
+			Dist:     recorder.Dist,
+			X:        recorder.X,
+			Workload: wl,
+			Rounds:   scn.Rounds,
+		}
+		for _, name := range spec.TraceMetrics {
+			m, ok := LookupTraceMetric(name)
+			if !ok {
+				continue
+			}
+			final, series, err := m.Eval(in)
+			// An erroring or non-finite metric is inapplicable to this
+			// cell (no reference to measure against, no task metric, a
+			// diverging trace JSON could not carry): skip it, keeping
+			// mixed grids runnable with one metric selection.
+			if err != nil || !finiteSeries(series) || math.IsNaN(final) || math.IsInf(final, 0) {
+				continue
+			}
+			if res.TraceMetrics == nil {
+				res.TraceMetrics = make(map[string]float64, len(spec.TraceMetrics))
+			}
+			res.TraceMetrics[name] = final
+			if spec.RecordTrace {
+				if res.TraceMetricSeries == nil {
+					res.TraceMetricSeries = make(map[string][]float64, len(spec.TraceMetrics))
+				}
+				res.TraceMetricSeries[name] = series
+			}
 		}
 	}
 	if asyncStats != nil {

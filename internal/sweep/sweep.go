@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strings"
 	"time"
 
 	"byzopt/internal/aggregate"
@@ -176,6 +177,17 @@ type Spec struct {
 	// path. Traces grow with Rounds, so leave it unset for large
 	// summary-only grids.
 	RecordTrace bool
+	// TraceMetrics names registered post-hoc trace metrics (see
+	// RegisterTraceMetric; the built-ins are convergence_rate,
+	// convergence_radius, consensus_diameter, and test_accuracy) to
+	// evaluate for every successful cell. Finals land in
+	// Result.TraceMetrics; the per-round series additionally land in
+	// Result.TraceMetricSeries when RecordTrace is set. Selecting metrics
+	// attaches the trace recorder internally even without RecordTrace, but
+	// only the metric outputs are exported then. Metrics are
+	// post-processing: they never affect the dynamics, the scenario keys,
+	// or the derived seeds.
+	TraceMetrics []string
 
 	// Progress, when non-nil, is called after each scenario completes with
 	// the number done and the grid total. Calls are serialized by the
@@ -385,6 +397,17 @@ func validateSpec(spec *Spec) error {
 		if k < 0 {
 			return fmt.Errorf("negative sketch dim %d: %w", k, ErrSpec)
 		}
+	}
+	seenMetrics := make(map[string]bool, len(spec.TraceMetrics))
+	for _, name := range spec.TraceMetrics {
+		if _, ok := LookupTraceMetric(name); !ok {
+			return fmt.Errorf("unknown trace metric %q (registered: %s): %w",
+				name, strings.Join(TraceMetricNames(), ", "), ErrSpec)
+		}
+		if seenMetrics[name] {
+			return fmt.Errorf("duplicate trace metric %q: %w", name, ErrSpec)
+		}
+		seenMetrics[name] = true
 	}
 	if spec.Rounds < 1 {
 		return fmt.Errorf("rounds = %d must be positive: %w", spec.Rounds, ErrSpec)

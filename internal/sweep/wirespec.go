@@ -30,14 +30,19 @@ type WireSpec struct {
 	// sketch-configurable filters; omitted (and nil) when every cell uses
 	// the default dimension, so pre-sketch wire bytes are reproduced exactly
 	// and old coordinators/workers interoperate unchanged.
-	SketchDims      []int   `json:"sketch_dims,omitempty"`
-	Rounds          int     `json:"rounds"`
-	Seed            int64   `json:"seed"`
-	PinBehaviorSeed bool    `json:"pin_behavior_seed,omitempty"`
-	Noise           float64 `json:"noise"`
-	BoxRadius       float64 `json:"box_radius"`
-	DGDWorkers      int     `json:"dgd_workers,omitempty"`
-	RecordTrace     bool    `json:"record_trace,omitempty"`
+	SketchDims []int `json:"sketch_dims,omitempty"`
+	// TraceMetrics is the post-hoc trace-metric selection; omitted (and
+	// nil) when no metrics are selected, reproducing pre-metric wire bytes
+	// exactly. Metrics never affect cell dynamics or seeds, so workers
+	// evaluating them produce the same FinalX/FinalDist bytes regardless.
+	TraceMetrics    []string `json:"trace_metrics,omitempty"`
+	Rounds          int      `json:"rounds"`
+	Seed            int64    `json:"seed"`
+	PinBehaviorSeed bool     `json:"pin_behavior_seed,omitempty"`
+	Noise           float64  `json:"noise"`
+	BoxRadius       float64  `json:"box_radius"`
+	DGDWorkers      int      `json:"dgd_workers,omitempty"`
+	RecordTrace     bool     `json:"record_trace,omitempty"`
 }
 
 // StepSpec is the serializable form of the two built-in step schedules.
@@ -124,6 +129,7 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		Steps:           steps,
 		Asyncs:          asyncs,
 		SketchDims:      sketchDims,
+		TraceMetrics:    spec.TraceMetrics,
 		Rounds:          spec.Rounds,
 		Seed:            spec.Seed,
 		PinBehaviorSeed: spec.PinBehaviorSeed,
@@ -156,6 +162,7 @@ func (w WireSpec) Spec() (Spec, error) {
 		Steps:           steps,
 		Asyncs:          w.Asyncs,
 		SketchDims:      w.SketchDims,
+		TraceMetrics:    w.TraceMetrics,
 		Rounds:          w.Rounds,
 		Seed:            w.Seed,
 		PinBehaviorSeed: w.PinBehaviorSeed,
