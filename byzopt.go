@@ -75,6 +75,21 @@
 // observers implementing AsyncObserver (TraceRecorder does) receive each
 // round's arrival count, staleness, and virtual time.
 //
+// # Fault injection
+//
+// Config.Chaos layers deterministic system faults — crash, omission,
+// in-transit corruption (detected by CRC framing and reclassified as
+// omission), duplication, and delay — over any run (ChaosPlan): every
+// injection is a pure function of (seed, round, agent), so faulted runs
+// replay bit for bit on every substrate, and a nil plan is bitwise
+// identical to today's fault-free path. Honest agents hit by injected
+// faults route into the partial-aggregation machinery (with bounded
+// per-message retry) instead of failing the run; results report the
+// absorbed faults as ChaosCounters. SweepSpec.Chaoses sweeps fault plans
+// as a grid axis (ChaosSpec) whose faulted cells export the "degraded"
+// status, and the abft-chaos command soaks filter × fault-rate grids into
+// degradation curves.
+//
 // # Scenario sweeps
 //
 // The paper's evaluation is a grid — a workload × filters × Byzantine
@@ -146,6 +161,7 @@ import (
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
+	"byzopt/internal/chaos"
 	"byzopt/internal/cluster"
 	"byzopt/internal/core"
 	"byzopt/internal/costfunc"
@@ -411,6 +427,36 @@ type AsyncObserver = dgd.AsyncObserver
 // the synchronous path and leave scenario keys untouched, so adding the
 // axis never perturbs existing grids.
 type AsyncSpec = sweep.AsyncSpec
+
+// --- deterministic fault injection ---
+
+// ChaosPlan declares deterministic system-fault injection for a run
+// (Config.Chaos): crash, omission, corruption, duplication, and delay
+// faults, each a pure function of (seed, round, agent) — so any run under a
+// plan replays bit for bit on every substrate. Honest agents hit by
+// injected faults are ridden out through the partial-aggregation machinery
+// (with an optional per-message retry budget) instead of failing the run;
+// a nil plan is bitwise identical to no fault layer at all.
+type ChaosPlan = chaos.Plan
+
+// ChaosCounters tallies the injected faults a run absorbed, by kind.
+type ChaosCounters = chaos.Counters
+
+// ChaosRoundStats describes one round under fault injection: the faults
+// injected that round and the number of gradients lost to them.
+type ChaosRoundStats = dgd.ChaosRoundStats
+
+// ChaosObserver is the optional observer face receiving ChaosRoundStats
+// each round; implement it alongside RoundObserver to instrument runs
+// under fault injection.
+type ChaosObserver = dgd.ChaosObserver
+
+// ChaosSpec is one point on a sweep's fault-injection axis
+// (SweepSpec.Chaoses) in declarative, JSON-serializable form. No-fault
+// specs run without the chaos layer and leave scenario keys untouched, so
+// adding the axis never perturbs existing grids; faulted cells export the
+// "degraded" status with their ChaosCounters tally.
+type ChaosSpec = sweep.ChaosSpec
 
 // Run executes the configured DGD simulation on the in-process backend,
 // without cancellation (RunContext with a background context).

@@ -1,0 +1,143 @@
+// Command abft-chaos soaks the gradient filters under deterministic system
+// faults: it runs a filter × fault-rate grid on the sweep engine's chaos
+// axis and reports one cost-vs-fault-rate degradation curve per filter,
+// normalized against each filter's fault-free reference cell.
+//
+// The soak is deterministic for a fixed flag set: the workload, the
+// Byzantine adversary, and every injected fault are pure functions of -seed,
+// so reruns reproduce the report bit for bit.
+//
+// Examples:
+//
+//	abft-chaos
+//	abft-chaos -fault crash -rates 0,0.1,0.3
+//	abft-chaos -fault omit -rates 0,0.1,0.25 -attempts 2 -retry-delay 0.1
+//	abft-chaos -filters cge,cwtm -behavior random -rounds 200 -json > soak.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"byzopt/internal/experiments"
+)
+
+// report is the artifact schema: config echoed back plus one degradation
+// curve per filter.
+type report struct {
+	Schema string                      `json:"schema"`
+	Config experiments.ChaosSoakConfig `json:"config"`
+	Rows   []experiments.ChaosSoakRow  `json:"rows"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "abft-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("abft-chaos", flag.ContinueOnError)
+	problem := fs.String("problem", "", "workload from the problem registry (default synthetic)")
+	filters := fs.String("filters", "", "comma-separated filter panel (default cge,cwtm,bulyan)")
+	behavior := fs.String("behavior", "", "byzantine behavior run alongside the system faults (default gradient-reverse)")
+	f := fs.Int("f", 0, "Byzantine budget f (default 1)")
+	n := fs.Int("n", 0, "system size (default: sweep default)")
+	rounds := fs.Int("rounds", 0, "D-GD rounds per cell (default 100)")
+	fault := fs.String("fault", "", "system-fault kind to sweep: "+strings.Join(experiments.ChaosFaultKinds, ", ")+" (default omit)")
+	rates := fs.String("rates", "", "comma-separated fault rates; 0 is added as the reference point when absent (default 0,0.05,0.1,0.2)")
+	attempts := fs.Int("attempts", 0, "per-message delivery attempts on faulted cells (0 = 1: no retry)")
+	retryDelay := fs.Float64("retry-delay", 0, "virtual-time backoff per retry attempt")
+	delay := fs.Float64("delay", 0, "extra virtual time per delayed message with -fault delay (default 1)")
+	seed := fs.Int64("seed", 0, "base seed mixed into every cell hash")
+	workers := fs.Int("workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit the JSON report instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.ChaosSoakConfig{
+		Problem:    *problem,
+		Behavior:   *behavior,
+		F:          *f,
+		N:          *n,
+		Rounds:     *rounds,
+		Fault:      *fault,
+		Attempts:   *attempts,
+		RetryDelay: *retryDelay,
+		Delay:      *delay,
+		Seed:       *seed,
+		Workers:    *workers,
+	}
+	if *filters != "" {
+		cfg.Filters = splitList(*filters)
+	}
+	if *rates != "" {
+		var err error
+		if cfg.Rates, err = parseFloats(*rates); err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
+	}
+	rows, err := experiments.ChaosSoak(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report{Schema: "byzopt-chaos/1", Config: cfg, Rows: rows})
+	}
+	printTable(out, rows)
+	return nil
+}
+
+// printTable renders the curves as one row per filter × rate, with the
+// normalized cost ratio and the injected-fault tally.
+func printTable(out *os.File, rows []experiments.ChaosSoakRow) {
+	fmt.Fprintf(out, "%-14s %8s %10s %10s %-10s %s\n",
+		"FILTER", "RATE", "DIST", "COST_X", "STATUS", "FAULTS")
+	for _, row := range rows {
+		for _, pt := range row.Curve {
+			faults := "-"
+			if pt.Faults != nil {
+				faults = fmt.Sprintf("crash=%d omit=%d corrupt=%d dup=%d delay=%d retry=%d lost=%d",
+					pt.Faults.Crashed, pt.Faults.Omitted, pt.Faults.Corrupted,
+					pt.Faults.Duplicated, pt.Faults.Delayed, pt.Faults.Retried, pt.Faults.LostRounds)
+			}
+			cost := "-"
+			if pt.CostRatio > 0 {
+				cost = fmt.Sprintf("%.3f", pt.CostRatio)
+			}
+			fmt.Fprintf(out, "%-14s %8.3g %10.4f %10s %-10s %s\n",
+				row.Filter, pt.Rate, pt.FinalDist, cost, pt.Status, faults)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range splitList(s) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

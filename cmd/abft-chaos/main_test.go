@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEmitsSchema drives the soak end to end on a small grid and checks
+// the artifact schema: one curve per filter, rates in order with the
+// fault-free reference prepended, degraded cells carrying fault tallies.
+func TestRunEmitsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-filters", "cge,cwtm", "-rounds", "15", "-rates", "0.2", "-fault", "omit", "-json"}
+	if err := run(args, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Schema != "byzopt-chaos/1" {
+		t.Errorf("schema %q, want byzopt-chaos/1", rep.Schema)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row.Curve) != 2 {
+			t.Fatalf("filter %s: %d curve points, want 2 (reference prepended)", row.Filter, len(row.Curve))
+		}
+		ref, faulted := row.Curve[0], row.Curve[1]
+		if ref.Rate != 0 || ref.Chaos != "" || ref.Faults != nil {
+			t.Errorf("filter %s: malformed reference point %+v", row.Filter, ref)
+		}
+		if faulted.Rate != 0.2 || faulted.Chaos != "omit:0.2" {
+			t.Errorf("filter %s: malformed faulted point %+v", row.Filter, faulted)
+		}
+		if faulted.Status == "degraded" && (faulted.Faults == nil || faulted.CostRatio <= 0) {
+			t.Errorf("filter %s: degraded point missing tally or ratio: %+v", row.Filter, faulted)
+		}
+	}
+}
+
+// TestRunTableAndDeterminism: the default table renders, and the JSON
+// artifact is byte-identical across reruns of the same flags.
+func TestRunTableAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(name string, args []string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(args, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	jsonArgs := []string{"-filters", "cge", "-rounds", "10", "-rates", "0.1", "-json"}
+	a := emit("a.json", jsonArgs)
+	b := emit("b.json", jsonArgs)
+	if string(a) != string(b) {
+		t.Error("soak artifact differs across reruns of the same flags")
+	}
+	table := emit("table.txt", []string{"-filters", "cge", "-rounds", "10", "-rates", "0.1"})
+	if len(table) == 0 {
+		t.Error("table mode produced no output")
+	}
+}
+
+// TestRunRejectsBadFlags: unknown fault kinds and malformed rates surface as
+// errors, not malformed artifacts.
+func TestRunRejectsBadFlags(t *testing.T) {
+	out, err := os.Create(filepath.Join(t.TempDir(), "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = out.Close() }()
+	if err := run([]string{"-fault", "gamma-ray"}, out); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if err := run([]string{"-rates", "0.1,zap"}, out); err == nil {
+		t.Error("malformed rate list accepted")
+	}
+	if err := run([]string{"-fault", "omit", "-rates", "1.5"}, out); err == nil {
+		t.Error("out-of-range rate accepted")
+	}
+}

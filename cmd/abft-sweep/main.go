@@ -20,6 +20,7 @@
 //	abft-sweep -worker host:7600                      # one fleet worker (start any number)
 //	abft-sweep -async-latency uniform:0.5:1.5 -async-policy first-k:4,deadline:2 \
 //	    -straggler-rate 0,0.25 -async-stale reuse-last -async-with-sync   # asynchronous round models
+//	abft-sweep -chaos omit:0.2+retry:2:0.1,crash:0.3 -chaos-with-none     # deterministic fault injection
 //
 // -problem accepts any name in the problem registry (see byzopt.Problem /
 // RegisterProblem). Scenario seeds are derived by hashing each scenario's
@@ -52,6 +53,19 @@
 // Everything stays virtual: delays are hash-derived from each scenario's
 // seed, so async sweeps keep full byte-determinism at any -workers value
 // and over a -coordinator fleet.
+//
+// -chaos enables deterministic system-fault injection as a grid axis: each
+// comma-separated plan is a '+'-joined list of fault terms — crash:RATE
+// (agents stop responding from a drawn round), omit:RATE (messages dropped),
+// corrupt:RATE (payloads bit-flipped in transit, detected by CRC framing and
+// reclassified as omission), dup:RATE (duplicate delivery), delay:RATE:EXTRA
+// (extra virtual time) — with an optional retry:ATTEMPTS:BACKOFF delivery
+// budget. Cells ride out injected faults through the partial-aggregation
+// machinery instead of failing: they report the "degraded" status with
+// per-run fault counters in the JSON. Every injection is hash-derived from
+// the cell's seed, so chaos grids keep full byte-determinism at any -workers
+// value and over a -coordinator fleet. -chaos-with-none prepends the
+// fault-free reference point to the axis.
 //
 // -coordinator serves the grid over TCP to any number of -worker processes
 // instead of computing it locally: workers lease cell batches, stream
@@ -133,6 +147,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		stragRates   = fs.String("straggler-rate", "0", "comma-separated fractions of agents designated persistent stragglers, swept as an axis")
 		stragFactor  = fs.Float64("straggler-factor", 10, "delay multiplier applied to every straggler's latency")
 		asyncSync    = fs.Bool("async-with-sync", false, "add the synchronous round model as a reference point on the async axis")
+
+		chaosPlans = fs.String("chaos", "", "enable the fault-injection axis: comma-separated plans, each '+'-joined terms crash:RATE, omit:RATE, corrupt:RATE, dup:RATE, delay:RATE:EXTRA, retry:ATTEMPTS:BACKOFF (e.g. omit:0.2+retry:2:0.1)")
+		chaosNone  = fs.Bool("chaos-with-none", false, "add the fault-free reference point to the chaos axis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,6 +266,15 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		}
 	} else {
 		if spec.Asyncs, err = buildAsyncAxis(*asyncLatency, *asyncPolicy, *asyncStale, *stragRates, *stragFactor, *asyncMaxSt, *asyncSync); err != nil {
+			return err
+		}
+	}
+	if *chaosPlans == "" {
+		if *chaosNone {
+			return errors.New("-chaos-with-none needs -chaos to enable the fault-injection axis")
+		}
+	} else {
+		if spec.Chaoses, err = buildChaosAxis(*chaosPlans, *chaosNone); err != nil {
 			return err
 		}
 	}
@@ -378,6 +404,80 @@ func buildAsyncAxis(latency, policies, stales, rates string, factor float64, max
 		}
 	}
 	return out, nil
+}
+
+// buildChaosAxis parses the comma-separated chaos plan list into the
+// sweep's Chaoses axis, optionally prefixed by the fault-free reference
+// point. Semantic validation (rate ranges, budgets) is the sweep's job —
+// this only parses.
+func buildChaosAxis(plans string, withNone bool) ([]sweep.ChaosSpec, error) {
+	var out []sweep.ChaosSpec
+	if withNone {
+		out = append(out, sweep.ChaosSpec{})
+	}
+	for _, tok := range splitList(plans) {
+		cs, err := parseChaosSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// parseChaosSpec parses one '+'-joined chaos plan — the same canonical form
+// ChaosSpec.String renders, e.g. "crash:0.1+omit:0.2+retry:2:0.1".
+func parseChaosSpec(s string) (sweep.ChaosSpec, error) {
+	var c sweep.ChaosSpec
+	for _, term := range strings.Split(s, "+") {
+		parts := strings.Split(term, ":")
+		bad := func() (sweep.ChaosSpec, error) {
+			return sweep.ChaosSpec{}, fmt.Errorf("-chaos %q: term %q: want crash:RATE, omit:RATE, corrupt:RATE, dup:RATE, delay:RATE:EXTRA, or retry:ATTEMPTS:BACKOFF", s, term)
+		}
+		vals := make([]float64, 0, 2)
+		for _, p := range parts[1:] {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return bad()
+			}
+			vals = append(vals, v)
+		}
+		switch parts[0] {
+		case "crash":
+			if len(vals) != 1 {
+				return bad()
+			}
+			c.CrashRate = vals[0]
+		case "omit":
+			if len(vals) != 1 {
+				return bad()
+			}
+			c.OmitRate = vals[0]
+		case "corrupt":
+			if len(vals) != 1 {
+				return bad()
+			}
+			c.CorruptRate = vals[0]
+		case "dup":
+			if len(vals) != 1 {
+				return bad()
+			}
+			c.DupRate = vals[0]
+		case "delay":
+			if len(vals) != 2 {
+				return bad()
+			}
+			c.DelayRate, c.Delay = vals[0], vals[1]
+		case "retry":
+			if len(vals) != 2 || vals[0] != float64(int(vals[0])) {
+				return bad()
+			}
+			c.Attempts, c.RetryDelay = int(vals[0]), vals[1]
+		default:
+			return bad()
+		}
+	}
+	return c, nil
 }
 
 // parseAsyncLatency parses fixed:BASE, uniform:MIN:WIDTH, or

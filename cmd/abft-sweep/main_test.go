@@ -353,3 +353,71 @@ func TestFleetModeBadFlags(t *testing.T) {
 		t.Error("-coordinator with -shard should error")
 	}
 }
+
+// TestRunChaosAxisFlags: the -chaos axis parses the canonical plan syntax,
+// exports degraded statuses with fault counters deterministically at any
+// -workers value, and malformed plans or orphaned -chaos-with-none error.
+func TestRunChaosAxisFlags(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	read := func(workers string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, "chaos-"+workers+".json")
+		err := run(ctx, []string{
+			"-filters", "cge", "-behaviors", "gradient-reverse", "-rounds", "15",
+			"-chaos", "omit:0.2+retry:2:0.1,crash:0.3", "-chaos-with-none",
+			"-workers", workers, "-json", path, "-quiet",
+		}, os.Stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq, par := read("1"), read("8")
+	if !bytes.Equal(seq, par) {
+		t.Error("chaos JSON differs between -workers 1 and -workers 8")
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(seq, &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("1 filter x 3 chaos points should give 3 results, got %d", len(results))
+	}
+	wantChaos := map[string]bool{"": true, "omit:0.2+retry:2:0.1": true, "crash:0.3": true}
+	degraded := 0
+	for _, r := range results {
+		key, _ := r["chaos"].(string)
+		if !wantChaos[key] {
+			t.Errorf("unexpected chaos identity %q", key)
+		}
+		if r["degraded"] == true {
+			degraded++
+			if r["faults"] == nil {
+				t.Errorf("degraded cell %q exports no fault counters", key)
+			}
+		} else if key == "" && r["faults"] != nil {
+			t.Errorf("fault-free cell exports fault counters")
+		}
+	}
+	if degraded == 0 {
+		t.Error("no cell degraded; the chaos axis injected nothing")
+	}
+
+	if err := run(ctx, []string{"-chaos", "omit:0.2:9"}, os.Stdout); err == nil {
+		t.Error("malformed -chaos term should error")
+	}
+	if err := run(ctx, []string{"-chaos", "gamma:0.2"}, os.Stdout); err == nil {
+		t.Error("unknown -chaos fault kind should error")
+	}
+	if err := run(ctx, []string{"-chaos", "omit:1.5"}, os.Stdout); err == nil {
+		t.Error("out-of-range -chaos rate should error")
+	}
+	if err := run(ctx, []string{"-chaos-with-none"}, os.Stdout); err == nil {
+		t.Error("-chaos-with-none without -chaos should error")
+	}
+}

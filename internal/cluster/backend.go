@@ -86,6 +86,11 @@ func (b *Backend) Run(ctx context.Context, cfg dgd.Config) (*dgd.Result, error) 
 		Reference:    cfg.Reference,
 		Observer:     cfg.Observer,
 		Async:        cfg.Async,
+		// The channel transport never fails, so degradation only ever
+		// triggers on injected faults — chaos parity with the in-process
+		// engine holds bit for bit.
+		Chaos:   cfg.Chaos,
+		Degrade: cfg.Chaos.Enabled(),
 	})
 	if err != nil {
 		return nil, err

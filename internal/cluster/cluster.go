@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"byzopt/internal/aggregate"
+	"byzopt/internal/chaos"
 	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
 	"byzopt/internal/transport"
@@ -67,6 +68,28 @@ type Config struct {
 	// while Async delays are simulated virtual time (missing a virtual
 	// close is mere slowness, handled by the staleness policy).
 	Async *dgd.AsyncConfig
+
+	// Chaos mirrors dgd.Config.Chaos: an enabled plan injects deterministic
+	// system faults into the collection through the async overlay (a
+	// chaos-only run gets a zero-latency wait-all overlay). Enabling chaos
+	// implies Degrade — an injected crash or omission is a system fault to
+	// ride out, not Byzantine evidence to eliminate on.
+	Chaos *chaos.Plan
+	// Degrade switches the server's handling of transport-level failures
+	// from the step-S1 elimination rule to graceful degradation: a failed
+	// or corrupted request is retried up to Retries times with RetryBackoff
+	// pauses, then treated as a per-round omission routed into the async
+	// overlay's partial-aggregation machinery — the agent stays in the
+	// system and the cell degrades instead of dying. Under Degrade no agent
+	// is ever eliminated and ErrTooManyFailures cannot occur; admissibility
+	// of the shrunken input stays the filter's own check.
+	Degrade bool
+	// Retries is the per-agent redelivery budget a failed request gets each
+	// round under Degrade; 0 means no retry.
+	Retries int
+	// RetryBackoff is the wall-clock pause before each retry; zero means
+	// 50ms. Backoff is linear: the k-th retry waits k*RetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // Result extends the dgd result with cluster-level accounting.
@@ -80,6 +103,13 @@ type Result struct {
 	Eliminated []int
 	// FinalN and FinalF are the system parameters after eliminations.
 	FinalN, FinalF int
+	// Degraded reports that the run rode out at least one system fault —
+	// injected by the chaos plan or degraded from a transport failure —
+	// instead of eliminating an agent or failing.
+	Degraded bool
+	// Faults tallies the run's system faults: the chaos plan's injections
+	// plus transport-level retries and omissions under Degrade.
+	Faults chaos.Counters
 }
 
 // Server coordinates one run. The zero value is unusable; construct with
@@ -123,6 +153,17 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := cfg.Async.Validate(); err != nil {
 			return nil, fmt.Errorf("async: %v: %w", err, ErrConfig)
 		}
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: %v: %w", err, ErrConfig)
+		}
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("negative retry budget %d: %w", cfg.Retries, ErrConfig)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("negative retry backoff %v: %w", cfg.RetryBackoff, ErrConfig)
 	}
 	return &Server{cfg: cfg}, nil
 }
@@ -181,17 +222,39 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 
 	// The async overlay consumes a full-n slot table (nil marks an
 	// eliminated agent, which removes it from the overlay permanently) and
-	// selects which collected reply values reach the filter.
+	// selects which collected reply values reach the filter. Chaos and
+	// graceful degradation ride the same overlay: a run with neither skips
+	// it entirely, and a chaos-only run gets the default zero-latency
+	// wait-all overlay, whose fault-free path is bitwise synchronous.
+	degrade := cfg.Degrade || cfg.Chaos.Enabled()
 	var async *dgd.AsyncState
 	var asyncObs dgd.AsyncObserver
+	var chaosObs dgd.ChaosObserver
 	var asyncSlots [][]float64
-	if cfg.Async != nil {
+	var omitFill []float64
+	if cfg.Async != nil || degrade {
+		acfg := dgd.AsyncConfig{}
+		if cfg.Async != nil {
+			acfg = *cfg.Async
+			asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+		}
 		var err error
-		async, err = dgd.NewAsyncState(*cfg.Async, len(cfg.Conns), len(x))
+		async, err = dgd.NewAsyncState(acfg, len(cfg.Conns), len(x))
 		if err != nil {
 			return nil, err
 		}
-		asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+		if cfg.Chaos.Enabled() {
+			if err := async.AttachChaos(cfg.Chaos); err != nil {
+				return nil, err
+			}
+		}
+		if degrade {
+			chaosObs, _ = cfg.Observer.(dgd.ChaosObserver)
+			// A degraded agent misses the round but stays in the overlay:
+			// its slot gets this placeholder (a nil slot would mean
+			// permanent elimination) and OmitNext keeps the value unused.
+			omitFill = make([]float64, len(x))
+		}
 		asyncSlots = make([][]float64, len(cfg.Conns))
 	}
 
@@ -243,14 +306,49 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		}
 
 		if len(silent) > 0 {
-			if len(silent) > f {
+			switch {
+			case degrade:
+				// Graceful degradation: each failed request gets a bounded
+				// redelivery budget with linear backoff, then becomes a
+				// one-round omission routed into the overlay's
+				// partial-aggregation machinery. The agent stays in the
+				// system — next round it reports again — and no count of
+				// failures can raise ErrTooManyFailures.
+				backoff := cfg.RetryBackoff
+				if backoff <= 0 {
+					backoff = 50 * time.Millisecond
+				}
+			nextSilent:
+				for _, idx := range silent {
+					for k := 1; k <= cfg.Retries; k++ {
+						select {
+						case <-time.After(time.Duration(k) * backoff):
+						case <-ctx.Done():
+							return nil, fmt.Errorf("run cancelled at round %d: %w", t, ctx.Err())
+						}
+						res.Faults.Retried++
+						retryCtx, retryCancel := context.WithTimeout(ctx, timeout)
+						g, err := cfg.Conns[idx].RequestGradient(retryCtx, t, x)
+						retryCancel()
+						if err == nil && len(g) == len(x) {
+							slots[idx] = g
+							continue nextSilent
+						}
+					}
+					// Budget exhausted: mute this round, fresh chance next.
+					// The overlay tallies the omission in its round stats.
+					slots[idx] = omitFill
+					async.OmitNext(idx)
+				}
+			case len(silent) > f:
 				return nil, fmt.Errorf("round %d: %d silent agents with budget f=%d: %w",
 					t, len(silent), f, ErrTooManyFailures)
+			default:
+				// Step S1: remove the agents and shrink both n and f.
+				f -= len(silent)
+				res.Eliminated = append(res.Eliminated, silent...)
+				live = removeAll(live, silent)
 			}
-			// Step S1: remove the agents and shrink both n and f.
-			f -= len(silent)
-			res.Eliminated = append(res.Eliminated, silent...)
-			live = removeAll(live, silent)
 		}
 		var input [][]float64
 		fUse := f
@@ -271,12 +369,26 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 					return nil, fmt.Errorf("observer at round %d: %w", t, err)
 				}
 			}
+			if degrade {
+				cs := async.ChaosStats()
+				res.Faults.Add(cs.Faults)
+				if chaosObs != nil {
+					if err := chaosObs.ObserveChaosRound(cs); err != nil {
+						return nil, fmt.Errorf("observer at round %d: %w", t, err)
+					}
+				}
+			}
 		} else {
 			grads = grads[:0]
 			for _, idx := range live {
 				grads = append(grads, slots[idx])
 			}
 			input = grads
+		}
+		if len(input) == 0 {
+			// A gracefully lost round: every live agent's report was dropped
+			// (only possible under degradation). The estimate coasts.
+			continue
 		}
 
 		if roundKeyed != nil {
@@ -322,6 +434,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	res.X = x
 	res.FinalN = len(live)
 	res.FinalF = f
+	res.Degraded = !res.Faults.IsZero()
 	return res, nil
 }
 

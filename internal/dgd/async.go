@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"byzopt/internal/chaos"
 	"byzopt/internal/simtime"
 )
 
@@ -173,6 +174,11 @@ type AsyncState struct {
 	weightRows [][]float64 // per-agent arena for staleness-weighted copies
 	delays     []float64   // per-round scratch for close-time selection
 	pool       [][]float64 // free payload buffers
+
+	chaos      *chaos.Plan     // injected fault plan (AttachChaos), nil = none
+	chaosStats ChaosRoundStats // fault tally of the most recent Round
+	omitNext   []bool          // one-round external omissions (OmitNext)
+	omitUsed   bool            // whether any omitNext mark is pending
 }
 
 // NewAsyncState builds the overlay state for a run of n agents reporting
@@ -297,8 +303,17 @@ func (s *AsyncState) Round(t, f int, grads [][]float64) ([][]float64, int, Async
 
 	// Schedule this round's arrivals at start + per-agent delay; the values
 	// are banked in pooled copies so substrate-owned rows may be reused.
+	// With a chaos plan attached the delivery of each report passes through
+	// the fault draws first: crashed agents leave permanently, omitted and
+	// corrupted attempts retry up to the plan's budget (each retry costing
+	// RetryDelay extra virtual time) and then drop for the round, delay
+	// faults stretch the arrival, and duplicates schedule a second (pooled,
+	// idempotently-banked) copy.
 	start := s.clock.Now()
 	s.delays = s.delays[:0]
+	ch := s.chaos
+	cs := ChaosRoundStats{Round: t}
+	degradable := ch.Enabled() || s.omitUsed
 	for i, g := range grads {
 		if g == nil {
 			if !s.gone[i] {
@@ -315,16 +330,106 @@ func (s *AsyncState) Round(t, f int, grads [][]float64) ([][]float64, int, Async
 		if len(g) != s.d {
 			return nil, 0, stats, fmt.Errorf("async round %d: agent %d gradient dim %d, want %d: %w", t, i, len(g), s.d, ErrConfig)
 		}
+		if ch.Enabled() && ch.Crashed(t, i) {
+			// Injected crash: the same permanent-removal path a nil slot
+			// takes, so downstream semantics (fEff clamping, admissibility)
+			// match an observed elimination exactly.
+			s.gone[i] = true
+			s.putBuf(s.lastGrad[i])
+			s.lastGrad[i] = nil
+			s.lastRound[i] = -1
+			cs.Faults.Crashed++
+			continue
+		}
+		attempt, lost := 0, false
+		if s.omitNext != nil && s.omitNext[i] {
+			// Externally-injected transient omission (a substrate degraded a
+			// transport failure); no retry — the substrate already retried.
+			lost = true
+			cs.Faults.Omitted++
+		} else if ch.Enabled() {
+			for budget := ch.MaxAttempts(); ; {
+				if ch.Omit(t, i, attempt) {
+					cs.Faults.Omitted++
+				} else if ch.Corrupt(t, i, attempt) {
+					// CRC framing detects corruption at the receiver; the
+					// delivery attempt is reclassified as an omission.
+					cs.Faults.Corrupted++
+				} else {
+					break
+				}
+				if attempt++; attempt >= budget {
+					lost = true
+					break
+				}
+				cs.Faults.Retried++
+			}
+		}
+		if lost {
+			continue
+		}
 		delay := s.cfg.Latency.Sample(s.cfg.Seed, t, i)
+		if attempt > 0 {
+			delay += float64(attempt) * ch.RetryDelay
+		}
+		if ch.Enabled() {
+			if ed := ch.ExtraDelay(t, i); ed > 0 {
+				delay += ed
+				cs.Faults.Delayed++
+			}
+		}
 		buf := s.getBuf()
 		copy(buf, g)
 		if err := s.clock.Schedule(start+delay, i, t, buf); err != nil {
 			return nil, 0, stats, fmt.Errorf("async round %d: %v: %w", t, err, ErrConfig)
 		}
 		s.delays = append(s.delays, delay)
+		if ch.Enabled() && ch.Duplicate(t, i) {
+			// A duplicate is the same message delivered twice, not a second
+			// arrival: it gets its own pooled copy (banking recycles each
+			// payload independently) but does not extend s.delays, so the
+			// collection policies count the agent once.
+			dup := s.getBuf()
+			copy(dup, g)
+			if err := s.clock.Schedule(start+delay, i, t, dup); err != nil {
+				return nil, 0, stats, fmt.Errorf("async round %d: %v: %w", t, err, ErrConfig)
+			}
+			cs.Faults.Duplicated++
+		}
+	}
+	if s.omitUsed {
+		for i := range s.omitNext {
+			s.omitNext[i] = false
+		}
+		s.omitUsed = false
 	}
 	if len(s.delays) == 0 {
-		return nil, 0, stats, fmt.Errorf("async round %d: no live agents: %w", t, ErrConfig)
+		if !degradable {
+			return nil, 0, stats, fmt.Errorf("async round %d: no live agents: %w", t, ErrConfig)
+		}
+		// Every live agent's report was lost this round — a gracefully lost
+		// round rather than a dead run. Bank anything already in flight and
+		// serve whatever the staleness policy allows; an empty input tells
+		// the engine to skip the descent step.
+		for {
+			e, ok := s.clock.PopDue(start)
+			if !ok {
+				break
+			}
+			s.apply(e)
+		}
+		s.buildInput(t, &stats)
+		stats.VirtualTime = s.clock.Now()
+		cs.Faults.LostRounds++
+		if s.cfg.stale() == StaleDrop {
+			s.clock.DrainAll(s.putBuf)
+		}
+		s.chaosStats = cs
+		fEff := f
+		if fEff > len(s.input) {
+			fEff = len(s.input)
+		}
+		return s.input, fEff, stats, nil
 	}
 
 	// Close time per policy, as an absolute virtual instant.
@@ -397,6 +502,7 @@ func (s *AsyncState) Round(t, f int, grads [][]float64) ([][]float64, int, Async
 		s.clock.DrainAll(s.putBuf)
 	}
 
+	s.chaosStats = cs
 	fEff := f
 	if fEff > len(s.input) {
 		fEff = len(s.input)

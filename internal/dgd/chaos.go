@@ -1,0 +1,63 @@
+package dgd
+
+import (
+	"fmt"
+
+	"byzopt/internal/chaos"
+)
+
+// ChaosRoundStats tallies the system faults injected into one round's
+// collection. Observers implementing ChaosObserver receive one per round of
+// a run with an enabled chaos plan.
+type ChaosRoundStats struct {
+	// Round is the round index t.
+	Round int
+	// Faults counts the faults injected this round.
+	Faults chaos.Counters
+}
+
+// ChaosObserver is an optional RoundObserver extension receiving per-round
+// fault-injection stats. The engine detects it by type assertion on
+// Config.Observer, so observers unaware of the chaos layer work unchanged.
+type ChaosObserver interface {
+	// ObserveChaosRound is called once per round of a chaos-enabled run,
+	// after the round's collection closes. Returning an error aborts the run.
+	ObserveChaosRound(stats ChaosRoundStats) error
+}
+
+// AttachChaos wires a fault-injection plan into the overlay: from the next
+// Round on, crashes permanently remove agents (the elimination path a nil
+// gradient slot takes), omitted and corrupted deliveries are retried up to
+// the plan's attempt budget and then dropped for the round, delay faults add
+// virtual time on top of the latency draw, and duplicates are delivered
+// twice (the overlay's banking is idempotent). A nil or disabled plan leaves
+// the overlay bitwise identical to one never attached.
+func (s *AsyncState) AttachChaos(p *chaos.Plan) error {
+	if p != nil {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrConfig)
+		}
+	}
+	s.chaos = p
+	return nil
+}
+
+// OmitNext marks agent i's next-round report as lost before it reaches the
+// overlay — the hook a substrate uses to degrade a transport-level failure
+// (timeout, connection reset, CRC-detected corruption) into a transient
+// per-round omission instead of a permanent elimination. The mark clears
+// after one Round call.
+func (s *AsyncState) OmitNext(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	if s.omitNext == nil {
+		s.omitNext = make([]bool, s.n)
+	}
+	s.omitNext[i] = true
+	s.omitUsed = true
+}
+
+// ChaosStats returns the fault tally of the most recent Round call. The
+// zero value is returned when no chaos plan is attached or no round has run.
+func (s *AsyncState) ChaosStats() ChaosRoundStats { return s.chaosStats }

@@ -1,0 +1,193 @@
+package dgd
+
+import (
+	"testing"
+
+	"byzopt/internal/aggregate"
+	"byzopt/internal/chaos"
+)
+
+// chaosTestConfig is asyncTestConfig with a fault plan attached.
+func chaosTestConfig(t *testing.T, filter aggregate.Filter, async *AsyncConfig, plan *chaos.Plan) Config {
+	t.Helper()
+	cfg := asyncTestConfig(t, filter, async)
+	cfg.Chaos = plan
+	return cfg
+}
+
+// The no-chaos parity invariant: a nil plan, a zero plan, and a plan with
+// every rate at zero all run bitwise identically to the plain synchronous
+// path — the chaos layer must be invisible until a fault can actually fire.
+func TestChaosDisabledBitwiseMatchesSync(t *testing.T) {
+	for _, filter := range []aggregate.Filter{aggregate.Mean{}, aggregate.CGE{}, aggregate.Krum{}} {
+		sync, err := Run(asyncTestConfig(t, filter, nil))
+		if err != nil {
+			t.Fatalf("%s sync: %v", filter.Name(), err)
+		}
+		for name, plan := range map[string]*chaos.Plan{
+			"nil":       nil,
+			"zero":      {},
+			"seed-only": {Seed: 12345, Attempts: 3, RetryDelay: 1},
+		} {
+			got, err := Run(chaosTestConfig(t, filter, nil, plan))
+			if err != nil {
+				t.Fatalf("%s chaos=%s: %v", filter.Name(), name, err)
+			}
+			bitwiseEqual(t, filter.Name()+"/"+name+" X", got.X, sync.X)
+			bitwiseEqual(t, filter.Name()+"/"+name+" loss", got.Trace.Loss, sync.Trace.Loss)
+		}
+	}
+}
+
+func TestChaosRunsAreDeterministicAndSeedSensitive(t *testing.T) {
+	mk := func(seed int64) *chaos.Plan {
+		return &chaos.Plan{Seed: seed, OmitRate: 0.3, Attempts: 2, RetryDelay: 0.5,
+			DupRate: 0.2, DelayRate: 0.2, Delay: 1.5}
+	}
+	a, err := Run(chaosTestConfig(t, aggregate.CGE{}, nil, mk(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosTestConfig(t, aggregate.CGE{}, nil, mk(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "replay X", a.X, b.X)
+	bitwiseEqual(t, "replay loss", a.Trace.Loss, b.Trace.Loss)
+
+	c, err := Run(chaosTestConfig(t, aggregate.CGE{}, nil, mk(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X {
+		if a.X[i] != c.X[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("chaos seed change left the trajectory bitwise identical")
+	}
+}
+
+// Duplicated deliveries must be banked idempotently: a plan duplicating
+// every message changes nothing about the trajectory.
+func TestChaosDuplicatesAreIdempotent(t *testing.T) {
+	base, err := Run(asyncTestConfig(t, aggregate.CWTM{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Run(chaosTestConfig(t, aggregate.CWTM{}, nil, &chaos.Plan{Seed: 3, DupRate: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "dup X", dup.X, base.X)
+	bitwiseEqual(t, "dup loss", dup.Trace.Loss, base.Trace.Loss)
+}
+
+// Uniform delay under wait-all stretches virtual time but never the
+// trajectory: every report still makes the close.
+func TestChaosUniformDelayKeepsWaitAllTrajectory(t *testing.T) {
+	base, err := Run(asyncTestConfig(t, aggregate.CGE{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &TraceRecorder{OmitEstimates: true}
+	cfg := chaosTestConfig(t, aggregate.CGE{}, nil, &chaos.Plan{Seed: 9, DelayRate: 1, Delay: 4})
+	cfg.Observer = rec
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "delayed X", slow.X, base.X)
+	if len(rec.Chaos) != cfg.Rounds {
+		t.Fatalf("observer saw %d chaos rounds, want %d", len(rec.Chaos), cfg.Rounds)
+	}
+	for _, cs := range rec.Chaos {
+		if cs.Faults.Delayed == 0 {
+			t.Fatalf("round %d recorded no delay faults under DelayRate=1", cs.Round)
+		}
+	}
+}
+
+// A plan omitting every delivery makes every round a lost round: the run
+// degrades to a coasting estimate instead of failing.
+func TestChaosTotalOmissionCoastsGracefully(t *testing.T) {
+	rec := &TraceRecorder{OmitEstimates: true}
+	cfg := chaosTestConfig(t, aggregate.CGE{}, nil, &chaos.Plan{Seed: 1, OmitRate: 1})
+	cfg.Observer = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("total omission failed the run: %v", err)
+	}
+	// The estimate never moves from the projected start.
+	start := []float64{-0.3, 0.4}
+	bitwiseEqual(t, "coasted X", res.X, start)
+	lost := 0
+	for _, cs := range rec.Chaos {
+		lost += cs.Faults.LostRounds
+	}
+	if lost != cfg.Rounds {
+		t.Fatalf("recorded %d lost rounds, want %d", lost, cfg.Rounds)
+	}
+}
+
+// An injected crash permanently removes the agent: its reports stop
+// counting, the filter input shrinks, and the run still completes with the
+// effective-f clamp doing its usual work.
+func TestChaosCrashShrinksInputPermanently(t *testing.T) {
+	rec := &TraceRecorder{OmitEstimates: true}
+	cfg := chaosTestConfig(t, aggregate.CGE{}, &AsyncConfig{Policy: CollectFirstK, K: 4, Seed: 2},
+		&chaos.Plan{Seed: 40, CrashRate: 0.3, CrashWindow: 10})
+	cfg.Observer = rec
+	plan := cfg.Chaos
+	crashers := 0
+	for i := range cfg.Agents {
+		if plan.CrashRound(i) >= 0 {
+			crashers++
+		}
+	}
+	if crashers == 0 || crashers > 2 {
+		t.Fatalf("test plan designates %d crashers, want 1 or 2 (re-pick the seed)", crashers)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("crash of %d agents failed the run: %v", crashers, err)
+	}
+	total := 0
+	for _, cs := range rec.Chaos {
+		total += cs.Faults.Crashed
+	}
+	if total != crashers {
+		t.Fatalf("recorded %d crashes, want %d (each agent counted once)", total, crashers)
+	}
+	// After every crash round has passed, arrivals settle at n - crashers.
+	last := rec.Async[len(rec.Async)-1]
+	if got := last.Arrived; got != len(cfg.Agents)-crashers {
+		t.Fatalf("final round arrivals %d, want %d", got, len(cfg.Agents)-crashers)
+	}
+}
+
+// OmitNext is the substrate hook: one marked agent misses exactly one round
+// and is back the next.
+func TestOmitNextIsTransient(t *testing.T) {
+	s, err := NewAsyncState(AsyncConfig{}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	s.OmitNext(1)
+	input, fEff, stats, err := s.Round(0, 1, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != 2 || stats.Arrived != 2 || fEff != 1 {
+		t.Fatalf("omitted round: %d inputs, %d arrived, fEff %d", len(input), stats.Arrived, fEff)
+	}
+	input, _, stats, err = s.Round(1, 1, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != 3 || stats.Arrived != 3 {
+		t.Fatalf("mark did not clear: %d inputs, %d arrived", len(input), stats.Arrived)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
+	"byzopt/internal/chaos"
 	"byzopt/internal/costfunc"
 	"byzopt/internal/vecmath"
 )
@@ -325,6 +326,15 @@ type Config struct {
 	// identical to a nil Async.
 	Async *AsyncConfig
 
+	// Chaos, when non-nil and enabled, injects deterministic system faults —
+	// crash, omission, delay, duplication, detected corruption — into each
+	// round's collection through the async overlay (a chaos-only run uses a
+	// zero-latency wait-all overlay). Faults degrade rounds rather than fail
+	// them: lost reports shrink the filter input under the usual effective-f
+	// clamping, and a round losing every live report skips its descent step.
+	// A nil or disabled plan is bitwise identical to no chaos layer at all.
+	Chaos *chaos.Plan
+
 	// Workers opts into concurrent gradient collection: the number of
 	// goroutines querying agents each round. 0 and 1 keep the sequential
 	// path; negative means GOMAXPROCS. Honest agents are still collected
@@ -389,11 +399,15 @@ type TraceRecorder struct {
 	// Async[t] is the round's asynchronous collection stats; nil unless the
 	// run had Config.Async set.
 	Async []AsyncRoundStats
+	// Chaos[t] is the round's injected-fault stats; nil unless the run had
+	// an enabled Config.Chaos plan.
+	Chaos []ChaosRoundStats
 }
 
 var (
 	_ RoundObserver = (*TraceRecorder)(nil)
 	_ AsyncObserver = (*TraceRecorder)(nil)
+	_ ChaosObserver = (*TraceRecorder)(nil)
 )
 
 // ObserveRound implements RoundObserver.
@@ -409,6 +423,12 @@ func (r *TraceRecorder) ObserveRound(t int, x []float64, loss, dist float64) err
 // ObserveAsyncRound implements AsyncObserver.
 func (r *TraceRecorder) ObserveAsyncRound(stats AsyncRoundStats) error {
 	r.Async = append(r.Async, stats)
+	return nil
+}
+
+// ObserveChaosRound implements ChaosObserver.
+func (r *TraceRecorder) ObserveChaosRound(stats ChaosRoundStats) error {
+	r.Chaos = append(r.Chaos, stats)
 	return nil
 }
 
@@ -527,15 +547,29 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// The async overlay selects which of the round's gradient values reach
 	// the filter; the values themselves come from the same collector either
 	// way, which is what keeps zero-latency wait-all bitwise synchronous.
+	// An enabled chaos plan rides the same overlay (a chaos-only run gets a
+	// zero-latency wait-all one, whose fault-free path is bitwise
+	// synchronous too).
 	var async *AsyncState
 	var asyncObs AsyncObserver
-	if cfg.Async != nil {
+	var chaosObs ChaosObserver
+	if cfg.Async != nil || cfg.Chaos.Enabled() {
+		acfg := AsyncConfig{}
+		if cfg.Async != nil {
+			acfg = *cfg.Async
+			asyncObs, _ = cfg.Observer.(AsyncObserver)
+		}
 		var err error
-		async, err = NewAsyncState(*cfg.Async, len(cfg.Agents), len(x))
+		async, err = NewAsyncState(acfg, len(cfg.Agents), len(x))
 		if err != nil {
 			return nil, err
 		}
-		asyncObs, _ = cfg.Observer.(AsyncObserver)
+		if cfg.Chaos.Enabled() {
+			if err := async.AttachChaos(cfg.Chaos); err != nil {
+				return nil, err
+			}
+			chaosObs, _ = cfg.Observer.(ChaosObserver)
+		}
 	}
 
 	for t := 0; t < cfg.Rounds; t++ {
@@ -560,6 +594,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if err := asyncObs.ObserveAsyncRound(stats); err != nil {
 					return nil, fmt.Errorf("observer at round %d: %w", t, err)
 				}
+			}
+			if chaosObs != nil {
+				if err := chaosObs.ObserveChaosRound(async.ChaosStats()); err != nil {
+					return nil, fmt.Errorf("observer at round %d: %w", t, err)
+				}
+			}
+			if len(input) == 0 {
+				// Every live report was lost to injected faults and the
+				// staleness policy kept nothing: a gracefully lost round —
+				// the estimate coasts instead of the run failing.
+				continue
 			}
 		}
 		if roundKeyed != nil {
@@ -795,6 +840,11 @@ func (cfg *Config) validate() error {
 	if cfg.Async != nil {
 		if err := cfg.Async.Validate(); err != nil {
 			return fmt.Errorf("async: %v: %w", err, ErrConfig)
+		}
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrConfig)
 		}
 	}
 	return nil

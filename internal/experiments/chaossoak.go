@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"byzopt/internal/chaos"
+	"byzopt/internal/sweep"
+)
+
+// This file produces the chaos soak on the sweep engine: a filter ×
+// fault-rate grid under one system-fault kind (omission, crash, corruption,
+// duplication, or delay), reporting per filter how convergence cost degrades
+// as the fault rate grows. The rate-0 cell of each filter is the fault-free
+// reference the curve is normalized against, so the CostRatio column reads
+// directly as "how many times worse under this fault load".
+
+// ChaosFaultKinds lists the sweepable system-fault kinds in canonical order.
+var ChaosFaultKinds = []string{"omit", "crash", "corrupt", "dup", "delay"}
+
+// ChaosSoakConfig parameterizes the soak. The zero value selects the
+// headline configuration: the synthetic problem, the cge/cwtm/bulyan filter
+// panel against one gradient-reverse adversary at f = 1, 100 rounds, and an
+// omission sweep over rates 0, 0.05, 0.1, and 0.2 with a two-attempt retry
+// budget.
+type ChaosSoakConfig struct {
+	// Problem is the problem-registry workload; "" means synthetic.
+	Problem string `json:"problem"`
+	// Filters is the filter panel; nil means cge, cwtm, bulyan.
+	Filters []string `json:"filters"`
+	// Behavior is the Byzantine adversary run alongside the system faults;
+	// "" means gradient-reverse.
+	Behavior string `json:"behavior"`
+	F        int    `json:"f"`
+	// N is the system size; 0 keeps the sweep default.
+	N      int `json:"n,omitempty"`
+	Rounds int `json:"rounds"`
+	// Fault is the injected system-fault kind, one of ChaosFaultKinds;
+	// "" means omit.
+	Fault string `json:"fault"`
+	// Rates is the fault-rate axis; a 0 entry is prepended when absent so
+	// every curve carries its fault-free reference point.
+	Rates []float64 `json:"rates"`
+	// Attempts and RetryDelay set the per-message delivery budget of every
+	// faulted cell (Attempts 0 means 1: no retry).
+	Attempts   int     `json:"attempts,omitempty"`
+	RetryDelay float64 `json:"retry_delay,omitempty"`
+	// Delay is the extra virtual time a delayed message takes when Fault is
+	// "delay"; 0 means 1.
+	Delay float64 `json:"delay,omitempty"`
+	Seed  int64   `json:"seed"`
+	// Workers sizes the sweep's cell pool; not part of the artifact.
+	Workers int `json:"-"`
+}
+
+func (c *ChaosSoakConfig) normalize() {
+	if len(c.Filters) == 0 {
+		c.Filters = []string{"cge", "cwtm", "bulyan"}
+	}
+	if c.Behavior == "" {
+		c.Behavior = "gradient-reverse"
+	}
+	if c.F == 0 {
+		c.F = 1
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 100
+	}
+	if c.Fault == "" {
+		c.Fault = "omit"
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0, 0.05, 0.1, 0.2}
+	}
+	hasZero := false
+	for _, r := range c.Rates {
+		if r == 0 {
+			hasZero = true
+			break
+		}
+	}
+	if !hasZero {
+		c.Rates = append([]float64{0}, c.Rates...)
+	}
+	if c.Fault == "delay" && c.Delay == 0 {
+		c.Delay = 1
+	}
+}
+
+// chaosSpec maps one fault rate onto the sweep's chaos axis; rate 0 is the
+// fault-free point (no chaos layer at all).
+func (c *ChaosSoakConfig) chaosSpec(rate float64) (sweep.ChaosSpec, error) {
+	if rate == 0 {
+		return sweep.ChaosSpec{}, nil
+	}
+	cs := sweep.ChaosSpec{Attempts: c.Attempts, RetryDelay: c.RetryDelay}
+	switch c.Fault {
+	case "omit":
+		cs.OmitRate = rate
+	case "crash":
+		cs.CrashRate = rate
+	case "corrupt":
+		cs.CorruptRate = rate
+	case "dup":
+		cs.DupRate = rate
+	case "delay":
+		cs.DelayRate = rate
+		cs.Delay = c.Delay
+	default:
+		return sweep.ChaosSpec{}, fmt.Errorf("unknown fault kind %q (want one of %v): %w", c.Fault, ChaosFaultKinds, ErrArgs)
+	}
+	return cs, nil
+}
+
+// ChaosSoakPoint is one cell of a degradation curve.
+type ChaosSoakPoint struct {
+	// Rate is the injected fault rate; Chaos its canonical plan identity
+	// ("" at the fault-free reference).
+	Rate  float64 `json:"rate"`
+	Chaos string  `json:"chaos,omitempty"`
+	// Status is the cell's sweep status (ok, degraded, skipped, ...).
+	Status    string  `json:"status"`
+	FinalDist float64 `json:"final_dist"`
+	// CostRatio is FinalDist over the filter's fault-free FinalDist — the
+	// degradation curve proper. 0 when the reference cell did not finish.
+	CostRatio float64 `json:"cost_ratio"`
+	// Faults is the whole-run injected-fault tally; absent at the
+	// fault-free point.
+	Faults *chaos.Counters `json:"faults,omitempty"`
+}
+
+// ChaosSoakRow is one filter's cost-vs-fault-rate degradation curve.
+type ChaosSoakRow struct {
+	Filter string           `json:"filter"`
+	Curve  []ChaosSoakPoint `json:"curve"`
+}
+
+// ChaosSoak runs the filter × fault-rate grid and assembles one degradation
+// curve per filter, in the configured filter order with rates in the
+// configured order. Like every sweep, the result is a pure function of the
+// config: rerunning the soak reproduces it bit for bit.
+func ChaosSoak(cfg ChaosSoakConfig) ([]ChaosSoakRow, error) {
+	cfg.normalize()
+	chaoses := make([]sweep.ChaosSpec, len(cfg.Rates))
+	for i, rate := range cfg.Rates {
+		cs, err := cfg.chaosSpec(rate)
+		if err != nil {
+			return nil, err
+		}
+		chaoses[i] = cs
+	}
+	spec := sweep.Spec{
+		Problem:   cfg.Problem,
+		Filters:   cfg.Filters,
+		Behaviors: []string{cfg.Behavior},
+		FValues:   []int{cfg.F},
+		Rounds:    cfg.Rounds,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Chaoses:   chaoses,
+	}
+	if cfg.N > 0 {
+		spec.NValues = []int{cfg.N}
+	}
+	results, err := sweep.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	byCell := map[[2]string]sweep.Result{}
+	for _, r := range results {
+		byCell[[2]string{r.Filter, r.Chaos}] = r
+	}
+	rows := make([]ChaosSoakRow, 0, len(cfg.Filters))
+	for _, filter := range cfg.Filters {
+		row := ChaosSoakRow{Filter: filter}
+		ref := math.NaN()
+		if r, ok := byCell[[2]string{filter, ""}]; ok && (r.Status() == "ok" || r.Status() == "degraded") {
+			ref = r.FinalDist
+		}
+		for i, rate := range cfg.Rates {
+			r, ok := byCell[[2]string{filter, chaoses[i].String()}]
+			if !ok {
+				return nil, fmt.Errorf("sweep produced no cell for %s at rate %g: %w", filter, rate, ErrArgs)
+			}
+			pt := ChaosSoakPoint{
+				Rate:      rate,
+				Chaos:     r.Chaos,
+				Status:    r.Status(),
+				FinalDist: r.FinalDist,
+				Faults:    r.Faults,
+			}
+			if ref > 0 && (pt.Status == "ok" || pt.Status == "degraded") {
+				pt.CostRatio = r.FinalDist / ref
+			}
+			row.Curve = append(row.Curve, pt)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

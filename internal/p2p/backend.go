@@ -67,6 +67,7 @@ func (Backend) Run(ctx context.Context, cfg dgd.Config) (*dgd.Result, error) {
 		Reference: cfg.Reference,
 		Observer:  cfg.Observer,
 		Async:     cfg.Async,
+		Chaos:     cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err

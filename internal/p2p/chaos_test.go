@@ -1,0 +1,64 @@
+package p2p
+
+import (
+	"context"
+	"testing"
+
+	"byzopt/internal/byzantine"
+	"byzopt/internal/chaos"
+	"byzopt/internal/dgd"
+)
+
+// A chaos plan over the p2p backend must reproduce the in-process engine bit
+// for bit: every honest peer runs an identical overlay with an identical
+// plan, so the injected faults — and with them the whole trajectory — are
+// replicas of the engine's single overlay.
+func TestP2PChaosMatchesInProcessEngine(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed: 31, OmitRate: 0.15, DupRate: 0.1,
+		DelayRate: 0.1, Delay: 0.4, Attempts: 2, RetryDelay: 0.1,
+	}
+	async := &dgd.AsyncConfig{Policy: dgd.CollectFirstK, K: 4, Seed: 13}
+	cfg, _ := paperConfig(t, byzantine.GradientReverse{}, 120)
+	cfg.Async, cfg.Chaos = async, plan
+	engine, err := dgd.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _ := paperConfig(t, byzantine.GradientReverse{}, 120)
+	cfg2.Async, cfg2.Chaos = async, plan
+	res, err := Backend{}.Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2pBitwise(t, "X", res.X, engine.X)
+}
+
+// Chaos must not break the honest-agreement invariant: identical plans mean
+// identical injections at every peer, so the run completes with zero spread
+// and the degradation is visible in the result accounting.
+func TestP2PChaosPreservesAgreementAndReportsFaults(t *testing.T) {
+	cfg, _ := paperConfig(t, nil, 80)
+	peers := make([]Peer, len(cfg.Agents))
+	for i, a := range cfg.Agents {
+		peers[i] = Peer{Agent: a}
+	}
+	res, err := RunContext(context.Background(), Config{
+		Peers:  peers,
+		F:      cfg.F,
+		Filter: cfg.Filter,
+		Box:    cfg.Box,
+		X0:     cfg.X0,
+		Rounds: 80,
+		Chaos:  &chaos.Plan{Seed: 5, OmitRate: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxEstimateSpread != 0 {
+		t.Errorf("honest estimates spread %v under chaos, want exact agreement", res.MaxEstimateSpread)
+	}
+	if !res.Degraded || res.Faults.Omitted == 0 {
+		t.Errorf("degradation not reported: degraded=%v faults=%+v", res.Degraded, res.Faults)
+	}
+}

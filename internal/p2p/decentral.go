@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"byzopt/internal/aggregate"
+	"byzopt/internal/chaos"
 	"byzopt/internal/costfunc"
 	"byzopt/internal/dgd"
 	"byzopt/internal/vecmath"
@@ -58,6 +59,13 @@ type Config struct {
 	// estimates stay in agreement. Zero-latency wait-all is bitwise
 	// identical to a nil Async.
 	Async *dgd.AsyncConfig
+	// Chaos mirrors dgd.Config.Chaos: an enabled plan injects deterministic
+	// system faults into every honest peer's local collection. All peers
+	// share the plan and seed, so they inject identical faults and the
+	// agreement invariant survives — a crashed peer disappears from every
+	// overlay at once. A chaos-only run gets the default zero-latency
+	// wait-all overlay per peer.
+	Chaos *chaos.Plan
 }
 
 // Result is the outcome of a decentralized run.
@@ -70,6 +78,12 @@ type Result struct {
 	// honest peers' estimates across the whole run; the broadcast layer
 	// guarantees it is exactly zero.
 	MaxEstimateSpread float64
+	// Degraded reports that the run rode out at least one injected system
+	// fault instead of failing.
+	Degraded bool
+	// Faults tallies the chaos plan's injections, counted once at the
+	// reference honest peer (every peer injects the identical faults).
+	Faults chaos.Counters
 }
 
 // Run executes the decentralized simulation without cancellation, as
@@ -128,6 +142,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Rounds < 0 {
 		return nil, fmt.Errorf("negative rounds: %w", ErrArgs)
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("%v: %w", err, ErrArgs)
+		}
 	}
 	steps := cfg.Steps
 	if steps == nil {
@@ -214,19 +233,32 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// agreement invariant. Stats are reported once, from the reference peer.
 	var asyncStates []*dgd.AsyncState
 	var asyncObs dgd.AsyncObserver
-	if cfg.Async != nil {
+	var chaosObs dgd.ChaosObserver
+	if cfg.Async != nil || cfg.Chaos.Enabled() {
+		acfg := dgd.AsyncConfig{}
+		if cfg.Async != nil {
+			acfg = *cfg.Async
+			asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+		}
 		asyncStates = make([]*dgd.AsyncState, n)
 		for p := 0; p < n; p++ {
 			if _, bad := byz[p]; bad {
 				continue
 			}
-			st, err := dgd.NewAsyncState(*cfg.Async, n, dim)
+			st, err := dgd.NewAsyncState(acfg, n, dim)
 			if err != nil {
 				return nil, err
 			}
+			if cfg.Chaos.Enabled() {
+				if err := st.AttachChaos(cfg.Chaos); err != nil {
+					return nil, err
+				}
+			}
 			asyncStates[p] = st
 		}
-		asyncObs, _ = cfg.Observer.(dgd.AsyncObserver)
+		if cfg.Chaos.Enabled() {
+			chaosObs, _ = cfg.Observer.(dgd.ChaosObserver)
+		}
 	}
 
 	for t := 0; t < cfg.Rounds; t++ {
@@ -333,11 +365,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					return nil, err
 				}
 				input, fUse = in, fEff
-				if p == honestIdx && asyncObs != nil {
-					if err := asyncObs.ObserveAsyncRound(stats); err != nil {
-						return nil, fmt.Errorf("observer at round %d: %w", t, err)
+				if p == honestIdx {
+					if asyncObs != nil {
+						if err := asyncObs.ObserveAsyncRound(stats); err != nil {
+							return nil, fmt.Errorf("observer at round %d: %w", t, err)
+						}
+					}
+					if cfg.Chaos.Enabled() {
+						cs := asyncStates[p].ChaosStats()
+						res.Faults.Add(cs.Faults)
+						if chaosObs != nil {
+							if err := chaosObs.ObserveChaosRound(cs); err != nil {
+								return nil, fmt.Errorf("observer at round %d: %w", t, err)
+							}
+						}
 					}
 				}
+			}
+			if len(input) == 0 {
+				// A gracefully lost round: every peer's overlay dropped the
+				// full set identically, so every honest estimate coasts and
+				// agreement is untouched.
+				continue
 			}
 			var dir []float64
 			var err error
@@ -387,6 +436,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.X = vecmath.Clone(estimates[honestIdx])
+	res.Degraded = !res.Faults.IsZero()
 	if res.MaxEstimateSpread > 0 {
 		return res, errors.New("p2p: honest estimates diverged — broadcast agreement violated")
 	}

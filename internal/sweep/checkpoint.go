@@ -48,19 +48,17 @@ func SnapshotPath(logPath string) string { return logPath + ".snapshot" }
 // OpenCheckpoint opens (creating if absent) the checkpoint at path and
 // loads every previously completed cell from the snapshot and the log. A
 // torn trailing log line — the signature of a crash mid-append — is
-// discarded; torn records anywhere else are stream corruption and error.
+// discarded, and a torn snapshot is salvaged record by record (lost cells
+// simply re-run); torn log records anywhere but the tail are stream
+// corruption and error.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{
 		logPath:  path,
 		snapPath: SnapshotPath(path),
 		byIndex:  make(map[int]Result),
 	}
-	if results, err := ReadJSONFile(c.snapPath); err == nil {
-		for _, r := range results {
-			c.byIndex[r.GridIndex] = r
-		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("checkpoint snapshot: %w", err)
+	if err := c.loadSnapshot(); err != nil {
+		return nil, err
 	}
 	if err := c.loadLog(); err != nil {
 		return nil, err
@@ -71,6 +69,37 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	c.log = log
 	return c, nil
+}
+
+// loadSnapshot replays the snapshot into byIndex, salvaging the whole
+// records of a torn file. Snapshots are rewritten atomically, so under the
+// crash model a complete file is the only outcome — but filesystem-level
+// truncation (a torn sector, an interrupted copy) can still cut one
+// mid-record, and every checkpoint record is recomputable from the spec.
+// So the loader keeps the records that parse and lets resume re-run the
+// rest, the same whole-records-survive rule the log loader applies; every
+// salvaged record still passes through Validate before a resume trusts it.
+func (c *Checkpoint) loadSnapshot() error {
+	f, err := os.Open(c.snapPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	dec := json.NewDecoder(f)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+		return nil // no salvageable array at all: recompute everything
+	}
+	for dec.More() {
+		var r Result
+		if err := dec.Decode(&r); err != nil {
+			return nil // torn mid-record: keep the whole records before it
+		}
+		c.byIndex[r.GridIndex] = r
+	}
+	return nil
 }
 
 // loadLog replays the JSONL log into byIndex.

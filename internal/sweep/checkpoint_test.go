@@ -1,13 +1,17 @@
 package sweep
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
+	"byzopt/internal/chaos"
 	"byzopt/internal/dgd"
 )
 
@@ -254,6 +258,140 @@ func TestCheckpointValidateDetectsAsyncAxisChange(t *testing.T) {
 	if err := ckpt.Validate(foreign); !errors.Is(err, ErrSpec) {
 		t.Errorf("sync resume of an async checkpoint: %v", err)
 	}
+}
+
+// resumeExactlyMissing resumes spec's grid from the checkpoint at path on
+// the coordinator/worker fabric and asserts the run restored exactly
+// `restored` cells, dispatched only the remainder, and exported
+// byte-identically to want.
+func resumeExactlyMissing(t *testing.T, spec Spec, path string, want []Result, restored int) {
+	t.Helper()
+	var mu sync.Mutex
+	calls := 0
+	ctx := context.Background()
+	addr, wait := startCoordinator(t, ctx, CoordinatorSpec{
+		Spec: spec, LeaseCells: 2, CheckpointPath: path,
+		Progress: func(done, total int) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		},
+	})
+	if err := Work(ctx, addr, WorkerOptions{Workers: 1}); err != nil {
+		t.Fatalf("resume worker: %v", err)
+	}
+	got, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exportBytes(t, got), exportBytes(t, want)) {
+		t.Error("resumed export differs from single-process export")
+	}
+	// Progress fires once for the restored set, then once per cell actually
+	// re-dispatched: a correct resume runs exactly the missing cells.
+	mu.Lock()
+	defer mu.Unlock()
+	if wantCalls := 1 + len(want) - restored; calls != wantCalls {
+		t.Errorf("resume made %d progress calls, want %d (restored %d of %d cells)",
+			calls, wantCalls, restored, len(want))
+	}
+}
+
+// TestCheckpointResumeAfterTornLogWrite injects a torn write into the
+// checkpoint log via the chaos layer's TornWriter — the third record's tail
+// never reaches the disk, as if the process died mid-flush — and asserts the
+// resumed sweep re-dispatches exactly the torn-away cell plus the never-run
+// ones, exporting byte-identically to a single-process run.
+func TestCheckpointResumeAfterTornLogWrite(t *testing.T) {
+	spec := testGridSpec()
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.CompactEvery = -1 // keep every record in the log for the tear below
+	for _, r := range want[:3] {
+		if err := ckpt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ckpt.log.Close() // abandon, as a crash would
+	// Replay the same appends through the torn-write hook: the prefix lands,
+	// the final record's last bytes are silently lost.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &chaos.TornWriter{W: f, Limit: len(data) - 10}
+	if _, err := tw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumeExactlyMissing(t, spec, path, want, 2)
+}
+
+// TestCheckpointResumeAfterTornSnapshot tears the compacted snapshot
+// mid-record via chaos.TearFile: the loader must salvage the whole records
+// before the tear and the resumed sweep must re-run exactly the rest.
+func TestCheckpointResumeAfterTornSnapshot(t *testing.T) {
+	spec := testGridSpec()
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want[:4] {
+		if err := ckpt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ckpt.Close(); err != nil { // compacts: all four records move to the snapshot
+		t.Fatal(err)
+	}
+	snap := SnapshotPath(path)
+	info, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.TearFile(snap, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The salvage keeps a whole-record prefix: strictly fewer than the four
+	// compacted cells, but not none.
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salvaged := re.CompletedCount()
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if salvaged == 0 || salvaged >= 4 {
+		t.Fatalf("torn snapshot salvaged %d cells, want within (0, 4)", salvaged)
+	}
+	for _, r := range re.Results() {
+		if r.Key() != want[r.GridIndex].Key() {
+			t.Errorf("salvaged cell %d carries key %q, want %q", r.GridIndex, r.Key(), want[r.GridIndex].Key())
+		}
+	}
+
+	resumeExactlyMissing(t, spec, path, want, salvaged)
 }
 
 // TestWriteJSONFileAtomic: a failed export must leave a pre-existing file

@@ -231,7 +231,7 @@ func FormatTable(results []Result) string {
 // statusOrder ranks the engine's own statuses for summary lines; statuses
 // it does not know about (added by layers above, like the coordinator's
 // lease bookkeeping) sort after these, alphabetically.
-var statusOrder = []string{"ok", "skipped", "diverged", "timeout", "error"}
+var statusOrder = []string{"ok", "skipped", "diverged", "timeout", "error", "degraded"}
 
 // Summarize counts results by status, for one-line sweep reports. The
 // breakdown is derived from the statuses actually observed — never from a

@@ -12,6 +12,7 @@ import (
 
 	"byzopt/internal/aggregate"
 	"byzopt/internal/byzantine"
+	"byzopt/internal/chaos"
 	"byzopt/internal/dgd"
 )
 
@@ -69,6 +70,12 @@ type Result struct {
 	// Spec.RecordTrace is set.
 	TraceArrived  []int `json:"trace_arrived,omitempty"`
 	TraceMaxStale []int `json:"trace_max_stale,omitempty"`
+	// Degraded reports that the cell rode out injected system faults and
+	// completed anyway — graceful degradation, distinct from every failure
+	// status. Faults is the whole-run fault tally; both are absent on cells
+	// without injected faults, so pre-chaos wire bytes are unchanged.
+	Degraded bool            `json:"degraded,omitempty"`
+	Faults   *chaos.Counters `json:"faults,omitempty"`
 	// Diverged reports that the estimate (or a gradient) left the finite
 	// floats — the engine's dgd.ErrDiverged.
 	Diverged bool `json:"diverged,omitempty"`
@@ -86,7 +93,9 @@ type Result struct {
 	WallMS float64 `json:"wall_ms,omitempty"`
 }
 
-// Status returns "ok", "skipped", "diverged", "timeout", or "error".
+// Status returns "ok", "skipped", "diverged", "timeout", "error", or
+// "degraded" — the last for cells that completed while riding out injected
+// system faults.
 func (r *Result) Status() string {
 	switch {
 	case r.Skipped:
@@ -97,6 +106,8 @@ func (r *Result) Status() string {
 		return "timeout"
 	case r.Err != "":
 		return "error"
+	case r.Degraded:
+		return "degraded"
 	default:
 		return "ok"
 	}
@@ -409,6 +420,19 @@ func (m multiObserver) ObserveAsyncRound(stats dgd.AsyncRoundStats) error {
 	return nil
 }
 
+// ObserveChaosRound implements dgd.ChaosObserver, forwarding the fault-
+// injection stats to every member that consumes them.
+func (m multiObserver) ObserveChaosRound(stats dgd.ChaosRoundStats) error {
+	for _, o := range m {
+		if co, ok := o.(dgd.ChaosObserver); ok {
+			if err := co.ObserveChaosRound(stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // runScenario executes one grid point end to end through the backend.
 // Failures are data, not control flow: infeasible points come back Skipped,
 // non-finite runs come back Diverged, scenarios exceeding
@@ -532,6 +556,12 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		asyncStats = &asyncStatsRecorder{trace: spec.RecordTrace}
 		observers = append(observers, asyncStats)
 	}
+	chaosPlan := jb.chaos.Config(res.Seed, scn.Rounds)
+	var chaosStats *chaosStatsRecorder
+	if chaosPlan != nil {
+		chaosStats = &chaosStatsRecorder{}
+		observers = append(observers, chaosStats)
+	}
 	var observer dgd.RoundObserver
 	if len(observers) > 0 {
 		observer = observers
@@ -550,6 +580,7 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 		Observer:  observer,
 		Workers:   spec.DGDWorkers,
 		Async:     asyncCfg,
+		Chaos:     chaosPlan,
 	})
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
@@ -646,6 +677,11 @@ func runScenario(ctx context.Context, spec *Spec, prob Problem, backend dgd.Back
 			res.TraceArrived = asyncStats.arrived
 			res.TraceMaxStale = asyncStats.maxStales
 		}
+	}
+	if chaosStats != nil && !chaosStats.total.IsZero() {
+		tally := chaosStats.total
+		res.Faults = &tally
+		res.Degraded = true
 	}
 	return res, nil
 }

@@ -119,6 +119,15 @@ type Spec struct {
 	// add no async component to scenario keys, so adding this axis never
 	// perturbs existing grids; duplicate canonical points are dropped.
 	Asyncs []AsyncSpec
+	// Chaoses are the deterministic fault-injection plans to sweep; nil
+	// means no injected faults (the zero ChaosSpec). No-fault entries
+	// (ChaosSpec.IsNone) run without the chaos layer and add no chaos
+	// component to scenario keys, so adding this axis never perturbs
+	// existing grids; duplicate canonical points are dropped. Each chaos
+	// cell derives its plan from the scenario seed with the crash window
+	// pinned to the cell's rounds, so exports are byte-identical at any
+	// worker count and across the sweep fleet.
+	Chaoses []ChaosSpec
 	// SketchDims are the approximation-dimension values to sweep for the
 	// sketch-configurable filters (krum-sketch and friends): the projection
 	// dimension k for the sketched family, the neighbor sample size m for
@@ -231,6 +240,9 @@ type Scenario struct {
 	// filters; 0 (also the value for every non-configurable filter) means
 	// the filter default and adds no key component.
 	SketchDim int `json:"sketch_dim,omitempty"`
+	// Chaos is the canonical fault-injection plan of the cell
+	// (ChaosSpec.String); empty for runs without injected faults.
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // Key returns the stable scenario identifier used for seeding, logging,
@@ -252,6 +264,11 @@ func (s Scenario) Key() string {
 		// Same stability rule again: default-dimension cells (and every
 		// non-sketchable filter) keep their pre-sketch keys and seeds.
 		key += fmt.Sprintf(" sketch=%d", s.SketchDim)
+	}
+	if s.Chaos != "" {
+		// Same stability rule: no-fault cells keep their pre-chaos keys,
+		// seeds, and golden exports byte for byte.
+		key += " chaos=" + s.Chaos
 	}
 	return key
 }
@@ -275,6 +292,7 @@ type job struct {
 	scn   Scenario
 	steps dgd.StepSchedule
 	async AsyncSpec
+	chaos ChaosSpec
 	idx   int
 	total int
 }
@@ -312,6 +330,10 @@ func (spec *Spec) normalize() {
 		spec.Asyncs = []AsyncSpec{{}}
 	}
 	spec.Asyncs = dedupeAsyncs(spec.Asyncs)
+	if spec.Chaoses == nil {
+		spec.Chaoses = []ChaosSpec{{}}
+	}
+	spec.Chaoses = dedupeChaoses(spec.Chaoses)
 	if spec.SketchDims == nil {
 		spec.SketchDims = []int{0}
 	}
@@ -393,6 +415,11 @@ func validateSpec(spec *Spec) error {
 			return err
 		}
 	}
+	for _, c := range spec.Chaoses {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
 	for _, k := range spec.SketchDims {
 		if k < 0 {
 			return fmt.Errorf("negative sketch dim %d: %w", k, ErrSpec)
@@ -425,7 +452,8 @@ func validateSpec(spec *Spec) error {
 }
 
 // expand normalizes the spec and enumerates the grid in a fixed order
-// (filter, f, baseline, behavior, n, d, step, async, sketch). Scenarios with
+// (filter, f, baseline, behavior, n, d, step, async, sketch, chaos).
+// Scenarios with
 // f = 0 — and baseline scenarios, whose would-be Byzantine agents are omitted
 // — collapse the behavior axis to BehaviorNone, baseline cells at f = 0 are
 // dropped as duplicates, and filters that are not sketch-configurable
@@ -463,24 +491,28 @@ func expand(spec *Spec) ([]job, error) {
 							for _, steps := range spec.Steps {
 								for _, async := range spec.Asyncs {
 									for _, sk := range sketchDims {
-										jobs = append(jobs, job{
-											scn: Scenario{
-												Problem:   spec.Problem,
-												Filter:    filter,
-												Behavior:  behavior,
-												F:         f,
-												N:         n,
-												Dim:       d,
-												Step:      steps.Name(),
-												Rounds:    spec.Rounds,
-												Baseline:  baseline,
-												Async:     async.String(),
-												SketchDim: sk,
-											},
-											steps: steps,
-											async: async,
-											idx:   len(jobs),
-										})
+										for _, cs := range spec.Chaoses {
+											jobs = append(jobs, job{
+												scn: Scenario{
+													Problem:   spec.Problem,
+													Filter:    filter,
+													Behavior:  behavior,
+													F:         f,
+													N:         n,
+													Dim:       d,
+													Step:      steps.Name(),
+													Rounds:    spec.Rounds,
+													Baseline:  baseline,
+													Async:     async.String(),
+													SketchDim: sk,
+													Chaos:     cs.String(),
+												},
+												steps: steps,
+												async: async,
+												chaos: cs,
+												idx:   len(jobs),
+											})
+										}
 									}
 								}
 							}

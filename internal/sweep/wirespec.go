@@ -26,6 +26,12 @@ type WireSpec struct {
 	// pre-async ones and old coordinators/workers interoperate unchanged.
 	// AsyncSpec is already pure data, so it travels as is.
 	Asyncs []AsyncSpec `json:"asyncs,omitempty"`
+	// Chaoses is the fault-injection axis; omitted (and nil) for sweeps
+	// without injected faults, so their wire bytes are identical to
+	// pre-chaos ones and old coordinators/workers interoperate unchanged.
+	// ChaosSpec is pure data (plans are derived per cell from the scenario
+	// seed), so it travels as is.
+	Chaoses []ChaosSpec `json:"chaoses,omitempty"`
 	// SketchDims is the approximation-dimension axis of the
 	// sketch-configurable filters; omitted (and nil) when every cell uses
 	// the default dimension, so pre-sketch wire bytes are reproduced exactly
@@ -118,6 +124,12 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		// absent field, reproducing pre-sketch wire bytes.
 		sketchDims = nil
 	}
+	chaoses := spec.Chaoses
+	if len(chaoses) == 1 && chaoses[0].IsNone() {
+		// Same rule again: a no-fault axis leaves the wire form, keeping
+		// fault-free sweeps' wire bytes identical to pre-chaos ones.
+		chaoses = nil
+	}
 	return WireSpec{
 		Problem:         spec.Problem,
 		Filters:         spec.Filters,
@@ -128,6 +140,7 @@ func NewWireSpec(spec Spec) (WireSpec, error) {
 		Dims:            spec.Dims,
 		Steps:           steps,
 		Asyncs:          asyncs,
+		Chaoses:         chaoses,
 		SketchDims:      sketchDims,
 		TraceMetrics:    spec.TraceMetrics,
 		Rounds:          spec.Rounds,
@@ -161,6 +174,7 @@ func (w WireSpec) Spec() (Spec, error) {
 		Dims:            w.Dims,
 		Steps:           steps,
 		Asyncs:          w.Asyncs,
+		Chaoses:         w.Chaoses,
 		SketchDims:      w.SketchDims,
 		TraceMetrics:    w.TraceMetrics,
 		Rounds:          w.Rounds,

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"time"
 
+	"byzopt/internal/simtime"
 	"byzopt/internal/transport"
 )
 
@@ -144,6 +146,7 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 	logf("serving grid: problem=%s rounds=%d", spec.Problem, spec.Rounds)
 
 	cellsDone := 0
+	emptyLeases := 0
 	for {
 		if err := send(transport.SweepKindLeaseRequest, nil); err != nil {
 			return fmt.Errorf("worker: request lease: %w", classifyWorkerErr(ctx, err))
@@ -171,11 +174,18 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 			return fmt.Errorf("worker: %w", err)
 		}
 		if len(ls.Indices) == 0 {
-			// Everything left is leased elsewhere; back off and ask again.
+			// Everything left is leased elsewhere; back off and ask again,
+			// with deterministic per-worker jitter so a fleet started in
+			// lockstep does not hammer the coordinator in lockstep too. The
+			// jitter — up to half the base interval — is a pure function of
+			// the worker name and the empty-lease count, so each worker's
+			// retry schedule is reproducible.
 			retry := time.Duration(ls.RetryMillis) * time.Millisecond
 			if retry <= 0 {
 				retry = emptyLeaseRetry
 			}
+			retry += time.Duration(simtime.U01(jitterSeed(opts.Name), 0, emptyLeases) * float64(retry) / 2)
+			emptyLeases++
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -199,6 +209,14 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 			return fmt.Errorf("worker: %w", classifyWorkerErr(ctx, err))
 		}
 	}
+}
+
+// jitterSeed hashes a worker name into the seed of its retry-jitter stream;
+// distinct names get independent (but individually reproducible) schedules.
+func jitterSeed(name string) int64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	return int64(h.Sum64())
 }
 
 // classifyWorkerErr attributes connection teardown to the cancelled ctx

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the frame codec of the gradient protocol: every gob message
+// (hello, request envelope, reply) travels as one explicit frame —
+//
+//	4-byte big-endian length | 4-byte CRC32 (IEEE) of the body | gob body
+//
+// mirroring the sweep protocol's discipline. The length prefix bounds the
+// decode (a malformed or hostile peer can no longer make the receiver
+// attempt an unbounded gob read) and the checksum detects in-flight
+// corruption, so a damaged honest gradient is rejected as a transport fault
+// instead of silently reaching the filters as if it were Byzantine input
+// from an honest agent. Each frame carries a self-contained gob stream: no
+// codec state spans frames, so one bad frame never desynchronizes the
+// connection.
+
+// MaxGradFrame bounds a single gradient-protocol frame (64 MiB), the same
+// cap the sweep protocol applies. A length prefix beyond it is treated as
+// stream corruption rather than an allocation request.
+const MaxGradFrame = 64 << 20
+
+// ErrCorruptFrame is returned (wrapped) when a frame's checksum does not
+// match its body: the message was damaged in transit. Receivers treat the
+// delivery as omitted — the payload must never be trusted.
+var ErrCorruptFrame = errors.New("transport: frame checksum mismatch")
+
+// WireTap intercepts an outgoing frame body after its checksum is computed
+// and before it is written, mutating the bytes in place — the fault-
+// injection hook: damage applied here is exactly in-flight corruption, and
+// the receiver's CRC check is what has to catch it. round is the protocol
+// round the frame belongs to (-1 for handshake and shutdown frames), so
+// deterministic chaos plans can key their draws.
+type WireTap func(round int, body []byte)
+
+// writeGradFrame gob-encodes v and writes it as one checksummed frame.
+func writeGradFrame(w io.Writer, round int, v any, tap WireTap) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("transport: encode frame: %w", err)
+	}
+	body := buf.Bytes()
+	if len(body) > MaxGradFrame {
+		return fmt.Errorf("transport: frame is %d bytes: %w", len(body), ErrFrameTooLarge)
+	}
+	sum := crc32.ChecksumIEEE(body)
+	if tap != nil {
+		tap(round, body)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], sum)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// readGradFrame reads one checksummed frame into v. io.EOF is returned
+// verbatim when the stream ends cleanly between frames; an EOF inside a
+// frame is io.ErrUnexpectedEOF (wrapped). Oversized frames fail with
+// ErrFrameTooLarge before any allocation, checksum mismatches with
+// ErrCorruptFrame before any decode.
+func readGradFrame(r io.Reader, v any) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("transport: read frame header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > MaxGradFrame {
+		return fmt.Errorf("transport: frame length %d: %w", size, ErrFrameTooLarge)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("transport: read frame body: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return fmt.Errorf("transport: frame of %d bytes: %w", size, ErrCorruptFrame)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return nil
+}
+
+// TapAgentConn installs a WireTap on the outgoing (server → agent) frames
+// of a TCP agent connection, reporting whether the connection supports
+// tapping (only the TCP transport does — the channel transport has no wire
+// to damage). A nil tap uninstalls.
+func TapAgentConn(c AgentConn, tap WireTap) bool {
+	tc, ok := c.(*tcpConn)
+	if !ok {
+		return false
+	}
+	tc.mu.Lock()
+	tc.tap = tap
+	tc.mu.Unlock()
+	return true
+}

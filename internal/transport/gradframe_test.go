@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"byzopt/internal/chaos"
+)
+
+func TestGradFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := GradientReply{Round: 7, Gradient: []float64{1.5, -2.25, 0}}
+	if err := writeGradFrame(&buf, 7, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Frames are self-contained gob streams: a second message on the same
+	// buffer decodes independently of the first.
+	if err := writeGradFrame(&buf, 8, GradientReply{Round: 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got GradientReply
+	if err := readGradFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != want.Round || len(got.Gradient) != 3 || got.Gradient[1] != -2.25 {
+		t.Fatalf("round-trip = %+v, want %+v", got, want)
+	}
+	if err := readGradFrame(&buf, &got); err != nil || got.Round != 8 {
+		t.Fatalf("second frame: %+v %v", got, err)
+	}
+	if err := readGradFrame(&buf, &got); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream: %v", err)
+	}
+}
+
+func TestGradFrameCorruptionDetectedAsTypedError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeGradFrame(&buf, 0, GradientReply{Round: 0, Gradient: []float64{3, 4}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	wire[len(wire)-2] ^= 0x10
+	var reply GradientReply
+	if err := readGradFrame(bytes.NewReader(wire), &reply); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupted frame: %v", err)
+	}
+}
+
+func TestGradFrameOversizedLengthRejectedBeforeAllocation(t *testing.T) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxGradFrame+1)
+	var reply GradientReply
+	if err := readGradFrame(bytes.NewReader(hdr[:]), &reply); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame length: %v", err)
+	}
+}
+
+func TestGradFrameTruncationIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeGradFrame(&buf, 1, Hello{AgentID: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	var hello Hello
+	if err := readGradFrame(bytes.NewReader(wire[:len(wire)-1]), &hello); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body: %v", err)
+	}
+	if err := readGradFrame(bytes.NewReader(wire[:3]), &hello); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: %v", err)
+	}
+}
+
+// gradFn adapts a function to GradientProducer.
+type gradFn func(round int, x []float64) ([]float64, error)
+
+func (f gradFn) Gradient(round int, x []float64) ([]float64, error) { return f(round, x) }
+
+// The end-to-end contract of the chaos-tapped TCP transport: an agent whose
+// reply frames are corrupted in flight (after CRC computation, per the
+// WireTap contract) is detected by the server as ErrCorruptFrame — the
+// damaged payload never surfaces as a gradient — and clean rounds pass.
+func TestTCPChaosTapCorruptionDetectedEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	plan := &chaos.Plan{Seed: 99, CorruptRate: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Corrupt only odd rounds, so the same connection demonstrates both
+		// detection and recovery (frames are self-contained).
+		tap := func(round int, body []byte) {
+			if round >= 0 && round%2 == 1 {
+				plan.CorruptFrame(body, round, 0)
+			}
+		}
+		_ = ServeAgentTap(ctx, ln.Addr().String(), 0, gradFn(func(round int, x []float64) ([]float64, error) {
+			return []float64{float64(round), x[0]}, nil
+		}), tap)
+	}()
+
+	conns, err := AcceptAgents(ln, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(conns)
+
+	reqCtx, reqCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer reqCancel()
+	g, err := conns[0].RequestGradient(reqCtx, 0, []float64{1.5})
+	if err != nil {
+		t.Fatalf("clean round failed: %v", err)
+	}
+	if g[0] != 0 || g[1] != 1.5 {
+		t.Fatalf("clean round gradient %v", g)
+	}
+	if _, err := conns[0].RequestGradient(reqCtx, 1, []float64{2}); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupted round surfaced as %v, want ErrCorruptFrame", err)
+	}
+	// The connection survives: the next clean round still answers.
+	g, err = conns[0].RequestGradient(reqCtx, 2, []float64{3})
+	if err != nil {
+		t.Fatalf("round after corruption failed: %v", err)
+	}
+	if g[0] != 2 {
+		t.Fatalf("recovered round gradient %v", g)
+	}
+	cancel()
+	wg.Wait()
+}

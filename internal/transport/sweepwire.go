@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,10 +14,11 @@ import (
 // Coordinate and Work). Where the gradient protocol of tcp.go moves one
 // small vector per round over gob, the sweep protocol moves whole result
 // rows and spec documents, so it uses explicit length-prefixed JSON frames:
-// a 4-byte big-endian length followed by one JSON-encoded SweepFrame. The
-// length prefix makes partial writes detectable (a truncated frame fails
-// loudly instead of desynchronizing the stream) and keeps the payloads
-// inspectable on the wire.
+// a 4-byte big-endian length, a 4-byte CRC32 (IEEE) of the body, and one
+// JSON-encoded SweepFrame. The length prefix makes partial writes detectable
+// (a truncated frame fails loudly instead of desynchronizing the stream),
+// the checksum rejects in-flight corruption as ErrCorruptFrame, and the
+// payloads stay inspectable on the wire.
 //
 // Conversation shape, mirroring the Hello handshake of tcp.go:
 //
@@ -37,7 +39,9 @@ import (
 
 // SweepProtoVersion is the sweep wire-protocol version a worker announces in
 // its hello frame; the coordinator rejects mismatches during the handshake.
-const SweepProtoVersion = 1
+// Version 2 added the per-frame CRC32 (a 4-byte checksum between the length
+// prefix and the body), so corrupted frames are detected instead of parsed.
+const SweepProtoVersion = 2
 
 // MaxSweepFrame bounds a single frame (64 MiB). A length prefix beyond it is
 // treated as stream corruption rather than an allocation request.
@@ -124,10 +128,11 @@ func WriteSweepFrame(w io.Writer, kind string, payload any) error {
 	if len(body) > MaxSweepFrame {
 		return fmt.Errorf("transport: %s frame is %d bytes: %w", kind, len(body), ErrFrameTooLarge)
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return fmt.Errorf("transport: write %s frame length: %w", kind, err)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write %s frame header: %w", kind, err)
 	}
 	if _, err := w.Write(body); err != nil {
 		return fmt.Errorf("transport: write %s frame: %w", kind, err)
@@ -140,14 +145,14 @@ func WriteSweepFrame(w io.Writer, kind string, payload any) error {
 // frame is io.ErrUnexpectedEOF (wrapped), distinguishing a peer that went
 // away from one that was cut off mid-message.
 func ReadSweepFrame(r io.Reader) (SweepFrame, error) {
-	var prefix [4]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return SweepFrame{}, io.EOF
 		}
-		return SweepFrame{}, fmt.Errorf("transport: read frame length: %w", err)
+		return SweepFrame{}, fmt.Errorf("transport: read frame header: %w", err)
 	}
-	size := binary.BigEndian.Uint32(prefix[:])
+	size := binary.BigEndian.Uint32(hdr[:4])
 	if size > MaxSweepFrame {
 		return SweepFrame{}, fmt.Errorf("transport: frame length %d: %w", size, ErrFrameTooLarge)
 	}
@@ -157,6 +162,9 @@ func ReadSweepFrame(r io.Reader) (SweepFrame, error) {
 			err = io.ErrUnexpectedEOF
 		}
 		return SweepFrame{}, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return SweepFrame{}, fmt.Errorf("transport: frame of %d bytes: %w", size, ErrCorruptFrame)
 	}
 	var f SweepFrame
 	if err := json.Unmarshal(body, &f); err != nil {

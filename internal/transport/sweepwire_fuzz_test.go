@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReadSweepFrame drives the sweep frame parser with arbitrary streams:
+// whatever the bytes, it must return a typed error (or a frame) promptly —
+// never panic, never hang, never attempt an unbounded allocation. The
+// corpus seeds the interesting shapes: valid frames, truncations at every
+// layer, oversized lengths, garbage JSON, and CRC-mismatched bodies.
+func FuzzReadSweepFrame(f *testing.F) {
+	frame := func(kind string, payload any) []byte {
+		var buf bytes.Buffer
+		if err := WriteSweepFrame(&buf, kind, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := frame(SweepKindLease, SweepLease{Indices: []int{1, 2, 3}, TTLMillis: 1000})
+	f.Add(valid)
+	f.Add(valid[:3])            // truncated inside the header
+	f.Add(valid[:len(valid)-2]) // truncated inside the body
+	f.Add(frame(SweepKindHello, SweepHello{Proto: SweepProtoVersion, Name: "w"}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // oversized length
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)-1] ^= 0x01
+	f.Add(corrupted)
+	garbage := []byte("not json")
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(garbage)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(garbage))
+	f.Add(append(hdr[:], garbage...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			fr, err := ReadSweepFrame(bytes.NewReader(data))
+			if err != nil {
+				// Every failure must be one of the protocol's typed shapes;
+				// in particular an announced length past the cap must never
+				// reach the allocation.
+				if len(data) >= 4 {
+					if size := binary.BigEndian.Uint32(data[:4]); size > MaxSweepFrame && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+						if !errors.Is(err, ErrFrameTooLarge) {
+							t.Errorf("oversized length %d returned %v, want ErrFrameTooLarge", size, err)
+						}
+					}
+				}
+				return
+			}
+			if fr.Kind == "" {
+				t.Error("parser accepted a frame without a kind")
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("ReadSweepFrame hung on fuzzed input")
+		}
+	})
+}
+
+// FuzzReadGradFrame is the same contract for the gradient protocol's frame
+// codec: arbitrary bytes must yield a typed error or a decoded value.
+func FuzzReadGradFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeGradFrame(&buf, 3, GradientReply{Round: 3, Gradient: []float64{1, 2}}, nil); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)-1] ^= 0x80
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var reply GradientReply
+		err := readGradFrame(bytes.NewReader(data), &reply)
+		if err == nil {
+			return
+		}
+		if len(data) >= 4 {
+			if size := binary.BigEndian.Uint32(data[:4]); size > MaxGradFrame && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				if !errors.Is(err, ErrFrameTooLarge) {
+					t.Errorf("oversized length %d returned %v, want ErrFrameTooLarge", size, err)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"hash/crc32"
 	"io"
 	"strings"
 	"testing"
@@ -86,9 +87,9 @@ func TestSweepFrameTruncatedBodyIsUnexpectedEOF(t *testing.T) {
 }
 
 func TestSweepFrameOversizedLengthRejected(t *testing.T) {
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], MaxSweepFrame+1)
-	if _, err := ReadSweepFrame(bytes.NewReader(prefix[:])); !errors.Is(err, ErrFrameTooLarge) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxSweepFrame+1)
+	if _, err := ReadSweepFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized length prefix: %v", err)
 	}
 }
@@ -96,12 +97,35 @@ func TestSweepFrameOversizedLengthRejected(t *testing.T) {
 func TestSweepFrameGarbageBodyRejected(t *testing.T) {
 	var buf bytes.Buffer
 	body := []byte("not json")
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
-	buf.Write(prefix[:])
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	buf.Write(hdr[:])
 	buf.Write(body)
 	if _, err := ReadSweepFrame(&buf); err == nil {
 		t.Error("garbage frame body should error")
+	}
+}
+
+func TestSweepFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSweepFrame(&buf, SweepKindDone, SweepDone{Reason: "grid complete"}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	wire[len(wire)-1] ^= 0x40 // flip one in-flight bit of the body
+	if _, err := ReadSweepFrame(bytes.NewReader(wire)); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("corrupted body: %v", err)
+	}
+	// Damage to the checksum itself is detected the same way.
+	buf.Reset()
+	if err := WriteSweepFrame(&buf, SweepKindDone, SweepDone{}); err != nil {
+		t.Fatal(err)
+	}
+	wire = buf.Bytes()
+	wire[5] ^= 0x01
+	if _, err := ReadSweepFrame(bytes.NewReader(wire)); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("corrupted checksum: %v", err)
 	}
 }
 

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -37,13 +36,13 @@ type frame struct {
 
 // tcpConn is the server-side AgentConn over a TCP socket. Requests are
 // serialized: the synchronous protocol issues one request per agent per
-// round, so a single in-flight request is the steady state.
+// round, so a single in-flight request is the steady state. Messages travel
+// as checksummed, size-capped frames (see gradframe.go).
 type tcpConn struct {
 	mu        sync.Mutex
 	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
 	agentID   int
+	tap       WireTap // outgoing fault-injection tap, nil = passthrough
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -85,11 +84,11 @@ func (c *tcpConn) RequestGradient(ctx context.Context, round int, estimate []flo
 		case <-watchDone:
 		}
 	}()
-	if err := c.enc.Encode(frame{Kind: frameRequest, Request: GradientRequest{Round: round, Estimate: estimate}}); err != nil {
+	if err := writeGradFrame(conn, round, frame{Kind: frameRequest, Request: GradientRequest{Round: round, Estimate: estimate}}, c.tap); err != nil {
 		return nil, wrapReqErr(ctx, "tcp send round", round, err)
 	}
 	var reply GradientReply
-	if err := c.dec.Decode(&reply); err != nil {
+	if err := readGradFrame(conn, &reply); err != nil {
 		return nil, wrapReqErr(ctx, "tcp receive round", round, err)
 	}
 	if reply.Err != "" {
@@ -111,7 +110,7 @@ func (c *tcpConn) Close() error {
 			return
 		}
 		_ = c.conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
-		_ = c.enc.Encode(frame{Kind: frameShutdown}) // best effort
+		_ = writeGradFrame(c.conn, -1, frame{Kind: frameShutdown}, nil) // best effort
 		c.closeErr = c.conn.Close()
 		c.conn = nil
 	})
@@ -132,6 +131,13 @@ func wrapNetErr(op string, round int, err error) error {
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {
 		return fmt.Errorf("%s %d: %w", op, round, ErrTimeout)
+	}
+	if errors.Is(err, ErrCorruptFrame) || errors.Is(err, ErrFrameTooLarge) {
+		// Frame-level damage keeps its typed identity: the caller decides
+		// whether a corrupted delivery is an elimination or a degraded
+		// per-round omission, and either way must not treat the payload as
+		// a dead connection.
+		return fmt.Errorf("%s %d: %w", op, round, err)
 	}
 	return fmt.Errorf("%s %d: %w: %v", op, round, ErrClosed, err)
 }
@@ -164,10 +170,8 @@ func AcceptAgents(l net.Listener, n int, timeout time.Duration) ([]AgentConn, er
 			_ = raw.Close()
 			return fail(fmt.Errorf("transport: handshake deadline: %w", err))
 		}
-		enc := gob.NewEncoder(raw)
-		dec := gob.NewDecoder(raw)
 		var hello Hello
-		if err := dec.Decode(&hello); err != nil {
+		if err := readGradFrame(raw, &hello); err != nil {
 			_ = raw.Close()
 			return fail(fmt.Errorf("transport: hello from connection %d: %w", i, err))
 		}
@@ -176,7 +180,7 @@ func AcceptAgents(l net.Listener, n int, timeout time.Duration) ([]AgentConn, er
 			_ = raw.Close()
 			return fail(fmt.Errorf("transport: bad or duplicate agent id %d", id))
 		}
-		conns[id] = &tcpConn{conn: raw, enc: enc, dec: dec, agentID: id}
+		conns[id] = &tcpConn{conn: raw, agentID: id}
 	}
 	return conns, nil
 }
@@ -193,6 +197,14 @@ func closeAll(conns []AgentConn) {
 // introduces itself, then answers gradient requests until it receives a
 // Shutdown frame, the context is canceled, or the connection drops.
 func ServeAgent(ctx context.Context, addr string, agentID int, producer GradientProducer) error {
+	return ServeAgentTap(ctx, addr, agentID, producer, nil)
+}
+
+// ServeAgentTap is ServeAgent with a fault-injection tap on the agent's
+// outgoing frames: tap runs after each reply's checksum is computed, so
+// damage it applies is in-flight corruption the server's CRC check must
+// catch. A nil tap is plain ServeAgent.
+func ServeAgentTap(ctx context.Context, addr string, agentID int, producer GradientProducer, tap WireTap) error {
 	if producer == nil {
 		return errors.New("transport: nil producer")
 	}
@@ -215,14 +227,12 @@ func ServeAgent(ctx context.Context, addr string, agentID int, producer Gradient
 		}
 	}()
 
-	enc := gob.NewEncoder(raw)
-	dec := gob.NewDecoder(raw)
-	if err := enc.Encode(Hello{AgentID: agentID}); err != nil {
+	if err := writeGradFrame(raw, -1, Hello{AgentID: agentID}, nil); err != nil {
 		return fmt.Errorf("transport: hello: %w", err)
 	}
 	for {
 		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if err := readGradFrame(raw, &f); err != nil {
 			if ctx.Err() != nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil // canceled or server gone: orderly end
 			}
@@ -239,7 +249,7 @@ func ServeAgent(ctx context.Context, addr string, agentID int, producer Gradient
 				reply.Err = gerr.Error()
 				reply.Gradient = nil
 			}
-			if err := enc.Encode(reply); err != nil {
+			if err := writeGradFrame(raw, req.Round, reply, tap); err != nil {
 				if ctx.Err() != nil {
 					return nil
 				}
